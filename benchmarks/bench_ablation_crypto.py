@@ -1,0 +1,47 @@
+"""Ablation: cost of the signature backends (HMAC default vs from-scratch RSA).
+
+Unlike the protocol experiments (which measure simulated time), this is a
+real-time microbenchmark of the two signer implementations, justifying the
+default choice of the HMAC backend for large simulations.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.signatures import HmacSigner, KeyRegistry, RsaSigner
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return {"batch": 42, "root": b"\x01" * 32, "cd": [3, 1, 4, 1, 5]}
+
+
+@pytest.mark.benchmark(group="crypto-sign")
+def test_hmac_sign(benchmark, payload):
+    signer = HmacSigner("node")
+    benchmark(lambda: signer.sign(payload))
+
+
+@pytest.mark.benchmark(group="crypto-sign")
+def test_rsa_sign(benchmark, payload):
+    signer = RsaSigner("node", bits=512, rng=random.Random(1))
+    benchmark(lambda: signer.sign(payload))
+
+
+@pytest.mark.benchmark(group="crypto-verify")
+def test_hmac_verify(benchmark, payload):
+    registry = KeyRegistry()
+    signer = HmacSigner("node")
+    registry.register(signer)
+    signature = signer.sign(payload)
+    benchmark(lambda: registry.verify(payload, signature))
+
+
+@pytest.mark.benchmark(group="crypto-verify")
+def test_rsa_verify(benchmark, payload):
+    registry = KeyRegistry()
+    signer = RsaSigner("node", bits=512, rng=random.Random(1))
+    registry.register(signer)
+    signature = signer.sign(payload)
+    benchmark(lambda: registry.verify(payload, signature))

@@ -1,0 +1,17 @@
+"""Ablation: inconsistent snapshots that CD-vector tracking prevents (Figure 1)."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import ablation_untracked_dependencies
+
+
+def test_ablation_untracked_dependencies(benchmark):
+    figure = run_once(benchmark, ablation_untracked_dependencies)
+    record_result("ablation_no_cd", figure)
+    series = figure.series_by_name("round-2 (anomaly prevented)")
+    # Under concurrent distributed writers, a measurable fraction of
+    # distributed read-only transactions observe a cross-partition
+    # inconsistency in round 1 — exactly what a Merkle-only design would
+    # silently return (the paper's Figure 1 motivation).
+    assert all(0.0 <= value <= 100.0 for value in series.ys())
+    assert sum(series.ys()) > 0.0

@@ -1,0 +1,14 @@
+"""Ablation: how often the second read-only round triggers as write load grows."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import ablation_round2_vs_write_rate
+
+
+def test_ablation_round2_vs_write_rate(benchmark):
+    figure = run_once(benchmark, ablation_round2_vs_write_rate)
+    record_result("ablation_round2", figure)
+    series = figure.series_by_name("TransEdge")
+    # With no concurrent writers there are no unsatisfied dependencies at all.
+    assert series.points[0] == 0.0
+    assert max(series.ys()) >= series.points[0]

@@ -1,0 +1,16 @@
+"""Figure 5: read-only latency split by round, TransEdge vs Augustus."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig5_read_only_rounds
+
+
+def test_fig05_read_only_rounds(benchmark):
+    figure = run_once(benchmark, fig5_read_only_rounds)
+    record_result("fig05_ro_rounds", figure)
+    round1 = figure.series_by_name("TransEdge round 1")
+    round2 = figure.series_by_name("TransEdge round 2 (effective)")
+    # Round-1 latency stays within a few milliseconds and the second round
+    # only contributes when more than one cluster is accessed.
+    assert round2.points[1] == 0.0
+    assert all(value < 20.0 for value in round1.ys())

@@ -1,0 +1,17 @@
+"""Figure 6: read-only throughput, TransEdge vs Augustus."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig6_read_only_throughput
+
+
+def test_fig06_read_only_throughput(benchmark):
+    figure = run_once(benchmark, fig6_read_only_throughput)
+    record_result("fig06_ro_throughput", figure)
+    transedge = figure.series_by_name("TransEdge")
+    augustus = figure.series_by_name("Augustus")
+    # TransEdge sustains at least the Augustus throughput at every cluster
+    # count and strictly beats it for multi-partition reads.
+    for clusters in transedge.xs():
+        assert transedge.points[clusters] >= 0.95 * augustus.points[clusters]
+    assert transedge.points[5] > augustus.points[5]

@@ -1,0 +1,17 @@
+"""Figure 7: long-running read-only transactions, TransEdge vs Augustus."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig7_long_read_only
+
+
+def test_fig07_long_read_only(benchmark):
+    figure = run_once(benchmark, fig7_long_read_only)
+    record_result("fig07_long_ro", figure)
+    transedge = figure.series_by_name("TransEdge")
+    augustus = figure.series_by_name("Augustus")
+    # Latency grows with the read-set size for both systems, and the largest
+    # read sets are served at least as fast by TransEdge as by Augustus
+    # (whose shared locks collide with the concurrent writers).
+    assert transedge.points[2000] > transedge.points[250]
+    assert augustus.points[2000] >= transedge.points[2000] * 0.9

@@ -1,0 +1,16 @@
+"""Figure 8: read-only throughput as inter-cluster latency grows."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig8_read_only_latency_sweep
+
+
+def test_fig08_read_only_latency_sweep(benchmark):
+    figure = run_once(benchmark, fig8_read_only_latency_sweep)
+    record_result("fig08_ro_latency_sweep", figure)
+    base = figure.series_by_name("+0ms between clusters")
+    slowest = figure.series_by_name("+150ms between clusters")
+    # Extra wide-area latency reduces read-only throughput for multi-cluster
+    # reads, but far less than it reduces read-write throughput (Figure 12):
+    # the single-cluster point is barely affected.
+    assert slowest.points[5] < base.points[5]

@@ -1,0 +1,14 @@
+"""Figure 10: distributed read-write latency versus read/write skew."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig10_distributed_latency
+
+
+def test_fig10_distributed_latency(benchmark):
+    figure = run_once(benchmark, fig10_distributed_latency)
+    record_result("fig10_drw_latency", figure)
+    for series in figure.series:
+        # Latency rises as the skew moves towards writes (more clusters are
+        # coordinated); the W=1 point is essentially a local transaction.
+        assert series.points[5] > 1.5 * series.points[1]

@@ -1,0 +1,13 @@
+"""Figure 11: distributed read-write throughput versus read/write skew."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig11_distributed_throughput
+
+
+def test_fig11_distributed_throughput(benchmark):
+    figure = run_once(benchmark, fig11_distributed_throughput)
+    record_result("fig11_drw_throughput", figure)
+    for series in figure.series:
+        # Throughput falls as transactions skew towards writes / more clusters.
+        assert series.points[5] < series.points[1]

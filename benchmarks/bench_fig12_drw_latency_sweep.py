@@ -1,0 +1,16 @@
+"""Figure 12: distributed read-write throughput versus added inter-cluster latency."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig12_distributed_latency_sweep
+
+
+def test_fig12_distributed_latency_sweep(benchmark):
+    figure = run_once(benchmark, fig12_distributed_latency_sweep)
+    record_result("fig12_drw_latency_sweep", figure)
+    for series in figure.series:
+        # Throughput collapses as wide-area latency grows: 2PC coordination is
+        # latency-bound (contrast with the mild effect on read-only
+        # transactions in Figure 8).
+        assert series.points[500] < 0.5 * series.points[0]
+        assert series.points[150] < series.points[0]

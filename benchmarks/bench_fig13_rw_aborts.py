@@ -1,0 +1,16 @@
+"""Figure 13: abort rate of distributed read-write transactions."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig13_abort_rates
+
+
+def test_fig13_abort_rates(benchmark):
+    figure = run_once(benchmark, fig13_abort_rates)
+    record_result("fig13_rw_aborts", figure)
+    for series in figure.series:
+        xs = series.xs()
+        # Bigger batches accumulate more optimistic conflicts: the abort rate
+        # rises with batch size for every latency setting.
+        assert series.points[xs[-1]] > series.points[xs[0]]
+        assert all(value < 60.0 for value in series.ys())

@@ -1,0 +1,15 @@
+"""Figure 14: throughput versus the local/distributed read-write mix."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig14_mix_throughput
+
+
+def test_fig14_mix_throughput(benchmark):
+    figure = run_once(benchmark, fig14_mix_throughput)
+    record_result("fig14_mix_throughput", figure)
+    for series in figure.series:
+        # A purely local workload far outperforms a purely distributed one,
+        # with mixed workloads in between (monotone trend end to end).
+        assert series.points[0] > 2.0 * series.points[100]
+        assert series.points[20] > series.points[80]

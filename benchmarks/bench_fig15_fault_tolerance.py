@@ -1,0 +1,16 @@
+"""Figure 15: effect of the per-cluster fault-tolerance level f."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig15_fault_tolerance
+
+
+def test_fig15_fault_tolerance(benchmark):
+    figure = run_once(benchmark, fig15_fault_tolerance)
+    record_result("fig15_fault_tolerance", figure)
+    f1 = figure.series_by_name("f=1 (4 replicas)")
+    f3 = figure.series_by_name("f=3 (10 replicas)")
+    # Larger clusters pay more intra-cluster coordination: latency with f=3
+    # exceeds latency with f=1 at every batch size.
+    for x in f1.xs():
+        assert f3.points[x] > f1.points[x]

@@ -1,0 +1,15 @@
+"""Table 1: read-write aborts caused by conflicting read-only transactions."""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import table1_read_only_interference
+
+
+def test_table1_read_only_interference(benchmark):
+    table = run_once(benchmark, table1_read_only_interference)
+    record_result("table1_ro_interference", table)
+    # Non-interference: TransEdge read-only transactions never abort
+    # read-write transactions; Augustus' shared locks do.
+    for clusters in table.columns:
+        assert table.get("TransEdge", clusters) == 0.0
+    assert any(table.get("Augustus", clusters) > 0.0 for clusters in table.columns)

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one figure or table from the paper's evaluation
+(see DESIGN.md §4), records the rendered result under ``benchmark_results/``
+and asserts the qualitative shape the paper reports (who wins, how trends
+move).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale up the per-point transaction counts with ``REPRO_BENCH_SCALE=4`` (or
+higher) for tighter numbers; the committed EXPERIMENTS.md numbers state the
+scale they were produced with.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def record_result(name: str, result) -> str:
+    """Render ``result``, write it to benchmark_results/<name>.txt and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return text
+
+
+@pytest.fixture
+def record():
+    return record_result
+
+
+def run_once(benchmark, experiment):
+    """Run ``experiment`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)

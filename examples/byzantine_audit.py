@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Byzantine audit: tampered responses are detected, forged batches rejected.
+
+Edge nodes are untrusted.  This example demonstrates the two defence layers
+of TransEdge:
+
+1. a byzantine node that forges the *values* in its read-only responses is
+   caught by the client's Merkle-proof verification, and the client obtains
+   the correct data from another replica of the same cluster — commit-free
+   reads stay safe with a single honest responder;
+2. a byzantine *leader* that tries to equivocate (send different batches to
+   different replicas) cannot gather a quorum, so nothing inconsistent is
+   ever committed to the SMR log.
+
+Run with::
+
+    python examples/byzantine_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import SystemConfig, TransEdgeSystem
+from repro.bft.byzantine import make_equivocating_leader, make_value_tamperer
+from repro.core.messages import ReadOnlyReply
+
+
+def main() -> None:
+    config = SystemConfig(num_partitions=2, fault_tolerance=1, initial_keys=64)
+    system = TransEdgeSystem(config)
+    client = system.create_client("auditor")
+    keys = [system.keys_of_partition(0)[0], system.keys_of_partition(1)[0]]
+    results = {}
+
+    # --- layer 1: a lying responder -------------------------------------------
+    lying_node = system.topology.leader(0)
+
+    def forge_values(message):
+        for key in list(message.values):
+            message.values[key] = b"forged-balance"
+        return message
+
+    make_value_tamperer(system.fault_injector, lying_node, ReadOnlyReply, forge_values)
+
+    def audit_workflow():
+        committed = yield from client.read_write_txn(
+            [], {keys[0]: b"genuine-record-0", keys[1]: b"genuine-record-1"}
+        )
+        results["commit"] = committed
+        snapshot = yield from client.read_only_txn(keys)
+        results["snapshot"] = snapshot
+
+    client.spawn(audit_workflow())
+    system.run_until_idle()
+
+    snapshot = results["snapshot"]
+    print(f"tampering node            : {lying_node}")
+    print(f"forged responses detected : {client.stats.read_only_verification_failures}")
+    print(f"snapshot verified         : {snapshot.verified}")
+    print(f"values observed           : {[snapshot.values[k] for k in keys]}")
+    assert snapshot.verified
+    assert all(snapshot.values[key] != b"forged-balance" for key in keys)
+    print("the forged value never reached the application\n")
+
+    # --- layer 2: an equivocating leader ---------------------------------------
+    system2 = TransEdgeSystem(SystemConfig(num_partitions=1, fault_tolerance=1, initial_keys=16))
+    target_key = system2.keys_of_partition(0)[0]
+    leader = system2.topology.leader(0)
+    confused = list(system2.topology.members(0))[2:]
+
+    def corrupt_batch(batch):
+        # The equivocating leader swaps in a batch with no transactions at all
+        # for half of the cluster.
+        return type(batch)(
+            partition=batch.partition,
+            number=batch.number,
+            local_txns=(),
+            prepared=batch.prepared,
+            committed=batch.committed,
+            read_only=batch.read_only,
+        )
+
+    make_equivocating_leader(system2.fault_injector, leader, confused, corrupt_batch)
+    writer = system2.create_client("writer")
+    outcome = {}
+
+    def write_workflow():
+        result = yield from writer.read_write_txn([], {target_key: b"must-not-diverge"})
+        outcome["result"] = result
+
+    writer.spawn(write_workflow())
+    # Bounded run: with an equivocating leader the transaction cannot commit,
+    # so we stop after a fixed horizon instead of waiting for quiescence.
+    system2.run(until_ms=5_000.0)
+
+    replicas = system2.cluster_replicas(0)
+    logs = {replica.node_id: replica.log.last_seq for replica in replicas}
+    values = {
+        str(replica.node_id): replica.store.latest(target_key).value for replica in replicas
+    }
+    print(f"equivocating leader       : {leader}")
+    print(f"log heights               : { {str(k): v for k, v in logs.items()} }")
+    print(f"replica values agree      : {len(set(values.values())) == 1}")
+    assert len(set(values.values())) == 1, "safety violated: replicas diverged"
+    print("no conflicting batch was ever committed (safety preserved under equivocation)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""TransEdge reproduction library.
+
+A simulation-backed reproduction of "TransEdge: Supporting Efficient Read
+Queries Across Untrusted Edge Nodes" (EDBT 2023): hierarchical BFT
+transaction processing for edge environments with commit-free,
+non-interfering snapshot read-only transactions.
+
+Quickstart::
+
+    from repro import SystemConfig, TransEdgeSystem
+
+    system = TransEdgeSystem(SystemConfig(num_partitions=3, fault_tolerance=1))
+    client = system.create_client("app")
+    keys = system.keys_of_partition(0)[:1] + system.keys_of_partition(1)[:1]
+
+    def body():
+        yield from client.read_write_txn([], {keys[0]: b"hello", keys[1]: b"edge"})
+        snapshot = yield from client.read_only_txn(keys)
+        print(snapshot.values)
+
+    client.spawn(body())
+    system.run_until_idle()
+
+See ``examples/`` for complete scenarios and ``repro.bench`` for the
+experiment harness that regenerates the paper's figures and tables.
+"""
+
+from repro.common.config import (
+    BatchConfig,
+    CostConfig,
+    FreshnessConfig,
+    LatencyConfig,
+    SystemConfig,
+    paper_scale_config,
+    small_test_config,
+)
+from repro.common.types import CommitResult, ReadOnlyResult, TxnKind, TxnStatus
+from repro.core.client import TransEdgeClient
+from repro.core.system import TransEdgeSystem
+from repro.baselines.protocols import protocol_by_name
+from repro.workload.generator import WorkloadGenerator, WorkloadProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchConfig",
+    "CommitResult",
+    "CostConfig",
+    "FreshnessConfig",
+    "LatencyConfig",
+    "ReadOnlyResult",
+    "SystemConfig",
+    "TransEdgeClient",
+    "TransEdgeSystem",
+    "TxnKind",
+    "TxnStatus",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "__version__",
+    "paper_scale_config",
+    "protocol_by_name",
+    "small_test_config",
+]

@@ -1,0 +1,17 @@
+"""Comparator systems used in the paper's evaluation (2PC/BFT, Augustus)."""
+
+from repro.baselines.protocols import (
+    AugustusReadOnly,
+    ReadOnlyProtocol,
+    TransEdgeReadOnly,
+    TwoPCBftReadOnly,
+    protocol_by_name,
+)
+
+__all__ = [
+    "AugustusReadOnly",
+    "ReadOnlyProtocol",
+    "TransEdgeReadOnly",
+    "TwoPCBftReadOnly",
+    "protocol_by_name",
+]

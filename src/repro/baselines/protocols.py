@@ -1,0 +1,80 @@
+"""Read-only protocol strategies: TransEdge and the two baselines.
+
+The paper evaluates three ways of executing a distributed read-only
+transaction on top of the same hierarchical 2PC/BFT read-write machinery:
+
+* **TransEdge** (the contribution) — commit-free, non-interfering snapshot
+  reads with CD-vector dependency tracking (Section 4);
+* **2PC/BFT** — the read-only transaction is executed as a regular
+  transaction: validated by consensus in every accessed cluster and
+  coordinated with 2PC (Section 3.5);
+* **Augustus** — quorum reads that take shared locks at ``2f + 1`` replicas
+  of every accessed partition, interfering with read-write transactions
+  (Padilha & Pedone, EuroSys'13; Section 6.2 of the paper).
+
+Each strategy exposes the same ``run(client, keys)`` generator interface so
+experiments and examples can swap protocols without touching driver code.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Protocol, Sequence
+
+from repro.common.types import Key, ReadOnlyResult
+from repro.core.client import TransEdgeClient
+
+
+class ReadOnlyProtocol(Protocol):
+    """A strategy for executing distributed read-only transactions."""
+
+    name: str
+
+    def run(
+        self, client: TransEdgeClient, keys: Sequence[Key]
+    ) -> Generator[object, object, ReadOnlyResult]:
+        """Run one read-only transaction over ``keys`` on behalf of ``client``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class TransEdgeReadOnly:
+    """The paper's contribution: snapshot reads with dependency tracking."""
+
+    name = "transedge"
+
+    def run(self, client: TransEdgeClient, keys: Sequence[Key]):
+        return client.read_only_txn(keys)
+
+
+class TwoPCBftReadOnly:
+    """Baseline: read-only transactions as coordinated read-write transactions."""
+
+    name = "2pc-bft"
+
+    def run(self, client: TransEdgeClient, keys: Sequence[Key]):
+        return client.read_only_as_regular_txn(keys)
+
+
+class AugustusReadOnly:
+    """Baseline: quorum reads with shared locks (Augustus)."""
+
+    name = "augustus"
+
+    def run(self, client: TransEdgeClient, keys: Sequence[Key]):
+        return client.augustus_read_only_txn(keys)
+
+
+_PROTOCOLS = {
+    "transedge": TransEdgeReadOnly,
+    "2pc-bft": TwoPCBftReadOnly,
+    "2pc/bft": TwoPCBftReadOnly,
+    "augustus": AugustusReadOnly,
+}
+
+
+def protocol_by_name(name: str) -> ReadOnlyProtocol:
+    """Look up a read-only protocol strategy by name (case-insensitive)."""
+    try:
+        return _PROTOCOLS[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(set(_PROTOCOLS)))
+        raise ValueError(f"unknown read-only protocol {name!r}; expected one of {known}")

@@ -1,0 +1,18 @@
+"""Experiment harness regenerating the paper's figures and tables."""
+
+from repro.bench.drivers import (
+    WorkloadRunResult,
+    execute_concurrent_workloads,
+    execute_workload,
+)
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.scale import scale_factor, scaled
+
+__all__ = [
+    "EXPERIMENTS",
+    "WorkloadRunResult",
+    "execute_concurrent_workloads",
+    "execute_workload",
+    "scale_factor",
+    "scaled",
+]

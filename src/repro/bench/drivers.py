@@ -1,0 +1,207 @@
+"""Workload drivers: run transaction streams against a simulated deployment.
+
+The experiment functions in :mod:`repro.bench.experiments` all reduce to the
+same pattern — build a system, run a stream of transaction specifications
+with some concurrency, and collect metrics — which this module implements
+once.
+
+Concurrency model: ``concurrency`` driver processes are spawned across
+``num_clients`` client nodes; each process repeatedly takes the next
+specification from the shared stream and executes it (closed loop).  With a
+concurrency at least as large as the configured batch size, leaders operate
+at their batching limit, which is how the paper's throughput-versus-batch-
+size experiments are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.baselines.protocols import ReadOnlyProtocol, protocol_by_name
+from repro.common.types import TxnKind
+from repro.core.client import TransEdgeClient
+from repro.core.system import SystemCounters, TransEdgeSystem
+from repro.metrics.collector import MetricsCollector
+from repro.workload.generator import TxnSpec
+
+
+#: Metric operation labels, keyed by transaction kind.
+OPERATION_LABELS = {
+    TxnKind.LOCAL_WRITE_ONLY: "local-write-only",
+    TxnKind.LOCAL_READ_WRITE: "local-read-write",
+    TxnKind.DISTRIBUTED_READ_WRITE: "distributed-read-write",
+    TxnKind.READ_ONLY: "read-only",
+}
+
+
+@dataclass
+class WorkloadRunResult:
+    """Everything an experiment needs from one workload execution."""
+
+    metrics: MetricsCollector
+    counters: SystemCounters
+    elapsed_ms: float
+    executed: int = 0
+
+    def throughput_tps(self, label: Optional[str] = None) -> float:
+        return self.metrics.throughput_tps(label)
+
+    def mean_latency_ms(self, label: str) -> float:
+        return self.metrics.operation(label).summary().mean_ms
+
+    def abort_rate(self, label: str) -> float:
+        return self.metrics.operation(label).abort_rate()
+
+
+def execute_workload(
+    system: TransEdgeSystem,
+    specs: Iterable[TxnSpec],
+    concurrency: int = 8,
+    num_clients: int = 2,
+    read_only_protocol: "str | ReadOnlyProtocol" = "transedge",
+    metrics: Optional[MetricsCollector] = None,
+    client_prefix: str = "driver",
+) -> WorkloadRunResult:
+    """Execute ``specs`` on ``system`` and return metrics.
+
+    Read-only specifications are executed with ``read_only_protocol``;
+    read-write specifications always use the TransEdge commit path (the
+    2PC/BFT baseline shares it, per Section 3.5 of the paper).
+    """
+    if isinstance(read_only_protocol, str):
+        protocol = protocol_by_name(read_only_protocol)
+    else:
+        protocol = read_only_protocol
+    metrics = metrics if metrics is not None else MetricsCollector()
+    spec_iterator: Iterator[TxnSpec] = iter(specs)
+    executed = {"count": 0}
+
+    clients: List[TransEdgeClient] = [
+        system.create_client(f"{client_prefix}-{index}") for index in range(max(1, num_clients))
+    ]
+
+    def driver_body(client: TransEdgeClient):
+        while True:
+            try:
+                spec = next(spec_iterator)
+            except StopIteration:
+                return
+            label = OPERATION_LABELS[spec.kind]
+            metrics.mark_start(client.now)
+            if spec.kind is TxnKind.READ_ONLY:
+                result = yield from protocol.run(client, list(spec.read_keys))
+                metrics.record_read_only(
+                    label,
+                    result.latency_ms,
+                    rounds=result.rounds,
+                    round2_latency_ms=result.round2_latency_ms,
+                )
+            else:
+                result = yield from client.read_write_txn(list(spec.read_keys), dict(spec.writes))
+                if result.committed:
+                    metrics.record_commit(label, result.latency_ms)
+                else:
+                    metrics.record_abort(label, result.latency_ms, reason=result.abort_reason)
+            executed["count"] += 1
+            metrics.mark_end(client.now)
+
+    for index in range(max(1, concurrency)):
+        client = clients[index % len(clients)]
+        client.spawn(driver_body(client), name=f"{client_prefix}-proc-{index}")
+
+    system.run_until_idle()
+    return WorkloadRunResult(
+        metrics=metrics,
+        counters=system.counters(),
+        elapsed_ms=metrics.elapsed_ms,
+        executed=executed["count"],
+    )
+
+
+def execute_concurrent_workloads(
+    system: TransEdgeSystem,
+    foreground: Iterable[TxnSpec],
+    background: Iterable[TxnSpec],
+    foreground_protocol: "str | ReadOnlyProtocol" = "transedge",
+    foreground_concurrency: int = 4,
+    background_concurrency: int = 4,
+    foreground_pacing_ms: float = 0.0,
+) -> WorkloadRunResult:
+    """Run a measured foreground stream while a background stream executes.
+
+    Used by the experiments where read-only transactions are measured under
+    concurrent read-write traffic (Figures 5, 7 and Table 1): the background
+    read-write stream creates the cross-partition dependencies (and, for the
+    Augustus baseline, the lock conflicts) whose cost is being measured.
+    Both streams are recorded into the same collector under their own
+    operation labels.
+
+    ``foreground_pacing_ms`` spaces out the measured (foreground) operations
+    so they overlap the whole background run instead of finishing in its
+    first few milliseconds — read-only operations are much faster than
+    distributed commits, so without pacing they would never observe the
+    concurrency being studied.
+    """
+    metrics = MetricsCollector()
+    if isinstance(foreground_protocol, str):
+        protocol = protocol_by_name(foreground_protocol)
+    else:
+        protocol = foreground_protocol
+
+    foreground_iter = iter(foreground)
+    background_iter = iter(background)
+    executed = {"count": 0}
+
+    fg_clients = [system.create_client(f"fg-{index}") for index in range(2)]
+    bg_clients = [system.create_client(f"bg-{index}") for index in range(2)]
+
+    from repro.simnet.proc import Sleep
+
+    def make_body(client, iterator, is_foreground):
+        def body():
+            while True:
+                try:
+                    spec = next(iterator)
+                except StopIteration:
+                    return
+                if is_foreground and foreground_pacing_ms > 0:
+                    yield Sleep(foreground_pacing_ms)
+                label = OPERATION_LABELS[spec.kind]
+                metrics.mark_start(client.now)
+                if spec.kind is TxnKind.READ_ONLY:
+                    runner = protocol if is_foreground else protocol_by_name("transedge")
+                    result = yield from runner.run(client, list(spec.read_keys))
+                    metrics.record_read_only(
+                        label,
+                        result.latency_ms,
+                        rounds=result.rounds,
+                        round2_latency_ms=result.round2_latency_ms,
+                    )
+                else:
+                    result = yield from client.read_write_txn(
+                        list(spec.read_keys), dict(spec.writes)
+                    )
+                    if result.committed:
+                        metrics.record_commit(label, result.latency_ms)
+                    else:
+                        metrics.record_abort(label, result.latency_ms, reason=result.abort_reason)
+                executed["count"] += 1
+                metrics.mark_end(client.now)
+
+        return body
+
+    for index in range(max(1, foreground_concurrency)):
+        client = fg_clients[index % len(fg_clients)]
+        client.spawn(make_body(client, foreground_iter, True)())
+    for index in range(max(1, background_concurrency)):
+        client = bg_clients[index % len(bg_clients)]
+        client.spawn(make_body(client, background_iter, False)())
+
+    system.run_until_idle()
+    return WorkloadRunResult(
+        metrics=metrics,
+        counters=system.counters(),
+        elapsed_ms=metrics.elapsed_ms,
+        executed=executed["count"],
+    )

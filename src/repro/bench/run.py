@@ -1,0 +1,61 @@
+"""Command-line entry point for regenerating the paper's figures and tables.
+
+Usage::
+
+    python -m repro.bench.run --list
+    python -m repro.bench.run fig4 fig6
+    python -m repro.bench.run all
+    REPRO_BENCH_SCALE=4 python -m repro.bench.run table1
+
+Each experiment prints the reproduced rows/series as an aligned text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.scale import scale_factor
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="transedge-bench",
+        description="Regenerate the TransEdge paper's figures and tables from the simulation.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig4..fig15, table1, ablation-*) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments (pass ids or 'all'):")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    print(f"scale factor: {scale_factor()} (set REPRO_BENCH_SCALE to change)")
+    for name in requested:
+        started = time.time()
+        result = EXPERIMENTS[name]()
+        elapsed = time.time() - started
+        print()
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f}s wall clock]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""BFT state-machine-replication substrate (PBFT-style, per cluster)."""
+
+from repro.bft.byzantine import (
+    ByzantineBehaviour,
+    make_equivocating_leader,
+    make_receive_blind,
+    make_silent,
+    make_value_tamperer,
+    make_vote_forger,
+)
+from repro.bft.engine import ConsensusApplication, PbftEngine
+from repro.bft.log import LogEntry, ReplicatedLog
+from repro.bft.messages import (
+    BftMessage,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
+from repro.bft.quorum import CommitCertificate, VoteTracker, certificate_payload
+
+__all__ = [
+    "BftMessage",
+    "ByzantineBehaviour",
+    "Commit",
+    "CommitCertificate",
+    "ConsensusApplication",
+    "LogEntry",
+    "NewView",
+    "PbftEngine",
+    "PrePrepare",
+    "Prepare",
+    "ReplicatedLog",
+    "ViewChange",
+    "VoteTracker",
+    "certificate_payload",
+    "make_equivocating_leader",
+    "make_receive_blind",
+    "make_silent",
+    "make_value_tamperer",
+    "make_vote_forger",
+]

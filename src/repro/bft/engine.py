@@ -1,0 +1,369 @@
+"""PBFT-style consensus engine embedded in each cluster replica.
+
+The engine orders opaque proposals (TransEdge batches) within one cluster.
+It is deliberately structured as a passive component owned by a
+:class:`~repro.simnet.node.SimNode`: the owning replica forwards consensus
+messages to :meth:`PbftEngine.handle` and the engine calls back into an
+application object for proposal validation and delivery.  This mirrors how
+TransEdge layers its transaction-processing logic on top of BFT-SMaRt.
+
+Protocol per instance (sequence number):
+
+1. the leader of the current view signs and broadcasts ``PrePrepare`` with
+   the proposal and its digest;
+2. every replica that accepts the proposal (signature valid, sender is the
+   view's leader, application validation passes) broadcasts a signed
+   ``Prepare`` for the digest;
+3. on a prepare quorum of ``2f + 1`` (counting the leader's pre-prepare as
+   its prepare), replicas broadcast ``Commit``;
+4. on a commit quorum of ``2f + 1``, the value is decided; the collected
+   commit signatures are re-issued over the decision payload and form the
+   :class:`~repro.bft.quorum.CommitCertificate` stored in the log and shared
+   with other clusters and clients.
+
+A lightweight view change replaces a leader that stops making progress:
+replicas that suspect the leader broadcast ``ViewChange`` for view ``v + 1``
+and move to the new view once ``2f + 1`` replicas agree; in-flight instances
+of the old view are abandoned and it is up to the application (the TransEdge
+partition leader) to re-propose its pending batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.common.errors import ConsensusError, NotLeaderError
+from repro.common.ids import PartitionId, ReplicaId
+from repro.crypto.signatures import KeyRegistry
+from repro.bft.messages import BftMessage, Commit, NewView, PrePrepare, Prepare, ViewChange
+from repro.bft.quorum import CommitCertificate, VoteTracker
+
+
+class ConsensusApplication(Protocol):
+    """Callbacks the owning replica provides to the engine."""
+
+    def validate_proposal(self, seq: int, proposal: object) -> bool:
+        """Return True when the proposal is acceptable to this replica."""
+        ...  # pragma: no cover - protocol definition
+
+    def deliver(self, seq: int, proposal: object, certificate: CommitCertificate) -> None:
+        """Apply a decided proposal (called in strict sequence order)."""
+        ...  # pragma: no cover - protocol definition
+
+    def on_view_change(self, new_view: int, new_leader: ReplicaId) -> None:
+        """Notification that the cluster moved to a new view/leader."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class _Instance:
+    """Book-keeping for one consensus sequence number."""
+
+    seq: int
+    view: int
+    digest: bytes = b""
+    proposal: object = None
+    pre_prepared: bool = False
+    prepares: VoteTracker = field(default_factory=VoteTracker)
+    commits: VoteTracker = field(default_factory=VoteTracker)
+    prepare_sent: bool = False
+    commit_sent: bool = False
+    decided: bool = False
+
+
+class PbftEngine:
+    """One cluster member's view of the intra-cluster ordering protocol."""
+
+    def __init__(
+        self,
+        owner,  # SimNode providing .node_id, .send, .broadcast, .signer, .env
+        partition: PartitionId,
+        members: Sequence[ReplicaId],
+        fault_tolerance: int,
+        application: ConsensusApplication,
+        digest_fn: Callable[[object], bytes],
+    ) -> None:
+        self._owner = owner
+        self._partition = partition
+        self._members: Tuple[ReplicaId, ...] = tuple(members)
+        self._f = fault_tolerance
+        self._application = application
+        self._digest_fn = digest_fn
+        self._registry: KeyRegistry = owner.env.registry
+
+        self.view = 0
+        self._instances: Dict[int, _Instance] = {}
+        self._next_proposal_seq = 0
+        self._next_deliver_seq = 0
+        self._pending_deliveries: Dict[int, Tuple[object, CommitCertificate]] = {}
+        self._buffered_pre_prepares: Dict[int, Tuple[PrePrepare, object]] = {}
+        self._view_change_votes: Dict[int, VoteTracker] = {}
+        self.decided_count = 0
+
+        if len(self._members) < 3 * self._f + 1:
+            raise ConsensusError(
+                f"cluster of {len(self._members)} members cannot tolerate f={self._f}"
+            )
+
+    # -- topology helpers ----------------------------------------------------
+
+    @property
+    def members(self) -> Tuple[ReplicaId, ...]:
+        return self._members
+
+    @property
+    def quorum(self) -> int:
+        return 2 * self._f + 1
+
+    def leader_of_view(self, view: int) -> ReplicaId:
+        return self._members[view % len(self._members)]
+
+    @property
+    def current_leader(self) -> ReplicaId:
+        return self.leader_of_view(self.view)
+
+    @property
+    def is_leader(self) -> bool:
+        return self._owner.node_id == self.current_leader
+
+    @property
+    def last_delivered_seq(self) -> int:
+        return self._next_deliver_seq - 1
+
+    # -- proposing -------------------------------------------------------------
+
+    def propose(self, proposal: object) -> int:
+        """Leader entry point: start consensus on ``proposal``.
+
+        Returns the sequence number assigned to the proposal.
+        """
+        if not self.is_leader:
+            raise NotLeaderError(
+                f"{self._owner.node_id} is not the leader of view {self.view}"
+            )
+        seq = max(self._next_proposal_seq, self._next_deliver_seq)
+        self._next_proposal_seq = seq + 1
+        digest = self._digest_fn(proposal)
+        message = PrePrepare(view=self.view, seq=seq, digest=digest, proposal=proposal)
+        message.signature = self._owner.signer.sign(message.signing_payload())
+        self._owner.broadcast(self._other_members(), message)
+        # The leader processes its own pre-prepare locally (no self-message).
+        self._accept_pre_prepare(message, self._owner.node_id)
+        return seq
+
+    def re_propose_after_view_change(self, proposal: object) -> int:
+        """Propose again in the new view (used after a leader change)."""
+        self._next_proposal_seq = max(self._next_proposal_seq, self._next_deliver_seq)
+        return self.propose(proposal)
+
+    # -- message handling -------------------------------------------------------
+
+    def handle(self, message: BftMessage, src) -> bool:
+        """Process a consensus message; returns False for non-consensus types."""
+        if isinstance(message, PrePrepare):
+            self._on_pre_prepare(message, src)
+        elif isinstance(message, Prepare):
+            self._on_prepare(message, src)
+        elif isinstance(message, Commit):
+            self._on_commit(message, src)
+        elif isinstance(message, ViewChange):
+            self._on_view_change_msg(message, src)
+        elif isinstance(message, NewView):
+            self._on_new_view(message, src)
+        else:
+            return False
+        return True
+
+    # -- pre-prepare -------------------------------------------------------------
+
+    def _on_pre_prepare(self, message: PrePrepare, src: ReplicaId) -> None:
+        if message.view != self.view:
+            return
+        if src != self.leader_of_view(message.view):
+            return  # only the leader of the view may propose
+        if not self._verify(message, src):
+            return
+        if message.digest != self._digest_fn(message.proposal):
+            return  # digest does not match the carried proposal
+        self._accept_pre_prepare(message, src)
+
+    def _accept_pre_prepare(self, message: PrePrepare, src) -> None:
+        if message.seq > self._next_deliver_seq:
+            # Batches are validated against the delivered prefix (the paper
+            # writes batches one-by-one); hold this proposal until its
+            # predecessor has been delivered locally.
+            self._buffered_pre_prepares[message.seq] = (message, src)
+            return
+        instance = self._instance(message.seq, message.view)
+        if instance.pre_prepared:
+            return
+        if not self._application.validate_proposal(message.seq, message.proposal):
+            return
+        instance.pre_prepared = True
+        instance.digest = message.digest
+        instance.proposal = message.proposal
+        # The leader's pre-prepare doubles as its prepare vote.
+        leader_prepare = Prepare(view=message.view, seq=message.seq, digest=message.digest)
+        leader_signature = (
+            message.signature
+            if src != self._owner.node_id
+            else self._owner.signer.sign(leader_prepare.signing_payload())
+        )
+        instance.prepares.add(str(src), leader_signature)
+        self._send_prepare(instance)
+        self._maybe_advance(instance)
+
+    def _send_prepare(self, instance: _Instance) -> None:
+        if instance.prepare_sent:
+            return
+        instance.prepare_sent = True
+        if self._owner.node_id == self.leader_of_view(instance.view):
+            return  # leader's pre-prepare already counted as its prepare
+        prepare = Prepare(view=instance.view, seq=instance.seq, digest=instance.digest)
+        prepare.signature = self._owner.signer.sign(prepare.signing_payload())
+        self._owner.broadcast(self._other_members(), prepare)
+        instance.prepares.add(str(self._owner.node_id), prepare.signature)
+        self._maybe_advance(instance)
+
+    # -- prepare -----------------------------------------------------------------
+
+    def _on_prepare(self, message: Prepare, src: ReplicaId) -> None:
+        if message.view != self.view or not self._is_member(src):
+            return
+        if not self._verify(message, src):
+            return
+        instance = self._instance(message.seq, message.view)
+        if instance.digest and message.digest != instance.digest:
+            return
+        instance.prepares.add(str(src), message.signature)
+        self._maybe_advance(instance)
+
+    # -- commit ------------------------------------------------------------------
+
+    def _on_commit(self, message: Commit, src: ReplicaId) -> None:
+        if message.view != self.view or not self._is_member(src):
+            return
+        if not self._verify(message, src):
+            return
+        instance = self._instance(message.seq, message.view)
+        if instance.digest and message.digest != instance.digest:
+            return
+        instance.commits.add(str(src), message.signature)
+        self._maybe_advance(instance)
+
+    def _maybe_advance(self, instance: _Instance) -> None:
+        if (
+            instance.pre_prepared
+            and not instance.commit_sent
+            and instance.prepares.reached(self.quorum)
+        ):
+            instance.commit_sent = True
+            commit = Commit(view=instance.view, seq=instance.seq, digest=instance.digest)
+            commit.signature = self._owner.signer.sign(commit.signing_payload())
+            self._owner.broadcast(self._other_members(), commit)
+            instance.commits.add(str(self._owner.node_id), commit.signature)
+        if (
+            instance.pre_prepared
+            and not instance.decided
+            and instance.commits.reached(self.quorum)
+        ):
+            instance.decided = True
+            self.decided_count += 1
+            certificate = self._build_certificate(instance)
+            self._pending_deliveries[instance.seq] = (instance.proposal, certificate)
+            self._deliver_ready()
+
+    def _build_certificate(self, instance: _Instance) -> CommitCertificate:
+        # The 2f + 1 commit votes collected while deciding are transferable
+        # proof of agreement: their signatures cover exactly the certificate
+        # payload, so they are reused as-is (the paper's "f + 1 signatures
+        # collected during consensus are added to the batch", with margin).
+        return CommitCertificate(
+            partition=self._partition,
+            view=instance.view,
+            seq=instance.seq,
+            digest=instance.digest,
+            signatures=instance.commits.signatures(),
+        )
+
+    def _deliver_ready(self) -> None:
+        while self._next_deliver_seq in self._pending_deliveries:
+            seq = self._next_deliver_seq
+            proposal, certificate = self._pending_deliveries.pop(seq)
+            self._next_deliver_seq += 1
+            self._application.deliver(seq, proposal, certificate)
+        buffered = self._buffered_pre_prepares.pop(self._next_deliver_seq, None)
+        if buffered is not None:
+            message, src = buffered
+            if message.view == self.view:
+                self._accept_pre_prepare(message, src)
+
+    # -- view change ---------------------------------------------------------------
+
+    def suspect_leader(self) -> None:
+        """Vote to replace the current leader (progress timeout expired)."""
+        new_view = self.view + 1
+        message = ViewChange(view=new_view, last_delivered=self.last_delivered_seq)
+        message.signature = self._owner.signer.sign(message.signing_payload())
+        self._owner.broadcast(self._other_members(), message)
+        self._record_view_change_vote(new_view, str(self._owner.node_id), message.signature)
+
+    def _on_view_change_msg(self, message: ViewChange, src: ReplicaId) -> None:
+        if message.view <= self.view or not self._is_member(src):
+            return
+        if not self._verify(message, src):
+            return
+        self._record_view_change_vote(message.view, str(src), message.signature)
+
+    def _record_view_change_vote(self, new_view: int, sender: str, signature) -> None:
+        tracker = self._view_change_votes.setdefault(new_view, VoteTracker())
+        tracker.add(sender, signature)
+        if tracker.reached(self.quorum) and new_view > self.view:
+            self._enter_view(new_view)
+            if self.is_leader:
+                announce = NewView(view=new_view, supporters=tracker.voters())
+                announce.signature = self._owner.signer.sign(announce.signing_payload())
+                self._owner.broadcast(self._other_members(), announce)
+
+    def _on_new_view(self, message: NewView, src: ReplicaId) -> None:
+        if message.view <= self.view or not self._is_member(src):
+            return
+        if src != self.leader_of_view(message.view):
+            return
+        if not self._verify(message, src):
+            return
+        self._enter_view(message.view)
+
+    def _enter_view(self, new_view: int) -> None:
+        self.view = new_view
+        # Abandon undecided instances of older views; the application
+        # re-proposes whatever it still needs ordered.
+        self._instances = {
+            seq: inst for seq, inst in self._instances.items() if inst.decided
+        }
+        self._buffered_pre_prepares.clear()
+        self._next_proposal_seq = self._next_deliver_seq
+        self._application.on_view_change(new_view, self.current_leader)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _instance(self, seq: int, view: int) -> _Instance:
+        instance = self._instances.get(seq)
+        if instance is None or instance.view != view:
+            instance = _Instance(seq=seq, view=view)
+            self._instances[seq] = instance
+        return instance
+
+    def _other_members(self) -> List[ReplicaId]:
+        return [member for member in self._members if member != self._owner.node_id]
+
+    def _is_member(self, node: ReplicaId) -> bool:
+        return node in self._members
+
+    def _verify(self, message: BftMessage, src) -> bool:
+        if message.signature is None:
+            return False
+        if message.signature.signer != str(src):
+            return False
+        return self._registry.verify(message.signing_payload(), message.signature)

@@ -1,0 +1,68 @@
+"""Replicated state-machine log.
+
+Each replica appends decided consensus values (TransEdge batches) to a
+:class:`ReplicatedLog` in strict sequence order together with the commit
+certificate proving agreement.  The log is the "SMR log" of Figure 2 in the
+paper: committed local transactions, prepared records and commit records all
+live in the batches stored here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.common.errors import ConsensusError
+from repro.bft.quorum import CommitCertificate
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One decided value with its proof of agreement."""
+
+    seq: int
+    value: object
+    certificate: CommitCertificate
+
+
+class ReplicatedLog:
+    """Append-only, gap-free sequence of decided values."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+
+    def append(self, seq: int, value: object, certificate: CommitCertificate) -> LogEntry:
+        """Append the decision for ``seq``; sequence numbers must be contiguous."""
+        expected = len(self._entries)
+        if seq != expected:
+            raise ConsensusError(
+                f"log append out of order: got seq {seq}, expected {expected}"
+            )
+        entry = LogEntry(seq=seq, value=value, certificate=certificate)
+        self._entries.append(entry)
+        return entry
+
+    def get(self, seq: int) -> LogEntry:
+        if not 0 <= seq < len(self._entries):
+            raise ConsensusError(f"no log entry at seq {seq}")
+        return self._entries[seq]
+
+    def try_get(self, seq: int) -> Optional[LogEntry]:
+        if 0 <= seq < len(self._entries):
+            return self._entries[seq]
+        return None
+
+    @property
+    def last_seq(self) -> int:
+        """Highest decided sequence number (-1 when empty)."""
+        return len(self._entries) - 1
+
+    @property
+    def next_seq(self) -> int:
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)

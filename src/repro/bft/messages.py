@@ -1,0 +1,86 @@
+"""Messages of the intra-cluster BFT agreement protocol.
+
+The cluster-internal ordering protocol follows the classic PBFT message
+pattern that BFT-SMaRt also implements: the leader broadcasts a signed
+``PrePrepare`` carrying the proposal (a TransEdge batch), replicas exchange
+``Prepare`` and ``Commit`` votes on the proposal digest, and an instance is
+decided once a ``2f + 1`` commit quorum exists.  All messages are signed by
+their sender; votes only ever reference the proposal digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.signatures import Signature
+from repro.simnet.messages import Message
+
+
+@dataclass
+class BftMessage(Message):
+    """Common fields of every consensus message."""
+
+    view: int = 0
+    seq: int = 0
+    signature: Optional[Signature] = field(default=None, kw_only=True)
+
+    def signing_payload(self) -> object:
+        """Canonical payload covered by the sender's signature."""
+        raise NotImplementedError
+
+
+@dataclass
+class PrePrepare(BftMessage):
+    """Leader's proposal for sequence number ``seq`` in ``view``."""
+
+    digest: bytes = b""
+    proposal: object = None
+
+    def signing_payload(self) -> object:
+        return ["pre-prepare", self.view, self.seq, self.digest]
+
+
+@dataclass
+class Prepare(BftMessage):
+    """A replica's vote that it received the leader's proposal."""
+
+    digest: bytes = b""
+
+    def signing_payload(self) -> object:
+        return ["prepare", self.view, self.seq, self.digest]
+
+
+@dataclass
+class Commit(BftMessage):
+    """A replica's vote that a prepare quorum exists for the proposal."""
+
+    digest: bytes = b""
+
+    def signing_payload(self) -> object:
+        return ["commit", self.view, self.seq, self.digest]
+
+
+@dataclass
+class ViewChange(BftMessage):
+    """A replica's declaration that the current leader is suspected faulty.
+
+    ``view`` carries the *new* view the sender wants to move to and
+    ``last_delivered`` the highest sequence number it has delivered, which the
+    new leader uses to know where to resume proposing.
+    """
+
+    last_delivered: int = -1
+
+    def signing_payload(self) -> object:
+        return ["view-change", self.view, self.last_delivered]
+
+
+@dataclass
+class NewView(BftMessage):
+    """The new leader's announcement that the view change is complete."""
+
+    supporters: Tuple[str, ...] = ()
+
+    def signing_payload(self) -> object:
+        return ["new-view", self.view, list(self.supporters)]

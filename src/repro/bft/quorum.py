@@ -1,0 +1,88 @@
+"""Quorum tracking and commit certificates.
+
+A :class:`CommitCertificate` is the transferable proof that a cluster agreed
+on a value: at least ``f + 1`` (by default ``2f + 1``) signatures from
+distinct cluster members over the decided ``(view, seq, digest)``.  TransEdge
+attaches these certificates to batches, to 2PC prepare/commit messages sent
+across clusters, and to read-only responses so that a single node can prove
+to a client that the data it returns was agreed on by its cluster
+(Sections 3.3 and 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.common.ids import PartitionId, ReplicaId
+from repro.crypto.signatures import KeyRegistry, Signature
+
+
+def certificate_payload(view: int, seq: int, digest: bytes) -> object:
+    """Canonical payload that certificate signatures cover.
+
+    This is exactly the payload of a PBFT ``Commit`` vote, so the ``2f + 1``
+    commit signatures a replica collects while deciding double as the
+    transferable certificate — no extra signing round is needed.
+    """
+    return ["commit", view, seq, digest]
+
+
+@dataclass(frozen=True)
+class CommitCertificate:
+    """Proof that a cluster decided ``digest`` at sequence ``seq``."""
+
+    partition: PartitionId
+    view: int
+    seq: int
+    digest: bytes
+    signatures: Tuple[Signature, ...]
+
+    def payload(self) -> object:
+        return certificate_payload(self.view, self.seq, self.digest)
+
+    def signers(self) -> Tuple[str, ...]:
+        return tuple(signature.signer for signature in self.signatures)
+
+    def verify(
+        self,
+        registry: KeyRegistry,
+        cluster_members: Iterable[ReplicaId],
+        required: int,
+    ) -> bool:
+        """Check the certificate carries ``required`` valid member signatures."""
+        allowed = {str(member) for member in cluster_members}
+        return registry.verify_quorum(
+            self.payload(), self.signatures, required=required, allowed_signers=allowed
+        )
+
+
+class VoteTracker:
+    """Collects signed votes for one ``(view, seq, digest)`` from distinct senders."""
+
+    def __init__(self) -> None:
+        self._votes: Dict[str, Signature] = {}
+
+    def add(self, sender: str, signature: Optional[Signature]) -> bool:
+        """Record a vote; returns False for duplicate senders."""
+        if sender in self._votes:
+            return False
+        if signature is None:
+            return False
+        self._votes[sender] = signature
+        return True
+
+    def count(self) -> int:
+        return len(self._votes)
+
+    def reached(self, threshold: int) -> bool:
+        return len(self._votes) >= threshold
+
+    def voters(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._votes))
+
+    def signatures(self, limit: Optional[int] = None) -> Tuple[Signature, ...]:
+        ordered = [self._votes[name] for name in sorted(self._votes)]
+        if limit is not None:
+            ordered = ordered[:limit]
+        return tuple(ordered)

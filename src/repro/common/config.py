@@ -1,0 +1,192 @@
+"""Configuration objects for the simulated TransEdge deployment.
+
+A single :class:`SystemConfig` describes the whole deployment: partitioning,
+replication factor, batching policy, network latency model parameters and the
+per-operation processing-cost model used to derive simulated throughput.
+
+The defaults mirror the experimental setup in Section 5.1 of the paper
+(5 clusters, 7 replicas per cluster tolerating ``f = 2`` byzantine faults),
+scaled so that the full benchmark suite completes quickly on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Network latency parameters, in simulated milliseconds.
+
+    ``inter_cluster_extra_ms`` models the "additional latency between
+    clusters" knob the paper sweeps in Figures 8, 12 and 13.
+    """
+
+    intra_cluster_ms: float = 0.5
+    inter_cluster_ms: float = 2.0
+    client_to_cluster_ms: float = 1.0
+    inter_cluster_extra_ms: float = 0.0
+    jitter_fraction: float = 0.05
+
+    def validate(self) -> None:
+        for name in (
+            "intra_cluster_ms",
+            "inter_cluster_ms",
+            "client_to_cluster_ms",
+            "inter_cluster_extra_ms",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Per-operation processing costs, in simulated milliseconds.
+
+    Nodes are modelled as single-server queues: every message handled by a
+    node occupies it for the modelled cost, which is what bounds simulated
+    throughput.  The constants are small, laptop-class estimates; only their
+    ratios matter for reproducing the shape of the paper's figures.
+    """
+
+    signature_sign_ms: float = 0.02
+    signature_verify_ms: float = 0.02
+    hash_ms: float = 0.001
+    read_op_ms: float = 0.002
+    write_op_ms: float = 0.003
+    merkle_proof_ms: float = 0.004
+    conflict_check_ms: float = 0.002
+    batch_base_ms: float = 0.05
+    message_handling_ms: float = 0.01
+    client_think_ms: float = 0.0
+
+    def validate(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Batching policy of the partition leader.
+
+    A batch is sealed and proposed to consensus when either ``max_size``
+    transactions have accumulated or ``timeout_ms`` has elapsed since the
+    first transaction entered the in-progress batch, whichever comes first.
+    """
+
+    max_size: int = 100
+    timeout_ms: float = 5.0
+
+    def validate(self) -> None:
+        if self.max_size < 1:
+            raise ConfigurationError("batch max_size must be >= 1")
+        if self.timeout_ms <= 0:
+            raise ConfigurationError("batch timeout_ms must be > 0")
+
+
+@dataclass(frozen=True)
+class FreshnessConfig:
+    """Freshness window parameters (Section 4.4.2 of the paper)."""
+
+    enabled: bool = True
+    acceptance_window_ms: float = 30_000.0
+    client_staleness_bound_ms: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.acceptance_window_ms <= 0:
+            raise ConfigurationError("acceptance_window_ms must be > 0")
+        if (
+            self.client_staleness_bound_ms is not None
+            and self.client_staleness_bound_ms <= 0
+        ):
+            raise ConfigurationError("client_staleness_bound_ms must be > 0")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level description of a simulated TransEdge deployment."""
+
+    num_partitions: int = 5
+    fault_tolerance: int = 2
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    costs: CostConfig = field(default_factory=CostConfig)
+    freshness: FreshnessConfig = field(default_factory=FreshnessConfig)
+    crypto_backend: str = "hmac"
+    seed: int = 7
+    initial_keys: int = 1_000
+    value_size: int = 256
+    key_size: int = 4
+
+    @property
+    def cluster_size(self) -> int:
+        """Replicas per cluster: ``3f + 1``."""
+        return 3 * self.fault_tolerance + 1
+
+    @property
+    def quorum_size(self) -> int:
+        """Consensus quorum: ``2f + 1``."""
+        return 2 * self.fault_tolerance + 1
+
+    @property
+    def certificate_size(self) -> int:
+        """Signatures carried in proofs sent across clusters: ``f + 1``."""
+        return self.fault_tolerance + 1
+
+    def validate(self) -> "SystemConfig":
+        """Check internal consistency, returning ``self`` for chaining."""
+        if self.num_partitions < 1:
+            raise ConfigurationError("num_partitions must be >= 1")
+        if self.fault_tolerance < 1:
+            raise ConfigurationError("fault_tolerance (f) must be >= 1")
+        if self.crypto_backend not in ("hmac", "rsa"):
+            raise ConfigurationError(
+                f"unknown crypto backend {self.crypto_backend!r}; expected 'hmac' or 'rsa'"
+            )
+        if self.initial_keys < 1:
+            raise ConfigurationError("initial_keys must be >= 1")
+        if self.value_size < 1 or self.key_size < 1:
+            raise ConfigurationError("key/value sizes must be >= 1")
+        self.batch.validate()
+        self.latency.validate()
+        self.costs.validate()
+        self.freshness.validate()
+        return self
+
+    def with_updates(self, **changes: object) -> "SystemConfig":
+        """Return a copy with ``changes`` applied and validated.
+
+        Nested configuration objects can be replaced wholesale, e.g.::
+
+            config.with_updates(latency=LatencyConfig(inter_cluster_extra_ms=70))
+        """
+        return replace(self, **changes).validate()
+
+
+def paper_scale_config() -> SystemConfig:
+    """Configuration matching Section 5.1 of the paper.
+
+    5 clusters of 7 replicas (``f = 2``); read-write transactions use 5 reads
+    and 3 writes spread over the 5 clusters; read-only transactions read one
+    key per cluster.  The key space is reduced from 1M to keep simulation
+    state small — the hash partitioner and uniform key choice make the
+    contention level a function of the *ratio* of transactions to keys, which
+    benchmark workloads preserve.
+    """
+    return SystemConfig(num_partitions=5, fault_tolerance=2).validate()
+
+
+def small_test_config(num_partitions: int = 2, fault_tolerance: int = 1) -> SystemConfig:
+    """A small deployment used throughout the unit tests (fast to simulate)."""
+    return SystemConfig(
+        num_partitions=num_partitions,
+        fault_tolerance=fault_tolerance,
+        batch=BatchConfig(max_size=10, timeout_ms=2.0),
+        initial_keys=64,
+    ).validate()

@@ -1,0 +1,167 @@
+"""Value-level types shared by the storage, core and baseline packages.
+
+The library stores opaque string keys mapped to byte values.  Reads carry the
+batch number in which the returned value became visible — this is the version
+used by optimistic concurrency control validation (Definition 3.1 in the
+paper) and by the snapshot read-only protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from repro.common.ids import NO_BATCH, BatchNumber, PartitionId
+
+#: Database key.  Keys are opaque strings; the partitioner hashes them.
+Key = str
+
+#: Database value.  Values are stored as ``bytes``.
+Value = bytes
+
+
+def as_value(data: "bytes | str") -> Value:
+    """Coerce ``data`` to the canonical value representation (``bytes``)."""
+    if isinstance(data, bytes):
+        return data
+    return data.encode("utf-8")
+
+
+class TxnStatus(enum.Enum):
+    """Lifecycle of a transaction as observed by the client."""
+
+    PENDING = "pending"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TxnKind(enum.Enum):
+    """Classification used by the workload generator and the metrics layer."""
+
+    LOCAL_WRITE_ONLY = "local-write-only"
+    LOCAL_READ_WRITE = "local-read-write"
+    DISTRIBUTED_READ_WRITE = "distributed-read-write"
+    READ_ONLY = "read-only"
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A value together with the batch number in which it became visible."""
+
+    value: Value
+    version: BatchNumber = NO_BATCH
+
+    def is_initial(self) -> bool:
+        """True when the value pre-dates every batch (database preload)."""
+        return self.version == NO_BATCH
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One entry of a transaction's read set.
+
+    ``version`` is the batch number the value was read from; commit-time
+    validation checks that the key has not been overwritten by a later batch
+    (conflict-detection rule 1 in Definition 3.1).
+    """
+
+    key: Key
+    value: Value
+    version: BatchNumber
+    partition: PartitionId
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One entry of a transaction's write set."""
+
+    key: Key
+    value: Value
+    partition: PartitionId
+
+
+@dataclass
+class ReadSet:
+    """Mutable collection of read records keyed by key."""
+
+    records: Dict[Key, ReadRecord] = field(default_factory=dict)
+
+    def add(self, record: ReadRecord) -> None:
+        self.records[record.key] = record
+
+    def keys(self) -> FrozenSet[Key]:
+        return frozenset(self.records)
+
+    def partitions(self) -> FrozenSet[PartitionId]:
+        return frozenset(r.partition for r in self.records.values())
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.records
+
+
+@dataclass
+class WriteSet:
+    """Mutable collection of write records keyed by key (last write wins)."""
+
+    records: Dict[Key, WriteRecord] = field(default_factory=dict)
+
+    def add(self, record: WriteRecord) -> None:
+        self.records[record.key] = record
+
+    def keys(self) -> FrozenSet[Key]:
+        return frozenset(self.records)
+
+    def partitions(self) -> FrozenSet[PartitionId]:
+        return frozenset(r.partition for r in self.records.values())
+
+    def as_mapping(self) -> Mapping[Key, Value]:
+        return {k: r.value for k, r in self.records.items()}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.records
+
+
+@dataclass(frozen=True)
+class ReadOnlyResult:
+    """Result of a snapshot read-only transaction.
+
+    ``values`` maps each requested key to the value observed in the snapshot
+    (``None`` when the key has never been written).  ``rounds`` records how
+    many protocol rounds were needed (1 or 2); ``latency_ms`` is simulated
+    end-to-end latency and ``round2_latency_ms`` the part contributed by the
+    second round, matching the split reported in Figure 5 of the paper.
+    """
+
+    txn_id: str
+    values: Mapping[Key, Optional[Value]]
+    versions: Mapping[Key, BatchNumber]
+    rounds: int
+    latency_ms: float
+    round2_latency_ms: float = 0.0
+    verified: bool = True
+
+    def value_of(self, key: Key) -> Optional[Value]:
+        return self.values.get(key)
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """Outcome of a read-write transaction submitted for commitment."""
+
+    txn_id: str
+    status: TxnStatus
+    commit_batch: BatchNumber = NO_BATCH
+    latency_ms: float = 0.0
+    abort_reason: str = ""
+
+    @property
+    def committed(self) -> bool:
+        return self.status is TxnStatus.COMMITTED

@@ -1,0 +1,253 @@
+"""Batches and their segments — the unit written to the SMR log.
+
+A TransEdge batch (Figure 2 of the paper) has four segments:
+
+* ``local`` — local transactions, committed as soon as the batch is written;
+* ``prepared`` — distributed transactions 2PC-prepared as of this batch;
+* ``committed`` — commit/abort records of distributed transactions whose
+  prepare group became ready (all votes collected), added per the ordering
+  constraint of Definition 4.1;
+* the **read-only segment**: the Conflict-Dependency vector, the Last
+  Committed Epoch and the Merkle root of the partition state after this
+  batch, plus a leader timestamp for the freshness mechanism of §4.4.2.
+
+The batch digest (header payload + content digest) is what intra-cluster
+consensus agrees on, so the certificate produced by the BFT layer
+simultaneously certifies the read-only segment — this is how a single node
+can later prove the authenticity of its read-only responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.bft.quorum import CommitCertificate
+from repro.common.ids import NO_BATCH, BatchNumber, PartitionId
+from repro.common.types import Key, Value
+from repro.crypto.hashing import Digest, digest_of
+from repro.crypto.signatures import KeyRegistry
+from repro.core.cdvector import CDVector
+from repro.core.transaction import TxnPayload
+from repro.storage.partitioner import HashPartitioner
+
+
+@dataclass(frozen=True)
+class PreparedRecord:
+    """A distributed transaction prepared in this batch at this partition."""
+
+    txn: TxnPayload
+    coordinator: PartitionId
+
+    def payload(self) -> dict:
+        return {"txn": self.txn.payload(), "coordinator": self.coordinator}
+
+
+@dataclass(frozen=True)
+class PreparedVote:
+    """One partition's 2PC vote for a distributed transaction.
+
+    A positive vote carries the batch number in which the transaction
+    prepared at the voting partition, that batch's CD vector and the commit
+    certificate of that batch — the pieces a remote cluster needs to verify
+    the vote and to derive its own dependencies (Section 4.3.3c).
+    """
+
+    txn_id: str
+    partition: PartitionId
+    vote: bool
+    prepare_batch: BatchNumber = NO_BATCH
+    cd_vector: Optional[CDVector] = None
+    header: Optional["CertifiedHeader"] = None
+
+    def payload(self) -> dict:
+        return {
+            "txn_id": self.txn_id,
+            "partition": self.partition,
+            "vote": self.vote,
+            "prepare_batch": int(self.prepare_batch),
+            "cd_vector": self.cd_vector.payload() if self.cd_vector else None,
+        }
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """The decision for a distributed transaction, with the collected votes."""
+
+    txn: TxnPayload
+    coordinator: PartitionId
+    decision: bool
+    prepare_batch: BatchNumber
+    votes: Mapping[PartitionId, PreparedVote] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.decision
+
+    def payload(self) -> dict:
+        return {
+            "txn": self.txn.payload(),
+            "coordinator": self.coordinator,
+            "decision": self.decision,
+            "prepare_batch": int(self.prepare_batch),
+            "votes": {str(p): vote.payload() for p, vote in sorted(self.votes.items())},
+        }
+
+    def reported_vectors(self) -> Tuple[CDVector, ...]:
+        """CD vectors reported by positive votes (input to Algorithm 1)."""
+        return tuple(
+            vote.cd_vector
+            for _, vote in sorted(self.votes.items())
+            if vote.vote and vote.cd_vector is not None
+        )
+
+
+@dataclass(frozen=True)
+class ReadOnlySegment:
+    """Read-only metadata of a batch: CD vector, LCE, Merkle root, timestamp."""
+
+    cd_vector: CDVector
+    lce: BatchNumber
+    merkle_root: Digest
+    timestamp_ms: float
+
+    def payload(self) -> dict:
+        return {
+            "cd_vector": self.cd_vector.payload(),
+            "lce": int(self.lce),
+            "merkle_root": self.merkle_root,
+            "timestamp_ms": float(self.timestamp_ms),
+        }
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One entry of a partition's SMR log."""
+
+    partition: PartitionId
+    number: BatchNumber
+    local_txns: Tuple[TxnPayload, ...] = ()
+    prepared: Tuple[PreparedRecord, ...] = ()
+    committed: Tuple[CommitRecord, ...] = ()
+    read_only: ReadOnlySegment = None  # type: ignore[assignment]
+
+    # -- digests --------------------------------------------------------------
+    #
+    # Digests are cached: batches are immutable and the digest of a large
+    # batch is recomputed many times (consensus, validation, delivery).
+
+    @cached_property
+    def _content_digest(self) -> Digest:
+        return digest_of(
+            {
+                "local": [txn.payload() for txn in self.local_txns],
+                "prepared": [record.payload() for record in self.prepared],
+                "committed": [record.payload() for record in self.committed],
+            }
+        )
+
+    def content_digest(self) -> Digest:
+        """Digest binding all transactions carried by this batch."""
+        return self._content_digest
+
+    def header_payload(self) -> dict:
+        return {
+            "partition": self.partition,
+            "number": int(self.number),
+            "read_only": self.read_only.payload(),
+        }
+
+    @cached_property
+    def _digest(self) -> Digest:
+        return digest_of({"header": self.header_payload(), "content": self.content_digest()})
+
+    def digest(self) -> Digest:
+        """The digest agreed on by intra-cluster consensus."""
+        return self._digest
+
+    # -- derived views ----------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of transactions carried by the batch (all segments)."""
+        return len(self.local_txns) + len(self.prepared) + len(self.committed)
+
+    def visible_writes(self, partitioner: HashPartitioner) -> Dict[Key, Value]:
+        """Write-sets made visible by this batch on this partition.
+
+        Local transactions become visible in their own batch; distributed
+        transactions become visible in the batch carrying their (positive)
+        commit record.  Prepared-but-undecided writes are *not* visible — see
+        DESIGN.md for why this interpretation keeps the certified Merkle root
+        consistent with the values served to read-only clients.
+        """
+        updates: Dict[Key, Value] = {}
+        for txn in self.local_txns:
+            updates.update(txn.writes_in(self.partition, partitioner))
+        for record in self.committed:
+            if record.decision:
+                updates.update(record.txn.writes_in(self.partition, partitioner))
+        return updates
+
+    def certified_header(self, certificate: CommitCertificate) -> "CertifiedHeader":
+        """Bundle the read-only segment with its consensus certificate."""
+        return CertifiedHeader(
+            partition=self.partition,
+            number=self.number,
+            read_only=self.read_only,
+            content_digest=self.content_digest(),
+            certificate=certificate,
+        )
+
+
+@dataclass(frozen=True)
+class CertifiedHeader:
+    """A batch header plus the consensus certificate proving agreement on it.
+
+    This is what leaders attach to read-only responses and to 2PC messages:
+    the receiving side recomputes the batch digest from the header fields and
+    the content digest, then checks the certificate's signatures cover it.
+    """
+
+    partition: PartitionId
+    number: BatchNumber
+    read_only: ReadOnlySegment
+    content_digest: Digest
+    certificate: CommitCertificate
+
+    @property
+    def cd_vector(self) -> CDVector:
+        return self.read_only.cd_vector
+
+    @property
+    def lce(self) -> BatchNumber:
+        return self.read_only.lce
+
+    @property
+    def merkle_root(self) -> Digest:
+        return self.read_only.merkle_root
+
+    @property
+    def timestamp_ms(self) -> float:
+        return self.read_only.timestamp_ms
+
+    def digest(self) -> Digest:
+        header_payload = {
+            "partition": self.partition,
+            "number": int(self.number),
+            "read_only": self.read_only.payload(),
+        }
+        return digest_of({"header": header_payload, "content": self.content_digest})
+
+    def verify(
+        self,
+        registry: KeyRegistry,
+        cluster_members,
+        required: int,
+    ) -> bool:
+        """Check the certificate matches this header and carries enough signatures."""
+        if self.certificate.digest != self.digest():
+            return False
+        if self.certificate.partition != self.partition:
+            return False
+        return self.certificate.verify(registry, cluster_members, required)

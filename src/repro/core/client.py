@@ -1,0 +1,441 @@
+"""TransEdge client.
+
+The client implements the interface of Section 2 of the paper: it builds a
+transaction by reading from the accessed partitions and buffering writes,
+then submits the whole object for commitment to a coordinator cluster; and it
+runs the snapshot read-only protocol of Section 4 — one round against a
+single node per partition, with an optional second round to satisfy missing
+dependencies.
+
+Workflows are written as generators (see :mod:`repro.simnet.proc`): a driver
+process composes them with ``yield from``::
+
+    def body():
+        result = yield from client.read_write_txn(["a"], {"b": b"1"})
+        snapshot = yield from client.read_only_txn(["a", "b"])
+
+Besides the TransEdge protocols, the client also implements the two
+baselines used in the paper's evaluation: running a read-only transaction as
+a regular (2PC/BFT) transaction, and the Augustus-style quorum read with
+shared locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.ids import NO_BATCH, BatchNumber, ClientId, PartitionId, ReplicaId, TxnIdGenerator
+from repro.common.types import CommitResult, Key, ReadOnlyResult, TxnStatus, Value
+from repro.core.messages import (
+    CommitReply,
+    CommitRequest,
+    LockReadReply,
+    LockReadRequest,
+    LockReleaseMessage,
+    ReadOnlyReply,
+    ReadOnlyRequest,
+    ReadReply,
+    ReadRequest,
+    SnapshotReply,
+    SnapshotRequest,
+)
+from repro.core.readonly import (
+    PartitionSnapshot,
+    assemble_result,
+    find_unsatisfied_dependencies,
+    verify_snapshot,
+)
+from repro.core.topology import ClusterTopology
+from repro.core.transaction import TxnPayload
+from repro.simnet.latency import client_home_partition
+from repro.simnet.node import SimEnvironment
+from repro.simnet.proc import Call, Gather, ProcessNode, Sleep
+from repro.storage.partitioner import HashPartitioner
+
+
+@dataclass
+class ClientStats:
+    """Per-client counters, aggregated by the benchmark harness."""
+
+    committed: int = 0
+    aborted: int = 0
+    timeouts: int = 0
+    read_only_completed: int = 0
+    read_only_second_rounds: int = 0
+    read_only_verification_failures: int = 0
+
+
+class TransEdgeClient(ProcessNode):
+    """A client process attached to the simulated edge network."""
+
+    def __init__(
+        self,
+        name: str,
+        env: SimEnvironment,
+        topology: ClusterTopology,
+        partitioner: HashPartitioner,
+        request_timeout_ms: float = 60_000.0,
+        commit_timeout_ms: float = 120_000.0,
+    ) -> None:
+        super().__init__(ClientId(name), env)
+        self.name = name
+        self.config: SystemConfig = env.config
+        self.topology = topology
+        self.partitioner = partitioner
+        self.stats = ClientStats()
+        self.home_partition: PartitionId = client_home_partition(
+            ClientId(name), env.config.num_partitions
+        )
+        self._txn_ids = TxnIdGenerator(name)
+        self._request_timeout_ms = request_timeout_ms
+        self._commit_timeout_ms = commit_timeout_ms
+
+    # ------------------------------------------------------------------
+    # routing helpers
+    # ------------------------------------------------------------------
+
+    def _leader_of(self, partition: PartitionId) -> ReplicaId:
+        return self.topology.leader(partition)
+
+    def _coordinator_for(self, partitions: Iterable[PartitionId]) -> PartitionId:
+        """Pick the coordinator cluster: the home partition when accessed, else the smallest."""
+        accessed = sorted(partitions)
+        if self.home_partition in accessed:
+            return self.home_partition
+        return accessed[0]
+
+    def next_txn_id(self) -> str:
+        return self._txn_ids.next()
+
+    # ------------------------------------------------------------------
+    # read-write transactions
+    # ------------------------------------------------------------------
+
+    def read_write_txn(
+        self,
+        read_keys: Sequence[Key],
+        writes: Mapping[Key, Value],
+    ) -> Generator[object, object, CommitResult]:
+        """Run one read-write transaction and return its :class:`CommitResult`."""
+        txn_id = self.next_txn_id()
+        start = self.now
+
+        reads: Dict[Key, BatchNumber] = {}
+        if read_keys:
+            grouped = self.partitioner.group_keys(read_keys)
+            calls = [
+                Call(
+                    self._leader_of(partition),
+                    ReadRequest(keys=tuple(sorted(keys))),
+                )
+                for partition, keys in sorted(grouped.items())
+            ]
+            replies = yield Gather(calls, timeout_ms=self._request_timeout_ms)
+            for reply in replies:
+                if reply is None:
+                    self.stats.timeouts += 1
+                    return CommitResult(
+                        txn_id=txn_id,
+                        status=TxnStatus.ABORTED,
+                        abort_reason="read phase timed out",
+                        latency_ms=self.now - start,
+                    )
+                assert isinstance(reply, ReadReply)
+                reads.update(reply.versions)
+            for key in read_keys:
+                reads.setdefault(key, NO_BATCH)
+
+        txn = TxnPayload(txn_id=txn_id, reads=reads, writes=dict(writes), client=self.name)
+        coordinator = self._coordinator_for(txn.partitions(self.partitioner))
+        reply = yield Call(
+            self._leader_of(coordinator),
+            CommitRequest(txn=txn),
+            timeout_ms=self._commit_timeout_ms,
+        )
+        latency = self.now - start
+        if reply is None:
+            self.stats.timeouts += 1
+            return CommitResult(
+                txn_id=txn_id,
+                status=TxnStatus.ABORTED,
+                abort_reason="commit reply timed out",
+                latency_ms=latency,
+            )
+        assert isinstance(reply, CommitReply)
+        if reply.status is TxnStatus.COMMITTED:
+            self.stats.committed += 1
+        else:
+            self.stats.aborted += 1
+        return CommitResult(
+            txn_id=txn_id,
+            status=reply.status,
+            commit_batch=reply.commit_batch,
+            latency_ms=latency,
+            abort_reason=reply.abort_reason,
+        )
+
+    # ------------------------------------------------------------------
+    # TransEdge snapshot read-only transactions (Section 4)
+    # ------------------------------------------------------------------
+
+    def read_only_txn(
+        self, keys: Sequence[Key]
+    ) -> Generator[object, object, ReadOnlyResult]:
+        """Run one snapshot read-only transaction (at most two rounds)."""
+        txn_id = self.next_txn_id()
+        start = self.now
+        grouped = self.partitioner.group_keys(keys)
+        ordered_partitions = sorted(grouped)
+
+        # Round 1: one request to a single node of each accessed partition.
+        calls = [
+            Call(
+                self._leader_of(partition),
+                ReadOnlyRequest(keys=tuple(sorted(grouped[partition]))),
+            )
+            for partition in ordered_partitions
+        ]
+        replies = yield Gather(calls, timeout_ms=self._request_timeout_ms)
+
+        snapshots: Dict[PartitionId, PartitionSnapshot] = {}
+        verified = True
+        for partition, reply in zip(ordered_partitions, replies):
+            snapshot = yield from self._verified_snapshot(
+                partition, tuple(sorted(grouped[partition])), reply, is_round_two=False
+            )
+            if snapshot is None:
+                verified = False
+                snapshot = PartitionSnapshot(
+                    partition=partition, keys=tuple(sorted(grouped[partition]))
+                )
+            snapshots[partition] = snapshot
+
+        round1_end = self.now
+        rounds = 1
+        required = find_unsatisfied_dependencies(snapshots)
+        if required:
+            rounds = 2
+            round2_calls = []
+            round2_partitions = sorted(required)
+            for partition in round2_partitions:
+                round2_calls.append(
+                    Call(
+                        self._leader_of(partition),
+                        SnapshotRequest(
+                            keys=tuple(sorted(grouped[partition])),
+                            required_prepare_batch=required[partition],
+                        ),
+                    )
+                )
+            round2_replies = yield Gather(round2_calls, timeout_ms=self._request_timeout_ms)
+            for partition, reply in zip(round2_partitions, round2_replies):
+                snapshot = yield from self._verified_snapshot(
+                    partition,
+                    tuple(sorted(grouped[partition])),
+                    reply,
+                    is_round_two=True,
+                    required=required[partition],
+                )
+                if snapshot is None:
+                    verified = False
+                else:
+                    snapshots[partition] = snapshot
+            self.stats.read_only_second_rounds += 1
+
+        end = self.now
+        values, versions = assemble_result(snapshots, list(keys))
+        self.stats.read_only_completed += 1
+        return ReadOnlyResult(
+            txn_id=txn_id,
+            values=values,
+            versions=versions,
+            rounds=rounds,
+            latency_ms=end - start,
+            round2_latency_ms=(end - round1_end) if rounds == 2 else 0.0,
+            verified=verified,
+        )
+
+    def _verified_snapshot(
+        self,
+        partition: PartitionId,
+        keys: Tuple[Key, ...],
+        reply: object,
+        is_round_two: bool,
+        required: BatchNumber = NO_BATCH,
+    ) -> Generator[object, object, Optional[PartitionSnapshot]]:
+        """Turn a reply into a verified snapshot, retrying other replicas on failure.
+
+        Commit-freedom means a single node answers; if that node is byzantine
+        (bad proof, forged header) the client simply asks another member of
+        the same cluster.
+        """
+        reply_type = SnapshotReply if is_round_two else ReadOnlyReply
+        candidates = [
+            member
+            for member in self.topology.members(partition)
+            if member != self._leader_of(partition)
+        ]
+        attempt = 0
+        while True:
+            snapshot: Optional[PartitionSnapshot] = None
+            if reply is not None and isinstance(reply, reply_type):
+                snapshot = PartitionSnapshot(
+                    partition=partition,
+                    keys=keys,
+                    values=dict(reply.values),
+                    versions=dict(reply.versions),
+                    proofs=dict(reply.proofs),
+                    header=reply.header,
+                )
+                if verify_snapshot(
+                    snapshot, self.env.registry, self.topology, self.config, now_ms=self.now
+                ):
+                    return snapshot
+                self.stats.read_only_verification_failures += 1
+            if attempt >= len(candidates):
+                return None
+            replica = candidates[attempt]
+            attempt += 1
+            if is_round_two:
+                request = SnapshotRequest(keys=keys, required_prepare_batch=required)
+            else:
+                request = ReadOnlyRequest(keys=keys)
+            reply = yield Call(replica, request, timeout_ms=self._request_timeout_ms)
+
+    # ------------------------------------------------------------------
+    # Baseline 1: read-only transactions as regular 2PC/BFT transactions
+    # ------------------------------------------------------------------
+
+    def read_only_as_regular_txn(
+        self, keys: Sequence[Key]
+    ) -> Generator[object, object, ReadOnlyResult]:
+        """Run a read-only transaction through the full read-write commit path.
+
+        This is how the paper's 2PC/BFT baseline executes read-only
+        transactions: the read set is validated and committed with BFT
+        consensus in every accessed cluster plus 2PC coordination between
+        them (Section 3.5).
+        """
+        txn_id = self.next_txn_id()
+        start = self.now
+        grouped = self.partitioner.group_keys(keys)
+        calls = [
+            Call(self._leader_of(partition), ReadRequest(keys=tuple(sorted(partition_keys))))
+            for partition, partition_keys in sorted(grouped.items())
+        ]
+        replies = yield Gather(calls, timeout_ms=self._request_timeout_ms)
+        values: Dict[Key, Optional[Value]] = {key: None for key in keys}
+        versions: Dict[Key, BatchNumber] = {key: NO_BATCH for key in keys}
+        for reply in replies:
+            if reply is None:
+                continue
+            assert isinstance(reply, ReadReply)
+            values.update(reply.values)
+            versions.update(reply.versions)
+
+        txn = TxnPayload(
+            txn_id=txn_id,
+            reads=dict(versions),
+            writes={},
+            client=self.name,
+        )
+        coordinator = self._coordinator_for(txn.partitions(self.partitioner))
+        reply = yield Call(
+            self._leader_of(coordinator),
+            CommitRequest(txn=txn),
+            timeout_ms=self._commit_timeout_ms,
+        )
+        end = self.now
+        committed = reply is not None and reply.status is TxnStatus.COMMITTED
+        if committed:
+            self.stats.read_only_completed += 1
+        else:
+            self.stats.aborted += 1
+        return ReadOnlyResult(
+            txn_id=txn_id,
+            values=values,
+            versions=versions,
+            rounds=1,
+            latency_ms=end - start,
+            verified=committed,
+        )
+
+    # ------------------------------------------------------------------
+    # Baseline 2: Augustus-style quorum reads with shared locks
+    # ------------------------------------------------------------------
+
+    def augustus_read_only_txn(
+        self,
+        keys: Sequence[Key],
+        max_attempts: int = 12,
+        backoff_ms: float = 2.0,
+    ) -> Generator[object, object, ReadOnlyResult]:
+        """Run a read-only transaction the way Augustus does.
+
+        The client contacts a ``2f + 1`` quorum of every accessed partition;
+        each contacted replica takes shared locks on the read keys before
+        answering.  A replica whose keys are write-locked by an in-flight
+        read-write transaction denies the shared lock, in which case the
+        client releases everything, backs off and retries — which is why
+        Augustus read-only latency degrades under write load and with large
+        read sets (Figures 5-7), and why its shared locks abort conflicting
+        writers while held (Table 1).
+        """
+        txn_id = self.next_txn_id()
+        start = self.now
+        grouped = self.partitioner.group_keys(keys)
+        quorum = self.config.quorum_size
+
+        values: Dict[Key, Optional[Value]] = {key: None for key in keys}
+        versions: Dict[Key, BatchNumber] = {key: NO_BATCH for key in keys}
+        rounds = 0
+        complete = False
+
+        while rounds < max_attempts and not complete:
+            rounds += 1
+            attempt_id = f"{txn_id}/a{rounds}"
+            calls: List[Call] = []
+            call_partitions: List[PartitionId] = []
+            contacted: List[ReplicaId] = []
+            for partition, partition_keys in sorted(grouped.items()):
+                members = self.topology.members(partition)[:quorum]
+                for member in members:
+                    calls.append(
+                        Call(
+                            member,
+                            LockReadRequest(txn_id=attempt_id, keys=tuple(sorted(partition_keys))),
+                        )
+                    )
+                    call_partitions.append(partition)
+                    contacted.append(member)
+
+            replies = yield Gather(calls, timeout_ms=self._request_timeout_ms)
+
+            granted_counts: Dict[PartitionId, int] = {}
+            for partition, reply in zip(call_partitions, replies):
+                if reply is None or not isinstance(reply, LockReadReply):
+                    continue
+                if reply.granted:
+                    granted_counts[partition] = granted_counts.get(partition, 0) + 1
+                    values.update(reply.values)
+                    versions.update(reply.versions)
+            complete = all(granted_counts.get(partition, 0) >= quorum for partition in grouped)
+
+            # Release the shared locks everywhere (fire and forget).
+            for member in contacted:
+                self.send(member, LockReleaseMessage(txn_id=attempt_id))
+            if not complete and rounds < max_attempts:
+                yield Sleep(backoff_ms * rounds)
+
+        end = self.now
+        self.stats.read_only_completed += 1
+        return ReadOnlyResult(
+            txn_id=txn_id,
+            values=values,
+            versions=versions,
+            rounds=rounds,
+            latency_ms=end - start,
+            verified=complete,
+        )

@@ -1,0 +1,581 @@
+"""Leader role: batch construction and 2PC-over-BFT coordination.
+
+The replica currently acting as its cluster's leader runs this role.  It
+owns the in-progress batch (Figure 2), admits transactions with the conflict
+rules of Definition 3.1, seals batches (deriving the committed segment, the
+CD vector, the LCE and the new Merkle root) and proposes them to the
+cluster's consensus, and drives the Two-Phase-Commit protocol with the
+leaders of other clusters — every 2PC step is only communicated after the
+batch recording it has been written to the SMR log, so a byzantine leader
+cannot lie about a step it never persisted (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.common.ids import NO_BATCH, BatchNumber, NodeId, PartitionId, ReplicaId
+from repro.common.types import TxnStatus
+from repro.core.batch import (
+    Batch,
+    CertifiedHeader,
+    CommitRecord,
+    PreparedRecord,
+    PreparedVote,
+    ReadOnlySegment,
+)
+from repro.core.cdvector import combine_all
+from repro.core.messages import (
+    CommitReply,
+    CommitRequest,
+    CoordinatorPrepare,
+    DecisionMessage,
+    ParticipantPrepared,
+)
+from repro.core.occ import KeyConflictIndex
+from repro.core.transaction import TxnPayload
+from repro.storage.locks import LockMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.core.replica import PartitionReplica
+
+
+@dataclass
+class _WaitingClient:
+    """A client waiting for the outcome of a transaction it submitted here."""
+
+    client: NodeId
+    request_id: str
+
+
+@dataclass
+class _CoordinatorState:
+    """Coordinator-side 2PC bookkeeping for one distributed transaction."""
+
+    txn: TxnPayload
+    participants: FrozenSet[PartitionId]
+    votes: Dict[PartitionId, PreparedVote] = field(default_factory=dict)
+    own_vote: Optional[PreparedVote] = None
+    prepare_batch: BatchNumber = NO_BATCH
+    decided: bool = False
+
+
+@dataclass
+class _ParticipantState:
+    """Participant-side 2PC bookkeeping for one distributed transaction."""
+
+    txn: TxnPayload
+    coordinator: PartitionId
+    prepare_batch: BatchNumber = NO_BATCH
+
+
+class LeaderRole:
+    """Batch building and 2PC coordination for one partition's leader."""
+
+    def __init__(self, replica: "PartitionReplica") -> None:
+        self._replica = replica
+        self._in_progress_local: List[TxnPayload] = []
+        self._in_progress_prepared: List[PreparedRecord] = []
+        self._in_progress_index = KeyConflictIndex(replica.partition, replica.partitioner)
+        self._waiting_clients: Dict[str, _WaitingClient] = {}
+        self._coordinator_states: Dict[str, _CoordinatorState] = {}
+        self._participant_states: Dict[str, _ParticipantState] = {}
+        self._consensus_in_flight = False
+        self._seal_timer = None
+        self.sealed_batches = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def _partition(self) -> PartitionId:
+        return self._replica.partition
+
+    @property
+    def _partitioner(self):
+        return self._replica.partitioner
+
+    def _leader_of(self, partition: PartitionId) -> ReplicaId:
+        return self._replica.topology.leader(partition)
+
+    def in_progress_size(self) -> int:
+        return len(self._in_progress_local) + len(self._in_progress_prepared)
+
+    def _admission_indexes(self) -> Tuple[KeyConflictIndex, KeyConflictIndex]:
+        """Indexes for rules 2 and 3: the in-progress batch and prepared txns."""
+        return (self._in_progress_index, self._replica.prepared_index)
+
+    def _lock_interference(self, txn: TxnPayload) -> bool:
+        """Augustus-baseline interference: writes hitting shared read locks."""
+        locks = self._replica.locks
+        for key in txn.write_keys_in(self._partition, self._partitioner):
+            if locks.is_share_locked(key):
+                return True
+        return False
+
+    def _acquire_write_locks(self, txn: TxnPayload) -> None:
+        """Mark the transaction's local write keys as write-locked.
+
+        TransEdge itself never consults these locks — its read-only protocol
+        is lock-free — but the Augustus baseline's quorum reads do: a shared
+        lock cannot be granted while an in-flight transaction holds the key,
+        which is the interference the paper measures (Figure 7, Table 1).
+        """
+        keys = txn.write_keys_in(self._partition, self._partitioner)
+        if keys:
+            self._replica.locks.try_acquire(txn.txn_id, keys, LockMode.EXCLUSIVE)
+
+    def _release_write_locks(self, txn_id: str) -> None:
+        self._replica.locks.release_all(txn_id)
+
+    def _reply_abort(self, txn: TxnPayload, waiting: _WaitingClient, reason: str) -> None:
+        if "read-lock" in reason:
+            self._replica.counters.lock_interference_aborts += 1
+        else:
+            self._replica.counters.conflict_aborts += 1
+        self._replica.send(
+            waiting.client,
+            CommitReply(
+                request_id=waiting.request_id,
+                txn_id=txn.txn_id,
+                status=TxnStatus.ABORTED,
+                abort_reason=reason,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # client commit requests
+    # ------------------------------------------------------------------
+
+    def on_commit_request(self, message: CommitRequest, src: NodeId) -> None:
+        txn = message.txn
+        waiting = _WaitingClient(client=src, request_id=message.request_id)
+        if txn is None:
+            return
+        if not self._replica.is_leader:
+            self._reply_abort(txn, waiting, "not the current leader of this partition")
+            return
+        accessed = txn.partitions(self._partitioner)
+        if self._partition not in accessed:
+            self._reply_abort(txn, waiting, "coordinator partition not accessed by transaction")
+            return
+
+        report = self._replica.conflict_checker().check(txn, self._admission_indexes())
+        if not report.ok:
+            self._reply_abort(txn, waiting, report.reason)
+            return
+        if self._lock_interference(txn):
+            self._reply_abort(txn, waiting, "read-lock interference with a read-only transaction")
+            return
+
+        self._waiting_clients[txn.txn_id] = waiting
+        self._in_progress_index.add(txn)
+        self._acquire_write_locks(txn)
+        if len(accessed) == 1:
+            self._in_progress_local.append(txn)
+        else:
+            participants = frozenset(accessed - {self._partition})
+            self._coordinator_states[txn.txn_id] = _CoordinatorState(
+                txn=txn, participants=participants
+            )
+            self._in_progress_prepared.append(
+                PreparedRecord(txn=txn, coordinator=self._partition)
+            )
+        self._ensure_seal_scheduled()
+
+    # ------------------------------------------------------------------
+    # 2PC: participant side
+    # ------------------------------------------------------------------
+
+    def on_coordinator_prepare(self, message: CoordinatorPrepare, src: NodeId) -> None:
+        txn = message.txn
+        if txn is None or not self._replica.is_leader:
+            return
+        if txn.txn_id in self._participant_states:
+            return  # duplicate
+        # Verify the prepare really went through the coordinator cluster's consensus.
+        if message.header is None or not message.header.verify(
+            self._replica.env.registry,
+            self._replica.topology.members(message.coordinator),
+            self._replica.config.certificate_size,
+        ):
+            return
+
+        report = self._replica.conflict_checker().check(txn, self._admission_indexes())
+        interference = self._lock_interference(txn)
+        if not report.ok or interference:
+            if interference:
+                self._replica.counters.lock_interference_aborts += 1
+            else:
+                self._replica.counters.conflict_aborts += 1
+            vote = PreparedVote(
+                txn_id=txn.txn_id, partition=self._partition, vote=False
+            )
+            self._replica.send(
+                self._leader_of(message.coordinator), ParticipantPrepared(vote=vote)
+            )
+            return
+
+        self._participant_states[txn.txn_id] = _ParticipantState(
+            txn=txn, coordinator=message.coordinator
+        )
+        self._in_progress_index.add(txn)
+        self._acquire_write_locks(txn)
+        self._in_progress_prepared.append(
+            PreparedRecord(txn=txn, coordinator=message.coordinator)
+        )
+        self._ensure_seal_scheduled()
+
+    # ------------------------------------------------------------------
+    # 2PC: coordinator side
+    # ------------------------------------------------------------------
+
+    def on_participant_prepared(self, message: ParticipantPrepared, src: NodeId) -> None:
+        vote = message.vote
+        if vote is None:
+            return
+        state = self._coordinator_states.get(vote.txn_id)
+        if state is None or state.decided:
+            return
+        if vote.vote:
+            # A positive vote must prove the prepare went through the
+            # participant cluster's consensus; otherwise treat it as negative.
+            valid = vote.header is not None and vote.header.verify(
+                self._replica.env.registry,
+                self._replica.topology.members(vote.partition),
+                self._replica.config.certificate_size,
+            )
+            if not valid:
+                vote = PreparedVote(
+                    txn_id=vote.txn_id, partition=vote.partition, vote=False
+                )
+        state.votes[vote.partition] = vote
+        self._maybe_decide(state)
+
+    def _maybe_decide(self, state: _CoordinatorState) -> None:
+        if state.decided or state.own_vote is None:
+            return
+        if not state.participants <= set(state.votes):
+            return
+        decision = all(vote.vote for vote in state.votes.values())
+        all_votes = dict(state.votes)
+        all_votes[self._partition] = state.own_vote
+        record = CommitRecord(
+            txn=state.txn,
+            coordinator=self._partition,
+            decision=decision,
+            prepare_batch=state.prepare_batch,
+            votes=all_votes,
+        )
+        state.decided = True
+        self._replica.prepared_batches.record_decision(record)
+        self._ensure_seal_scheduled()
+
+    def on_decision(self, message: DecisionMessage, src: NodeId) -> None:
+        record = message.record
+        if record is None or not self._replica.is_leader:
+            return
+        group = self._replica.prepared_batches.group_of_txn(record.txn.txn_id)
+        if group is None:
+            return  # we never prepared it (e.g. we voted no), nothing to do
+        if record.txn.txn_id in group.decisions:
+            return  # duplicate decision
+        self._replica.prepared_batches.record_decision(record)
+        self._participant_states.pop(record.txn.txn_id, None)
+        self._ensure_seal_scheduled()
+
+    # ------------------------------------------------------------------
+    # batch sealing
+    # ------------------------------------------------------------------
+
+    def propose_genesis(self) -> None:
+        """Write the bootstrap batch (number 0) certifying the preloaded state.
+
+        The genesis batch carries no transactions — only the read-only
+        segment with the Merkle root of the initial data, an empty CD vector
+        and LCE = -1 — so that read-only clients have a certified header to
+        verify against from the very first request.
+        """
+        replica = self._replica
+        if not replica.is_leader or self._consensus_in_flight or replica.log.next_seq != 0:
+            return
+        batch = Batch(
+            partition=self._partition,
+            number=0,
+            read_only=ReadOnlySegment(
+                cd_vector=replica.current_cd_vector().with_entry(self._partition, 0),
+                lce=replica.current_lce(),
+                merkle_root=replica.merkle.root,
+                timestamp_ms=replica.now,
+            ),
+        )
+        self._consensus_in_flight = True
+        self.sealed_batches += 1
+        replica.engine.propose(batch)
+
+    def has_sealable_work(self) -> bool:
+        if self.in_progress_size() > 0:
+            return True
+        return bool(self._replica.prepared_batches.ready_prefix())
+
+    def _ensure_seal_scheduled(self) -> None:
+        if not self._replica.is_leader:
+            return
+        batch_config = self._replica.config.batch
+        if not self._consensus_in_flight and self.in_progress_size() >= batch_config.max_size:
+            self._seal_batch()
+            return
+        if self._seal_timer is None and self.has_sealable_work():
+            self._seal_timer = self._replica.schedule(batch_config.timeout_ms, self._on_seal_timer)
+
+    def _on_seal_timer(self) -> None:
+        self._seal_timer = None
+        if not self._replica.is_leader:
+            return
+        if self._consensus_in_flight:
+            # Delivery of the in-flight batch re-arms sealing.
+            return
+        if self.has_sealable_work():
+            self._seal_batch()
+
+    def _seal_batch(self) -> None:
+        replica = self._replica
+        if self._consensus_in_flight or not replica.is_leader:
+            return
+        batch_number = replica.log.next_seq
+
+        # Re-validate admitted transactions against the current state: batches
+        # delivered since admission may have introduced conflicts.
+        local_txns: List[TxnPayload] = []
+        prepared_records: List[PreparedRecord] = []
+        accepted_index = KeyConflictIndex(self._partition, self._partitioner)
+        seal_indexes = (accepted_index, replica.prepared_index)
+
+        checker = replica.conflict_checker()
+        for txn in self._in_progress_local:
+            report = checker.check(txn, seal_indexes)
+            if report.ok and not self._lock_interference(txn):
+                local_txns.append(txn)
+                accepted_index.add(txn)
+            else:
+                self._release_write_locks(txn.txn_id)
+                waiting = self._waiting_clients.pop(txn.txn_id, None)
+                if waiting is not None:
+                    reason = report.reason or "read-lock interference with a read-only transaction"
+                    self._reply_abort(txn, waiting, reason)
+        for record in self._in_progress_prepared:
+            report = checker.check(record.txn, seal_indexes)
+            if report.ok and not self._lock_interference(record.txn):
+                prepared_records.append(record)
+                accepted_index.add(record.txn)
+            else:
+                self._drop_prepared_record(record, report.reason)
+        self._in_progress_local = []
+        self._in_progress_prepared = []
+        self._in_progress_index.clear()
+
+        # Committed segment: the ready prefix of prepare groups (Definition 4.1).
+        ready_groups = replica.prepared_batches.ready_prefix()
+        committed_records: List[CommitRecord] = []
+        for group in ready_groups:
+            committed_records.extend(group.ordered_decisions())
+
+        # Read-only segment: LCE, CD vector (Algorithm 1) and Merkle root.
+        lce = replica.current_lce()
+        if ready_groups:
+            lce = max(lce, max(group.batch_number for group in ready_groups))
+        cd = replica.current_cd_vector().with_entry(self._partition, batch_number)
+        for record in committed_records:
+            if record.decision:
+                cd = combine_all(cd, record.reported_vectors())
+        cd = cd.with_entry(self._partition, batch_number)
+
+        updates = {}
+        for txn in local_txns:
+            updates.update(txn.writes_in(self._partition, self._partitioner))
+        for record in committed_records:
+            if record.decision:
+                updates.update(record.txn.writes_in(self._partition, self._partitioner))
+
+        batch = Batch(
+            partition=self._partition,
+            number=batch_number,
+            local_txns=tuple(local_txns),
+            prepared=tuple(prepared_records),
+            committed=tuple(committed_records),
+            read_only=ReadOnlySegment(
+                cd_vector=cd,
+                lce=lce,
+                merkle_root=replica._preview_root(updates),
+                timestamp_ms=replica.now,
+            ),
+        )
+        if batch.size() == 0:
+            return
+
+        # Sealing occupies the leader for a cost proportional to the batch.
+        costs = replica.config.costs
+        replica.occupy(costs.batch_base_ms + batch.size() * (costs.hash_ms + costs.conflict_check_ms))
+
+        self._consensus_in_flight = True
+        self.sealed_batches += 1
+        replica.engine.propose(batch)
+
+    def _drop_prepared_record(self, record: PreparedRecord, reason: str) -> None:
+        """A prepared record turned invalid at seal time; undo its bookkeeping."""
+        txn_id = record.txn.txn_id
+        reason = reason or "conflict discovered while sealing the batch"
+        self._release_write_locks(txn_id)
+        if record.coordinator == self._partition:
+            self._coordinator_states.pop(txn_id, None)
+            waiting = self._waiting_clients.pop(txn_id, None)
+            if waiting is not None:
+                self._reply_abort(record.txn, waiting, reason)
+        else:
+            self._participant_states.pop(txn_id, None)
+            vote = PreparedVote(txn_id=txn_id, partition=self._partition, vote=False)
+            self._replica.send(
+                self._leader_of(record.coordinator), ParticipantPrepared(vote=vote)
+            )
+            self._replica.counters.conflict_aborts += 1
+
+    # ------------------------------------------------------------------
+    # post-delivery actions
+    # ------------------------------------------------------------------
+
+    def on_batch_delivered(self, seq: BatchNumber, batch: Batch, header: CertifiedHeader) -> None:
+        self._consensus_in_flight = False
+        if not self._replica.is_leader:
+            return
+
+        # Local transactions are now committed: tell their clients.
+        for txn in batch.local_txns:
+            self._release_write_locks(txn.txn_id)
+            waiting = self._waiting_clients.pop(txn.txn_id, None)
+            if waiting is not None:
+                self._replica.send(
+                    waiting.client,
+                    CommitReply(
+                        request_id=waiting.request_id,
+                        txn_id=txn.txn_id,
+                        status=TxnStatus.COMMITTED,
+                        commit_batch=seq,
+                    ),
+                )
+
+        # Newly prepared distributed transactions: drive the next 2PC step.
+        for record in batch.prepared:
+            if record.coordinator == self._partition:
+                self._after_coordinator_prepare_written(record, seq, header)
+            else:
+                self._after_participant_prepare_written(record, seq, header)
+
+        # Commit records written in this batch: inform participants and clients.
+        for record in batch.committed:
+            self._release_write_locks(record.txn.txn_id)
+            if record.coordinator == self._partition:
+                self._after_decision_written(record, seq, header)
+
+        self._ensure_seal_scheduled()
+
+    def _after_coordinator_prepare_written(
+        self, record: PreparedRecord, seq: BatchNumber, header: CertifiedHeader
+    ) -> None:
+        state = self._coordinator_states.get(record.txn.txn_id)
+        if state is None:
+            return
+        state.prepare_batch = seq
+        state.own_vote = PreparedVote(
+            txn_id=record.txn.txn_id,
+            partition=self._partition,
+            vote=True,
+            prepare_batch=seq,
+            cd_vector=header.cd_vector,
+            header=header,
+        )
+        for participant in state.participants:
+            self._replica.send(
+                self._leader_of(participant),
+                CoordinatorPrepare(
+                    txn=record.txn,
+                    coordinator=self._partition,
+                    prepare_batch=seq,
+                    header=header,
+                ),
+            )
+        self._maybe_decide(state)
+
+    def _after_participant_prepare_written(
+        self, record: PreparedRecord, seq: BatchNumber, header: CertifiedHeader
+    ) -> None:
+        state = self._participant_states.get(record.txn.txn_id)
+        if state is None:
+            return
+        state.prepare_batch = seq
+        vote = PreparedVote(
+            txn_id=record.txn.txn_id,
+            partition=self._partition,
+            vote=True,
+            prepare_batch=seq,
+            cd_vector=header.cd_vector,
+            header=header,
+        )
+        self._replica.send(
+            self._leader_of(record.coordinator),
+            ParticipantPrepared(vote=vote, header=header),
+        )
+
+    def _after_decision_written(
+        self, record: CommitRecord, seq: BatchNumber, header: CertifiedHeader
+    ) -> None:
+        state = self._coordinator_states.pop(record.txn.txn_id, None)
+        participants = (
+            state.participants
+            if state is not None
+            else frozenset(record.txn.partitions(self._partitioner) - {self._partition})
+        )
+        for participant in participants:
+            self._replica.send(
+                self._leader_of(participant),
+                DecisionMessage(record=record, commit_batch=seq, header=header),
+            )
+        waiting = self._waiting_clients.pop(record.txn.txn_id, None)
+        if waiting is not None:
+            status = TxnStatus.COMMITTED if record.decision else TxnStatus.ABORTED
+            reason = "" if record.decision else "a participant voted to abort"
+            self._replica.send(
+                waiting.client,
+                CommitReply(
+                    request_id=waiting.request_id,
+                    txn_id=record.txn.txn_id,
+                    status=status,
+                    commit_batch=seq if record.decision else NO_BATCH,
+                    abort_reason=reason,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # view changes
+    # ------------------------------------------------------------------
+
+    def on_view_change(self, new_view: int, new_leader: ReplicaId) -> None:
+        """React to a leader change in this cluster.
+
+        The in-progress batch of a deposed leader is dropped (its clients will
+        time out and retry); a newly elected leader starts with an empty
+        in-progress batch and resumes sealing from its delivered prefix.
+        In-flight 2PC coordination owned by the deposed leader is abandoned —
+        see DESIGN.md for the scope of this simplification.
+        """
+        self._consensus_in_flight = False
+        if self._seal_timer is not None:
+            self._seal_timer.cancel()
+            self._seal_timer = None
+        if self._replica.node_id != new_leader:
+            self._in_progress_local = []
+            self._in_progress_prepared = []
+            self._in_progress_index.clear()
+        else:
+            self._ensure_seal_scheduled()

@@ -1,0 +1,182 @@
+"""Application-level protocol messages.
+
+Three groups of messages:
+
+* **client ↔ cluster** — reads, commit requests and the snapshot read-only
+  protocol (round 1 and round 2), plus the Augustus-baseline lock-read
+  messages;
+* **cluster ↔ cluster (2PC over BFT)** — coordinator-prepare, the
+  participants' prepared votes and the final decision, each carrying the
+  certificates produced by the sending cluster's consensus;
+* replies, all correlated to their requests via ``request_id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.common.ids import NO_BATCH, BatchNumber, PartitionId
+from repro.common.types import Key, TxnStatus, Value
+from repro.crypto.merkle import MerkleProof
+from repro.core.batch import CertifiedHeader, CommitRecord, PreparedVote
+from repro.core.transaction import TxnPayload
+from repro.simnet.messages import Message, ReplyMessage, RequestMessage
+
+
+# ---------------------------------------------------------------------------
+# Client reads (used while building read-write transactions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReadRequest(RequestMessage):
+    """Read current committed values of ``keys`` from one partition."""
+
+    keys: Tuple[Key, ...] = ()
+
+
+@dataclass
+class ReadReply(ReplyMessage):
+    """Values and versions for a :class:`ReadRequest`."""
+
+    values: Dict[Key, Value] = field(default_factory=dict)
+    versions: Dict[Key, BatchNumber] = field(default_factory=dict)
+    partition: PartitionId = 0
+
+
+# ---------------------------------------------------------------------------
+# Commit path (read-write transactions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CommitRequest(RequestMessage):
+    """Client → coordinator cluster: please commit this transaction."""
+
+    txn: Optional[TxnPayload] = None
+
+
+@dataclass
+class CommitReply(ReplyMessage):
+    """Coordinator cluster → client: the transaction's fate."""
+
+    txn_id: str = ""
+    status: TxnStatus = TxnStatus.ABORTED
+    commit_batch: BatchNumber = NO_BATCH
+    abort_reason: str = ""
+
+
+# ---------------------------------------------------------------------------
+# 2PC over BFT (leader ↔ leader)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CoordinatorPrepare(Message):
+    """Coordinator cluster → participant cluster: prepare this transaction.
+
+    Carries the certified header of the coordinator's batch containing the
+    prepare record so the participant can verify the request really went
+    through the coordinator cluster's consensus.
+    """
+
+    txn: Optional[TxnPayload] = None
+    coordinator: PartitionId = 0
+    prepare_batch: BatchNumber = NO_BATCH
+    header: Optional[CertifiedHeader] = None
+
+
+@dataclass
+class ParticipantPrepared(Message):
+    """Participant cluster → coordinator cluster: our vote for the transaction."""
+
+    vote: Optional[PreparedVote] = None
+    header: Optional[CertifiedHeader] = None
+
+
+@dataclass
+class DecisionMessage(Message):
+    """Coordinator cluster → participant clusters: the final commit/abort record."""
+
+    record: Optional[CommitRecord] = None
+    commit_batch: BatchNumber = NO_BATCH
+    header: Optional[CertifiedHeader] = None
+
+
+# ---------------------------------------------------------------------------
+# Snapshot read-only transactions (TransEdge protocol, Section 4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReadOnlyRequest(RequestMessage):
+    """Round 1: read ``keys`` from a single node of one partition."""
+
+    keys: Tuple[Key, ...] = ()
+
+
+@dataclass
+class ReadOnlyReply(ReplyMessage):
+    """Round-1 response: values, Merkle proofs and the certified header."""
+
+    partition: PartitionId = 0
+    values: Dict[Key, Value] = field(default_factory=dict)
+    versions: Dict[Key, BatchNumber] = field(default_factory=dict)
+    proofs: Dict[Key, MerkleProof] = field(default_factory=dict)
+    header: Optional[CertifiedHeader] = None
+
+
+@dataclass
+class SnapshotRequest(RequestMessage):
+    """Round 2: read ``keys`` from the snapshot satisfying a dependency.
+
+    ``required_prepare_batch`` is the CD-vector entry that was not satisfied
+    in round 1: the responder must answer from the earliest batch whose LCE
+    is at least this value (i.e. the first snapshot in which that prepare
+    group has committed).
+    """
+
+    keys: Tuple[Key, ...] = ()
+    required_prepare_batch: BatchNumber = NO_BATCH
+
+
+@dataclass
+class SnapshotReply(ReplyMessage):
+    """Round-2 response, same shape as round 1 but for the older/newer snapshot."""
+
+    partition: PartitionId = 0
+    values: Dict[Key, Value] = field(default_factory=dict)
+    versions: Dict[Key, BatchNumber] = field(default_factory=dict)
+    proofs: Dict[Key, MerkleProof] = field(default_factory=dict)
+    header: Optional[CertifiedHeader] = None
+
+
+# ---------------------------------------------------------------------------
+# Augustus baseline (quorum reads with shared locks)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LockReadRequest(RequestMessage):
+    """Augustus: acquire shared locks on ``keys`` and return their values."""
+
+    txn_id: str = ""
+    keys: Tuple[Key, ...] = ()
+
+
+@dataclass
+class LockReadReply(ReplyMessage):
+    """Augustus: values plus whether the shared locks were granted."""
+
+    partition: PartitionId = 0
+    granted: bool = False
+    values: Dict[Key, Value] = field(default_factory=dict)
+    versions: Dict[Key, BatchNumber] = field(default_factory=dict)
+
+
+@dataclass
+class LockReleaseMessage(Message):
+    """Augustus: release all shared locks held by ``txn_id`` (fire and forget)."""
+
+    txn_id: str = ""

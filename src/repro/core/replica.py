@@ -1,0 +1,524 @@
+"""Partition replica: the edge node holding one shard of the data.
+
+Every replica of a cluster runs the same code: it participates in the
+intra-cluster BFT ordering of batches, validates every proposed batch against
+its own state (so a byzantine leader cannot commit conflicting transactions
+or forge the read-only segment), applies delivered batches to its
+multi-version store and Merkle tree, and serves reads — including the
+single-node snapshot read-only protocol of Section 4.
+
+The replica that is currently the view's leader additionally runs the
+:class:`~repro.core.leader.LeaderRole`, which owns the in-progress batch and
+drives 2PC across clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bft.engine import PbftEngine
+from repro.bft.log import ReplicatedLog
+from repro.bft.messages import BftMessage
+from repro.bft.quorum import CommitCertificate
+from repro.common.config import SystemConfig
+from repro.common.ids import NO_BATCH, BatchNumber, NodeId, PartitionId, ReplicaId
+from repro.common.types import Key, Value
+from repro.crypto.hashing import Digest
+from repro.crypto.merkle import MerkleStore, MerkleTree
+from repro.core.batch import Batch, CertifiedHeader, CommitRecord, PreparedRecord
+from repro.core.cdvector import CDVector, combine_all
+from repro.core.leader import LeaderRole
+from repro.core.messages import (
+    CommitRequest,
+    CoordinatorPrepare,
+    DecisionMessage,
+    LockReadReply,
+    LockReadRequest,
+    LockReleaseMessage,
+    ParticipantPrepared,
+    ReadOnlyReply,
+    ReadOnlyRequest,
+    ReadReply,
+    ReadRequest,
+    SnapshotReply,
+    SnapshotRequest,
+)
+from repro.core.occ import ConflictChecker, KeyConflictIndex
+from repro.core.prepared import PreparedBatches
+from repro.core.topology import ClusterTopology
+from repro.simnet.messages import Message
+from repro.simnet.node import SimEnvironment, SimNode
+from repro.storage.locks import LockMode, LockTable
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.partitioner import HashPartitioner
+
+
+@dataclass
+class ReplicaCounters:
+    """Plain counters scraped by the benchmark harness."""
+
+    batches_delivered: int = 0
+    local_committed: int = 0
+    distributed_committed: int = 0
+    distributed_aborted: int = 0
+    conflict_aborts: int = 0
+    lock_interference_aborts: int = 0
+    read_only_served: int = 0
+    snapshot_requests_served: int = 0
+    validation_failures: int = 0
+
+
+class PartitionReplica(SimNode):
+    """One member of one partition's cluster."""
+
+    def __init__(
+        self,
+        node_id: ReplicaId,
+        env: SimEnvironment,
+        topology: ClusterTopology,
+        partitioner: HashPartitioner,
+        initial_data: Optional[Dict[Key, Value]] = None,
+    ) -> None:
+        super().__init__(node_id, env)
+        self.partition: PartitionId = node_id.partition
+        self.config: SystemConfig = env.config
+        self.topology = topology
+        self.partitioner = partitioner
+        self.counters = ReplicaCounters()
+
+        self.store = MultiVersionStore(initial_data or {})
+        self.merkle = MerkleStore(initial_data or {})
+        self.prepared_batches = PreparedBatches()
+        self.log = ReplicatedLog()
+        self.locks = LockTable()  # only used by the Augustus baseline
+        # Footprints of every in-flight prepared transaction (rule 3 of
+        # Definition 3.1), maintained as batches are delivered.
+        self.prepared_index = KeyConflictIndex(self.partition, partitioner)
+
+        self.headers: List[CertifiedHeader] = []
+        self.last_header: Optional[CertifiedHeader] = None
+        self._expected_cache: Dict[bytes, Dict[Key, Value]] = {}
+        self._deferred_snapshots: List[Tuple[SnapshotRequest, NodeId]] = []
+
+        self.engine = PbftEngine(
+            owner=self,
+            partition=self.partition,
+            members=topology.members(self.partition),
+            fault_tolerance=self.config.fault_tolerance,
+            application=self,
+            digest_fn=lambda batch: batch.digest(),
+        )
+        self.leader_role = LeaderRole(self)
+
+        self.register_handler(BftMessage, self._on_bft_message)
+        self.register_handler(ReadRequest, self._on_read_request)
+        self.register_handler(ReadOnlyRequest, self._on_read_only_request)
+        self.register_handler(SnapshotRequest, self._on_snapshot_request)
+        self.register_handler(LockReadRequest, self._on_lock_read_request)
+        self.register_handler(LockReleaseMessage, self._on_lock_release)
+        self.register_handler(CommitRequest, self._on_commit_request)
+        self.register_handler(CoordinatorPrepare, self._on_coordinator_prepare)
+        self.register_handler(ParticipantPrepared, self._on_participant_prepared)
+        self.register_handler(DecisionMessage, self._on_decision)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.engine.is_leader
+
+    @property
+    def cluster_members(self) -> Tuple[ReplicaId, ...]:
+        return self.topology.members(self.partition)
+
+    def conflict_checker(self) -> ConflictChecker:
+        return ConflictChecker(self.partition, self.partitioner, self.store)
+
+    def current_cd_vector(self) -> CDVector:
+        if self.last_header is not None:
+            return self.last_header.cd_vector
+        return CDVector.initial(self.config.num_partitions)
+
+    def current_lce(self) -> BatchNumber:
+        if self.last_header is not None:
+            return self.last_header.lce
+        return NO_BATCH
+
+    # ------------------------------------------------------------------
+    # processing-cost model
+    # ------------------------------------------------------------------
+
+    def processing_cost_ms(self, message: Message) -> float:
+        costs = self.config.costs
+        if isinstance(message, BftMessage):
+            proposal = getattr(message, "proposal", None)
+            if isinstance(proposal, Batch):
+                per_txn = costs.conflict_check_ms + costs.hash_ms
+                return (
+                    costs.batch_base_ms
+                    + proposal.size() * per_txn
+                    + costs.signature_verify_ms
+                )
+            return costs.signature_verify_ms
+        if isinstance(message, ReadRequest):
+            return costs.message_handling_ms + len(message.keys) * costs.read_op_ms
+        if isinstance(message, ReadOnlyRequest):
+            per_key = costs.read_op_ms + costs.merkle_proof_ms
+            return costs.message_handling_ms + len(message.keys) * per_key + costs.signature_sign_ms
+        if isinstance(message, SnapshotRequest):
+            per_key = costs.read_op_ms + 2 * costs.merkle_proof_ms
+            return costs.message_handling_ms + len(message.keys) * per_key
+        if isinstance(message, LockReadRequest):
+            return costs.message_handling_ms + len(message.keys) * (costs.read_op_ms + costs.conflict_check_ms)
+        if isinstance(message, CommitRequest) and message.txn is not None:
+            ops = len(message.txn.reads) + len(message.txn.writes)
+            return costs.message_handling_ms + ops * costs.conflict_check_ms
+        if isinstance(message, (CoordinatorPrepare, ParticipantPrepared, DecisionMessage)):
+            return (
+                costs.message_handling_ms
+                + self.config.certificate_size * costs.signature_verify_ms
+                + costs.conflict_check_ms
+            )
+        return costs.message_handling_ms
+
+    # ------------------------------------------------------------------
+    # consensus application interface
+    # ------------------------------------------------------------------
+
+    def validate_proposal(self, seq: int, proposal: object) -> bool:
+        ok = self._validate_batch(seq, proposal)
+        if not ok:
+            self.counters.validation_failures += 1
+        return ok
+
+    def _validate_batch(self, seq: int, proposal: object) -> bool:
+        if not isinstance(proposal, Batch):
+            return False
+        batch = proposal
+        if batch.partition != self.partition or batch.number != seq:
+            return False
+        if batch.read_only is None:
+            return False
+
+        # Freshness window (Section 4.4.2): the leader's timestamp must be
+        # close to this replica's clock.
+        if self.config.freshness.enabled:
+            drift = abs(batch.read_only.timestamp_ms - self.now)
+            if drift > self.config.freshness.acceptance_window_ms:
+                return False
+
+        # Conflict rules (Definition 3.1) for every transaction the batch
+        # admits, checked against this replica's own state.
+        checker = self.conflict_checker()
+        batch_index = KeyConflictIndex(self.partition, self.partitioner)
+        indexes = (batch_index, self.prepared_index)
+        for txn in batch.local_txns:
+            if not checker.check(txn, indexes).ok:
+                return False
+            batch_index.add(txn)
+        for record in batch.prepared:
+            if not checker.check(record.txn, indexes).ok:
+                return False
+            batch_index.add(record.txn)
+
+        if not self._validate_committed_segment(batch):
+            return False
+
+        # Read-only segment: recompute CD vector, LCE and Merkle root.
+        expected_cd, expected_lce = self._derive_read_only_metadata(batch)
+        if batch.read_only.cd_vector != expected_cd:
+            return False
+        if batch.read_only.lce != expected_lce:
+            return False
+        updates = batch.visible_writes(self.partitioner)
+        expected_root = self._preview_root(updates)
+        if batch.read_only.merkle_root != expected_root:
+            return False
+        self._expected_cache[batch.digest()] = updates
+        return True
+
+    def _validate_committed_segment(self, batch: Batch) -> bool:
+        """Check commit records respect the ordering constraint and carry valid votes."""
+        group_numbers: List[BatchNumber] = []
+        covered: Dict[BatchNumber, set] = {}
+        for record in batch.committed:
+            group = self.prepared_batches.group_of_txn(record.txn.txn_id)
+            if group is None:
+                return False
+            if group.batch_number not in covered:
+                group_numbers.append(group.batch_number)
+                covered[group.batch_number] = set()
+            covered[group.batch_number].add(record.txn.txn_id)
+            if not self._validate_commit_record(record):
+                return False
+        if not group_numbers:
+            return True
+        # Groups must form a prefix of the replica's prepared-batches order
+        # (Definition 4.1) and each group must be fully covered.
+        referenced = sorted(covered)
+        all_groups = self.prepared_batches.group_numbers()
+        if all_groups[: len(referenced)] != referenced:
+            return False
+        for number, txn_ids in covered.items():
+            if txn_ids != set(self.prepared_batches.group(number).records):
+                return False
+        return True
+
+    def _validate_commit_record(self, record: CommitRecord) -> bool:
+        accessed = record.txn.partitions(self.partitioner)
+        if record.decision:
+            positive = {
+                partition
+                for partition, vote in record.votes.items()
+                if vote.vote
+            }
+            if not accessed <= positive:
+                return False
+            for partition, vote in record.votes.items():
+                if not vote.vote:
+                    return False
+                if vote.header is None:
+                    return False
+                if vote.header.partition != partition:
+                    return False
+                if not vote.header.verify(
+                    self.env.registry,
+                    self.topology.members(partition),
+                    self.config.certificate_size,
+                ):
+                    return False
+        else:
+            if not any(not vote.vote for vote in record.votes.values()):
+                return False
+        return True
+
+    def _derive_read_only_metadata(self, batch: Batch) -> Tuple[CDVector, BatchNumber]:
+        """Recompute the CD vector (Algorithm 1) and LCE for ``batch``."""
+        cd = self.current_cd_vector().with_entry(self.partition, batch.number)
+        lce = self.current_lce()
+        committed_group_numbers = set()
+        for record in batch.committed:
+            group = self.prepared_batches.group_of_txn(record.txn.txn_id)
+            if group is not None:
+                committed_group_numbers.add(group.batch_number)
+            if record.decision:
+                cd = combine_all(cd, record.reported_vectors())
+        if committed_group_numbers:
+            lce = max(max(committed_group_numbers), lce)
+        # The self entry always reflects this batch.
+        cd = cd.with_entry(self.partition, batch.number)
+        return cd, lce
+
+    def _preview_root(self, updates: Dict[Key, Value]) -> Digest:
+        return self.merkle.preview_root(updates)
+
+    def deliver(self, seq: int, proposal: object, certificate: CommitCertificate) -> None:
+        batch: Batch = proposal  # validated by validate_proposal
+        entry = self.log.append(seq, batch, certificate)
+        updates = self._expected_cache.pop(batch.digest(), None)
+        if updates is None:
+            updates = batch.visible_writes(self.partitioner)
+        if updates:
+            self.store.apply(updates, batch=seq)
+        self.merkle.apply(updates)
+
+        # Track the new prepare group and retire committed ones.
+        self.prepared_batches.add_group(seq, list(batch.prepared))
+        for record in batch.prepared:
+            self.prepared_index.add(record.txn)
+        for record in batch.committed:
+            group = self.prepared_batches.group_of_txn(record.txn.txn_id)
+            if group is not None:
+                for txn_id in group.records:
+                    self.prepared_index.remove(txn_id)
+                self.prepared_batches.remove_group(group.batch_number)
+
+        header = batch.certified_header(certificate)
+        self.headers.append(header)
+        self.last_header = header
+
+        self.counters.batches_delivered += 1
+        self.counters.local_committed += len(batch.local_txns)
+        for record in batch.committed:
+            # Count distributed outcomes only at their coordinator cluster so
+            # that a transaction spanning k clusters is not counted k times.
+            if record.coordinator != self.partition:
+                continue
+            if record.decision:
+                self.counters.distributed_committed += 1
+            else:
+                self.counters.distributed_aborted += 1
+
+        self._serve_deferred_snapshots()
+        self.leader_role.on_batch_delivered(seq, batch, header)
+
+    def on_view_change(self, new_view: int, new_leader: ReplicaId) -> None:
+        self.topology.set_leader(self.partition, new_leader)
+        self.leader_role.on_view_change(new_view, new_leader)
+
+    # ------------------------------------------------------------------
+    # client-facing handlers
+    # ------------------------------------------------------------------
+
+    def _on_bft_message(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, BftMessage)
+        self.engine.handle(message, src)
+
+    def _on_read_request(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, ReadRequest)
+        values: Dict[Key, Value] = {}
+        versions: Dict[Key, BatchNumber] = {}
+        for key in message.keys:
+            versioned = self.store.get(key)
+            if versioned is None:
+                continue
+            values[key] = versioned.value
+            versions[key] = versioned.version
+        self.send(
+            src,
+            ReadReply(
+                request_id=message.request_id,
+                values=values,
+                versions=versions,
+                partition=self.partition,
+            ),
+        )
+
+    def _on_read_only_request(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, ReadOnlyRequest)
+        self.counters.read_only_served += 1
+        values, versions, proofs = self._collect_reads(message.keys, self.merkle, self.store, None)
+        self.send(
+            src,
+            ReadOnlyReply(
+                request_id=message.request_id,
+                partition=self.partition,
+                values=values,
+                versions=versions,
+                proofs=proofs,
+                header=self.last_header,
+            ),
+        )
+
+    def _on_snapshot_request(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, SnapshotRequest)
+        header = self._earliest_header_with_lce(message.required_prepare_batch)
+        if header is None:
+            # The required dependency has not committed locally yet; park the
+            # request and answer as soon as the batch is delivered.
+            self._deferred_snapshots.append((message, src))
+            return
+        self._answer_snapshot(message, src, header)
+
+    def _answer_snapshot(self, message: SnapshotRequest, src: NodeId, header: CertifiedHeader) -> None:
+        self.counters.snapshot_requests_served += 1
+        snapshot_items = self.store.snapshot_as_of(header.number)
+        tree = MerkleTree(snapshot_items)
+        values: Dict[Key, Value] = {}
+        versions: Dict[Key, BatchNumber] = {}
+        proofs = {}
+        for key in message.keys:
+            versioned = self.store.as_of(key, header.number)
+            if versioned is None:
+                continue
+            values[key] = versioned.value
+            versions[key] = versioned.version
+            if key in tree:
+                proofs[key] = tree.prove(key)
+        self.send(
+            src,
+            SnapshotReply(
+                request_id=message.request_id,
+                partition=self.partition,
+                values=values,
+                versions=versions,
+                proofs=proofs,
+                header=header,
+            ),
+        )
+
+    def _earliest_header_with_lce(self, required: BatchNumber) -> Optional[CertifiedHeader]:
+        for header in self.headers:
+            if header.lce >= required:
+                return header
+        return None
+
+    def _serve_deferred_snapshots(self) -> None:
+        if not self._deferred_snapshots:
+            return
+        still_waiting: List[Tuple[SnapshotRequest, NodeId]] = []
+        for message, src in self._deferred_snapshots:
+            header = self._earliest_header_with_lce(message.required_prepare_batch)
+            if header is None:
+                still_waiting.append((message, src))
+            else:
+                self._answer_snapshot(message, src, header)
+        self._deferred_snapshots = still_waiting
+
+    def _collect_reads(self, keys, merkle: MerkleStore, store: MultiVersionStore, as_of):
+        values: Dict[Key, Value] = {}
+        versions: Dict[Key, BatchNumber] = {}
+        proofs = {}
+        for key in keys:
+            versioned = store.get(key) if as_of is None else store.as_of(key, as_of)
+            if versioned is None:
+                continue
+            values[key] = versioned.value
+            versions[key] = versioned.version
+            if key in merkle.tree:
+                proofs[key] = merkle.prove(key)
+        return values, versions, proofs
+
+    # ------------------------------------------------------------------
+    # Augustus baseline handlers (quorum shared-lock reads)
+    # ------------------------------------------------------------------
+
+    def _on_lock_read_request(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, LockReadRequest)
+        local_keys = [key for key in message.keys if key in self.store]
+        granted = self.locks.try_acquire(message.txn_id, local_keys, LockMode.SHARED)
+        values: Dict[Key, Value] = {}
+        versions: Dict[Key, BatchNumber] = {}
+        if granted:
+            for key in local_keys:
+                versioned = self.store.get(key)
+                if versioned is not None:
+                    values[key] = versioned.value
+                    versions[key] = versioned.version
+        self.send(
+            src,
+            LockReadReply(
+                request_id=message.request_id,
+                partition=self.partition,
+                granted=granted,
+                values=values,
+                versions=versions,
+            ),
+        )
+
+    def _on_lock_release(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, LockReleaseMessage)
+        self.locks.release_all(message.txn_id)
+
+    # ------------------------------------------------------------------
+    # leader-only handlers (delegated to the leader role)
+    # ------------------------------------------------------------------
+
+    def _on_commit_request(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, CommitRequest)
+        self.leader_role.on_commit_request(message, src)
+
+    def _on_coordinator_prepare(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, CoordinatorPrepare)
+        self.leader_role.on_coordinator_prepare(message, src)
+
+    def _on_participant_prepared(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, ParticipantPrepared)
+        self.leader_role.on_participant_prepared(message, src)
+
+    def _on_decision(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, DecisionMessage)
+        self.leader_role.on_decision(message, src)

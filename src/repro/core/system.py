@@ -1,0 +1,189 @@
+"""Full-system assembly: build a simulated TransEdge deployment.
+
+:class:`TransEdgeSystem` is the top-level entry point of the library.  It
+creates the shared simulation environment, the clusters of partition
+replicas with their preloaded data, the topology directory and any number of
+clients, and exposes helpers to run the simulation and to collect
+system-wide statistics.  Examples and the benchmark harness are thin layers
+over this class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.ids import PartitionId, ReplicaId
+from repro.common.types import Key, Value
+from repro.core.client import TransEdgeClient
+from repro.core.replica import PartitionReplica
+from repro.core.topology import ClusterTopology
+from repro.simnet.faults import FaultInjector
+from repro.simnet.latency import LatencyModel
+from repro.simnet.node import SimEnvironment
+from repro.storage.partitioner import HashPartitioner
+
+
+def generate_initial_data(config: SystemConfig) -> Dict[Key, Value]:
+    """Generate the preloaded key space described in Section 5.1.
+
+    Keys are short identifiers hashed across partitions; values are opaque
+    byte strings of the configured size.
+    """
+    rng = random.Random(config.seed)
+    data: Dict[Key, Value] = {}
+    prefix_size = min(config.value_size, 16)
+    for index in range(config.initial_keys):
+        key = f"key-{index:08d}"
+        # Values are padded to the configured size; only a small random prefix
+        # is unique, which keeps data generation cheap without changing sizes.
+        data[key] = rng.randbytes(prefix_size).ljust(config.value_size, b"\x00")
+    return data
+
+
+@dataclass
+class SystemCounters:
+    """Aggregated replica counters (see :class:`ReplicaCounters`)."""
+
+    batches_delivered: int = 0
+    local_committed: int = 0
+    distributed_committed: int = 0
+    distributed_aborted: int = 0
+    conflict_aborts: int = 0
+    lock_interference_aborts: int = 0
+    read_only_served: int = 0
+    snapshot_requests_served: int = 0
+    validation_failures: int = 0
+
+
+class TransEdgeSystem:
+    """A complete simulated deployment: clusters, replicas, clients."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        initial_data: Optional[Mapping[Key, Value]] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        self.config = (config or SystemConfig()).validate()
+        if latency_model is not None:
+            from repro.simnet.network import Network
+            from repro.simnet.simulator import Simulator
+
+            simulator = Simulator()
+            network = Network(simulator, latency_model, random.Random(self.config.seed + 1))
+            self.env = SimEnvironment(self.config, simulator=simulator, network=network)
+        else:
+            self.env = SimEnvironment(self.config)
+        self.partitioner = HashPartitioner(self.config.num_partitions)
+        self.topology = ClusterTopology(self.config)
+        self.initial_data: Dict[Key, Value] = dict(
+            initial_data if initial_data is not None else generate_initial_data(self.config)
+        )
+        self._data_by_partition = self.partitioner.group_items(self.initial_data)
+
+        self.replicas: Dict[ReplicaId, PartitionReplica] = {}
+        for partition in self.topology.partitions():
+            partition_data = self._data_by_partition.get(partition, {})
+            for replica_id in self.topology.members(partition):
+                self.replicas[replica_id] = PartitionReplica(
+                    node_id=replica_id,
+                    env=self.env,
+                    topology=self.topology,
+                    partitioner=self.partitioner,
+                    initial_data=partition_data,
+                )
+
+        self.clients: List[TransEdgeClient] = []
+        self.fault_injector = FaultInjector(self.env.network, seed=self.config.seed + 2)
+
+        # Bootstrap: every cluster writes its genesis batch (number 0), which
+        # certifies the Merkle root of the preloaded data so that read-only
+        # clients can verify responses from the very first request.
+        for partition in self.topology.partitions():
+            self.leader_replica(partition).leader_role.propose_genesis()
+        self.env.simulator.run_until_idle()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def create_client(self, name: str) -> TransEdgeClient:
+        """Create a client attached to this deployment's network."""
+        client = TransEdgeClient(
+            name=name,
+            env=self.env,
+            topology=self.topology,
+            partitioner=self.partitioner,
+        )
+        self.clients.append(client)
+        return client
+
+    def leader_replica(self, partition: PartitionId) -> PartitionReplica:
+        return self.replicas[self.topology.leader(partition)]
+
+    def cluster_replicas(self, partition: PartitionId) -> List[PartitionReplica]:
+        return [self.replicas[member] for member in self.topology.members(partition)]
+
+    def keys_of_partition(self, partition: PartitionId) -> List[Key]:
+        """Preloaded keys owned by ``partition`` (sorted, deterministic)."""
+        return sorted(self._data_by_partition.get(partition, {}))
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def run(self, until_ms: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Advance the simulation; returns the number of processed events."""
+        if until_ms is None and max_events is None:
+            return self.env.simulator.run_until_idle()
+        return self.env.simulator.run(until_ms=until_ms, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 20_000_000) -> int:
+        return self.env.simulator.run_until_idle(max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.env.simulator.now
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def counters(self) -> SystemCounters:
+        """Sum the per-replica counters across the whole deployment.
+
+        Leader-only counters (aborts, read-only requests) are naturally
+        dominated by leaders; follower contributions are included because a
+        view change can move the leader mid-experiment.
+        """
+        total = SystemCounters()
+        for replica in self.replicas.values():
+            counters = replica.counters
+            total.batches_delivered += counters.batches_delivered
+            total.local_committed += counters.local_committed
+            total.distributed_committed += counters.distributed_committed
+            total.distributed_aborted += counters.distributed_aborted
+            total.conflict_aborts += counters.conflict_aborts
+            total.lock_interference_aborts += counters.lock_interference_aborts
+            total.read_only_served += counters.read_only_served
+            total.snapshot_requests_served += counters.snapshot_requests_served
+            total.validation_failures += counters.validation_failures
+        return total
+
+    def committed_read_write(self) -> int:
+        """Distinct committed read-write transactions (local + distributed).
+
+        Local commits are counted on every replica of a cluster; dividing by
+        the cluster size recovers the per-transaction count.  Distributed
+        commits are counted the same way on every accessed cluster, so the
+        coordinator-side counter is used instead (committed records carry the
+        coordinator id).
+        """
+        counters = self.counters()
+        cluster_size = self.config.cluster_size
+        local = counters.local_committed // cluster_size
+        distributed = counters.distributed_committed // cluster_size
+        return local + distributed

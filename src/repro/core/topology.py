@@ -1,0 +1,65 @@
+"""Deployment topology: clusters, their members and current leaders.
+
+The topology is the (trusted, setup-time) directory of the deployment: which
+replicas form each partition's cluster and which replica is currently acting
+as that cluster's leader.  Clients consult it to route requests; it is
+updated when a cluster goes through a view change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.common.ids import PartitionId, ReplicaId
+
+
+class ClusterTopology:
+    """Static membership plus the dynamic leader of every cluster."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self._config = config
+        self._members: Dict[PartitionId, Tuple[ReplicaId, ...]] = {}
+        self._leaders: Dict[PartitionId, ReplicaId] = {}
+        for partition in range(config.num_partitions):
+            members = tuple(
+                ReplicaId(partition, index) for index in range(config.cluster_size)
+            )
+            self._members[partition] = members
+            self._leaders[partition] = members[0]
+
+    @property
+    def num_partitions(self) -> int:
+        return self._config.num_partitions
+
+    def partitions(self) -> List[PartitionId]:
+        return list(range(self._config.num_partitions))
+
+    def members(self, partition: PartitionId) -> Tuple[ReplicaId, ...]:
+        self._check_partition(partition)
+        return self._members[partition]
+
+    def leader(self, partition: PartitionId) -> ReplicaId:
+        self._check_partition(partition)
+        return self._leaders[partition]
+
+    def set_leader(self, partition: PartitionId, leader: ReplicaId) -> None:
+        """Record a leader change (driven by a cluster's view change)."""
+        self._check_partition(partition)
+        if leader not in self._members[partition]:
+            raise ConfigurationError(f"{leader} is not a member of partition {partition}")
+        self._leaders[partition] = leader
+
+    def followers(self, partition: PartitionId) -> Tuple[ReplicaId, ...]:
+        """Cluster members other than the current leader."""
+        leader = self.leader(partition)
+        return tuple(member for member in self.members(partition) if member != leader)
+
+    def all_replicas(self) -> List[ReplicaId]:
+        return [member for members in self._members.values() for member in members]
+
+    def _check_partition(self, partition: PartitionId) -> None:
+        if partition not in self._members:
+            raise ConfigurationError(f"unknown partition {partition}")

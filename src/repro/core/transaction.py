@@ -1,0 +1,103 @@
+"""Transaction payloads exchanged between clients and clusters.
+
+A :class:`TxnPayload` is the self-contained description of a read-write
+transaction that a client ships to the coordinator cluster when it asks to
+commit (Section 2, "Interface"): the read set with the versions that were
+observed, and the buffered write set.  The same payload travels inside 2PC
+messages and batch segments, so it must be canonically encodable for
+signing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from repro.common.errors import InvalidTransactionError
+from repro.common.ids import BatchNumber, PartitionId
+from repro.common.types import Key, Value
+from repro.storage.partitioner import HashPartitioner
+
+
+@dataclass(frozen=True)
+class TxnPayload:
+    """A read-write transaction ready to be committed.
+
+    ``reads`` maps each read key to the batch number (version) the value was
+    read from; ``writes`` maps each written key to its new value.  Both maps
+    may span several partitions — that is what makes the transaction
+    distributed.
+    """
+
+    txn_id: str
+    reads: Mapping[Key, BatchNumber] = field(default_factory=dict)
+    writes: Mapping[Key, Value] = field(default_factory=dict)
+    client: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.txn_id:
+            raise InvalidTransactionError("transaction id must not be empty")
+        if not self.reads and not self.writes:
+            raise InvalidTransactionError(
+                f"transaction {self.txn_id} has neither reads nor writes"
+            )
+
+    # -- footprint helpers ----------------------------------------------------
+
+    def keys(self) -> FrozenSet[Key]:
+        return frozenset(self.reads) | frozenset(self.writes)
+
+    def partitions(self, partitioner: HashPartitioner) -> FrozenSet[PartitionId]:
+        """Partitions accessed by this transaction."""
+        return partitioner.partitions_of(self.keys())
+
+    def is_distributed(self, partitioner: HashPartitioner) -> bool:
+        return len(self.partitions(partitioner)) > 1
+
+    def read_keys_in(self, partition: PartitionId, partitioner: HashPartitioner) -> FrozenSet[Key]:
+        return frozenset(partitioner.local_keys(self.reads, partition))
+
+    def write_keys_in(self, partition: PartitionId, partitioner: HashPartitioner) -> FrozenSet[Key]:
+        return frozenset(partitioner.local_keys(self.writes, partition))
+
+    def writes_in(self, partition: PartitionId, partitioner: HashPartitioner) -> Dict[Key, Value]:
+        """Write mapping restricted to ``partition``."""
+        return {
+            key: value
+            for key, value in self.writes.items()
+            if partitioner.partition_of(key) == partition
+        }
+
+    def reads_in(self, partition: PartitionId, partitioner: HashPartitioner) -> Dict[Key, BatchNumber]:
+        """Read-version mapping restricted to ``partition``."""
+        return {
+            key: version
+            for key, version in self.reads.items()
+            if partitioner.partition_of(key) == partition
+        }
+
+    def is_write_only(self) -> bool:
+        return not self.reads and bool(self.writes)
+
+    # -- encoding ---------------------------------------------------------------
+
+    def payload(self) -> dict:
+        """Canonical encodable form (stable across replicas, used for digests)."""
+        return {
+            "txn_id": self.txn_id,
+            "client": self.client,
+            "reads": {key: int(version) for key, version in sorted(self.reads.items())},
+            "writes": {key: value for key, value in sorted(self.writes.items())},
+        }
+
+
+def make_transaction(
+    txn_id: str,
+    reads: Optional[Mapping[Key, BatchNumber]] = None,
+    writes: Optional[Mapping[Key, Value]] = None,
+    client: str = "",
+) -> TxnPayload:
+    """Convenience constructor used by tests and the workload generator."""
+    return TxnPayload(
+        txn_id=txn_id, reads=dict(reads or {}), writes=dict(writes or {}), client=client
+    )

@@ -1,0 +1,56 @@
+"""Cryptographic substrate: hashing, signatures, key registry and Merkle ADS."""
+
+from repro.crypto.hashing import (
+    Digest,
+    combine_digests,
+    digest_of,
+    sha256,
+    sha256_hex,
+    stable_encode,
+)
+from repro.crypto.merkle import (
+    EMPTY_ROOT,
+    MerkleProof,
+    MerkleStore,
+    MerkleTree,
+    ProofStep,
+    leaf_digest,
+    verify_proof,
+)
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.crypto.signatures import (
+    HmacSigner,
+    KeyRegistry,
+    RsaSigner,
+    Signature,
+    Signer,
+    build_registry,
+    make_signer,
+)
+
+__all__ = [
+    "Digest",
+    "EMPTY_ROOT",
+    "HmacSigner",
+    "KeyRegistry",
+    "MerkleProof",
+    "MerkleStore",
+    "MerkleTree",
+    "ProofStep",
+    "RsaKeyPair",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "RsaSigner",
+    "Signature",
+    "Signer",
+    "build_registry",
+    "combine_digests",
+    "digest_of",
+    "generate_keypair",
+    "leaf_digest",
+    "make_signer",
+    "sha256",
+    "sha256_hex",
+    "stable_encode",
+    "verify_proof",
+]

@@ -1,0 +1,91 @@
+"""Hashing helpers used by signatures, Merkle trees and batch digests.
+
+Everything that ends up under a signature is first reduced to a SHA-256
+digest of a canonical byte encoding.  ``stable_encode`` provides the
+canonical encoding: it is deterministic across processes and independent of
+Python's per-process hash randomisation, which matters because different
+replicas must compute identical digests for identical batches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Sequence, Union
+
+Digest = bytes
+
+#: Types that ``stable_encode`` understands.
+Encodable = Union[
+    None, bool, int, float, str, bytes, Sequence["Encodable"], Mapping[str, "Encodable"]
+]
+
+
+def sha256(data: bytes) -> Digest:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex-encoded SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def stable_encode(value: Encodable) -> bytes:
+    """Encode ``value`` into a canonical, order-stable byte string.
+
+    The encoding is a small, self-delimiting tagged format:
+
+    * ``None``/``bool``/``int``/``float``/``str``/``bytes`` become tagged
+      literals.
+    * sequences (``list``/``tuple``) encode their items in order;
+    * mappings encode their items sorted by key, so two dictionaries with the
+      same contents always encode identically regardless of insertion order.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def digest_of(value: Encodable) -> Digest:
+    """SHA-256 digest of the canonical encoding of ``value``."""
+    return sha256(stable_encode(value))
+
+
+def combine_digests(digests: Iterable[Digest]) -> Digest:
+    """Hash a sequence of digests into one (used for batch/certificate ids)."""
+    hasher = hashlib.sha256()
+    for digest in digests:
+        hasher.update(digest)
+    return hasher.digest()
+
+
+def _encode_into(value: Encodable, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):
+        out += b"T" if value else b"F"
+    elif isinstance(value, int):
+        encoded = str(value).encode("ascii")
+        out += b"I" + len(encoded).to_bytes(4, "big") + encoded
+    elif isinstance(value, float):
+        encoded = repr(value).encode("ascii")
+        out += b"D" + len(encoded).to_bytes(4, "big") + encoded
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out += b"S" + len(encoded).to_bytes(4, "big") + encoded
+    elif isinstance(value, bytes):
+        out += b"B" + len(value).to_bytes(4, "big") + value
+    elif isinstance(value, (list, tuple)):
+        out += b"L" + len(value).to_bytes(4, "big")
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, Mapping):
+        items = sorted(value.items(), key=lambda kv: kv[0])
+        out += b"M" + len(items).to_bytes(4, "big")
+        for key, item in items:
+            if not isinstance(key, str):
+                raise TypeError(f"mapping keys must be str, got {type(key).__name__}")
+            _encode_into(key, out)
+            _encode_into(item, out)
+    else:
+        raise TypeError(f"cannot stably encode values of type {type(value).__name__}")

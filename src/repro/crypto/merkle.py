@@ -1,0 +1,284 @@
+"""Merkle tree authenticated data structure (ADS).
+
+TransEdge certifies the integrity of committed data with a Merkle tree per
+partition: all replicas of a cluster recompute the tree while processing a
+batch, the root is agreed on through the BFT layer, and read-only clients
+verify returned values against the agreed root using membership proofs
+(Sections 3.4 and 4.1/4.2 of the paper).
+
+The tree is built over the partition's key/value map: leaves are
+``H(key || H(value))`` in sorted key order, internal nodes are
+``H(left || right)``.  An odd node at any level is promoted unchanged.  The
+implementation favours clarity over asymptotic cleverness; the store keeps a
+current tree and rebuilds it after applying a batch's write-sets, and can
+rebuild a *historical* tree for any previously committed batch when a
+read-only client asks for an older snapshot in round two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ProofError
+from repro.common.types import Key, Value
+from repro.crypto.hashing import Digest, sha256
+
+#: Root value of a tree with no leaves.
+EMPTY_ROOT: Digest = sha256(b"transedge:empty-merkle-tree")
+
+
+def leaf_digest(key: Key, value: Value) -> Digest:
+    """Digest of one leaf: binds the key to a digest of its value."""
+    return sha256(b"L" + key.encode("utf-8") + b"\x00" + sha256(value))
+
+
+def _parent_digest(left: Digest, right: Digest) -> Digest:
+    return sha256(b"I" + left + right)
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One step of a membership proof: a sibling digest and its side."""
+
+    sibling: Digest
+    sibling_is_left: bool
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Membership proof for one key/value pair against a specific root."""
+
+    key: Key
+    steps: Tuple[ProofStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class MerkleTree:
+    """A Merkle tree over a key/value mapping.
+
+    The tree supports two kinds of efficient updates for keys that are
+    *already present*: :meth:`update_values` recomputes only the affected
+    paths in place, and :meth:`root_with_updates` answers "what would the
+    root be if these values changed" without mutating anything — which is how
+    replicas validate the Merkle root a leader proposes before voting for it.
+    Inserting new keys changes leaf positions and requires a rebuild.
+    """
+
+    def __init__(self, items: Mapping[Key, Value]) -> None:
+        self._keys: List[Key] = sorted(items)
+        self._index: Dict[Key, int] = {key: i for i, key in enumerate(self._keys)}
+        self._levels: List[List[Digest]] = []
+        leaves = [leaf_digest(key, items[key]) for key in self._keys]
+        self._levels.append(leaves)
+        current = leaves
+        while len(current) > 1:
+            nxt: List[Digest] = []
+            for i in range(0, len(current) - 1, 2):
+                nxt.append(_parent_digest(current[i], current[i + 1]))
+            if len(current) % 2 == 1:
+                nxt.append(current[-1])
+            self._levels.append(nxt)
+            current = nxt
+
+    @classmethod
+    def from_items(cls, items: Mapping[Key, Value]) -> "MerkleTree":
+        """Build a tree from a key/value mapping."""
+        return cls(items)
+
+    @property
+    def root(self) -> Digest:
+        """Root digest (``EMPTY_ROOT`` for an empty tree)."""
+        if not self._levels[0]:
+            return EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def covers(self, keys: Iterable[Key]) -> bool:
+        """True when every key in ``keys`` is already a leaf of this tree."""
+        return all(key in self._index for key in keys)
+
+    def _recompute_parents(self, level_index: int, dirty: "set[int]", overlay=None) -> "set[int]":
+        """Compute the dirty parent digests one level up.
+
+        When ``overlay`` is ``None`` the tree is mutated in place; otherwise
+        digests are read through/written to the overlay dictionaries and the
+        stored levels stay untouched.
+        """
+        level = self._levels[level_index]
+        parent_level = self._levels[level_index + 1]
+        read_level = level if overlay is None else overlay[level_index]
+        parents_dirty: "set[int]" = set()
+        for index in dirty:
+            parent_index = index // 2
+            if parent_index in parents_dirty:
+                continue
+            left_index = parent_index * 2
+            right_index = left_index + 1
+
+            def digest_at(i: int) -> Digest:
+                if overlay is not None and i in overlay[level_index]:
+                    return overlay[level_index][i]
+                return level[i]
+
+            if right_index < len(level):
+                parent = _parent_digest(digest_at(left_index), digest_at(right_index))
+            else:
+                parent = digest_at(left_index)
+            if overlay is None:
+                parent_level[parent_index] = parent
+            else:
+                overlay[level_index + 1][parent_index] = parent
+            parents_dirty.add(parent_index)
+        return parents_dirty
+
+    def update_values(self, updates: Mapping[Key, Value]) -> Digest:
+        """Update the values of existing keys in place and return the new root."""
+        if not updates:
+            return self.root
+        if not self.covers(updates):
+            raise ProofError("update_values only handles keys already in the tree")
+        dirty = set()
+        for key, value in updates.items():
+            index = self._index[key]
+            self._levels[0][index] = leaf_digest(key, value)
+            dirty.add(index)
+        for level_index in range(len(self._levels) - 1):
+            dirty = self._recompute_parents(level_index, dirty)
+        return self.root
+
+    def root_with_updates(self, updates: Mapping[Key, Value]) -> Digest:
+        """Root the tree *would* have after ``updates``, without mutating it."""
+        if not updates:
+            return self.root
+        if not self.covers(updates):
+            raise ProofError("root_with_updates only handles keys already in the tree")
+        overlay: List[Dict[int, Digest]] = [dict() for _ in self._levels]
+        dirty = set()
+        for key, value in updates.items():
+            index = self._index[key]
+            overlay[0][index] = leaf_digest(key, value)
+            dirty.add(index)
+        for level_index in range(len(self._levels) - 1):
+            dirty = self._recompute_parents(level_index, dirty, overlay=overlay)
+        top = overlay[-1]
+        if 0 in top:
+            return top[0]
+        return self.root
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._index
+
+    def keys(self) -> Sequence[Key]:
+        return tuple(self._keys)
+
+    def prove(self, key: Key) -> MerkleProof:
+        """Produce a membership proof for ``key``.
+
+        Raises :class:`ProofError` when the key is not part of the tree.
+        """
+        if key not in self._index:
+            raise ProofError(f"key {key!r} is not in the Merkle tree")
+        index = self._index[key]
+        steps: List[ProofStep] = []
+        for level in self._levels[:-1]:
+            if index % 2 == 0:
+                sibling_index = index + 1
+                sibling_is_left = False
+            else:
+                sibling_index = index - 1
+                sibling_is_left = True
+            if sibling_index < len(level):
+                steps.append(ProofStep(sibling=level[sibling_index], sibling_is_left=sibling_is_left))
+            # When the node is the odd one out it is promoted unchanged and
+            # contributes no sibling at this level.
+            index //= 2
+        return MerkleProof(key=key, steps=tuple(steps))
+
+
+def verify_proof(root: Digest, key: Key, value: Value, proof: MerkleProof) -> bool:
+    """Check a membership proof against ``root``.
+
+    Returns True when replaying the proof over ``H(key, value)`` reproduces
+    ``root``; the caller decides how to react to a failure (a read-only
+    client treats it as a byzantine response and retries elsewhere).
+    """
+    if proof.key != key:
+        return False
+    digest = leaf_digest(key, value)
+    for step in proof.steps:
+        if step.sibling_is_left:
+            digest = _parent_digest(step.sibling, digest)
+        else:
+            digest = _parent_digest(digest, step.sibling)
+    return digest == root
+
+
+class MerkleStore:
+    """A key/value map together with its current Merkle tree.
+
+    Replicas keep one ``MerkleStore`` per partition; ``apply`` folds in a
+    batch's visible write-sets and rebuilds the tree, returning the new root
+    that is then agreed on through consensus.
+    """
+
+    def __init__(self, initial: Optional[Mapping[Key, Value]] = None) -> None:
+        self._items: Dict[Key, Value] = dict(initial or {})
+        self._tree = MerkleTree(self._items)
+
+    @property
+    def root(self) -> Digest:
+        return self._tree.root
+
+    @property
+    def tree(self) -> MerkleTree:
+        return self._tree
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._items
+
+    def get(self, key: Key) -> Optional[Value]:
+        return self._items.get(key)
+
+    def items(self) -> Mapping[Key, Value]:
+        return dict(self._items)
+
+    def apply(self, updates: Mapping[Key, Value]) -> Digest:
+        """Apply ``updates`` and return the new root.
+
+        Updates to existing keys take the incremental path (only the affected
+        tree paths are recomputed); introducing a brand-new key rebuilds the
+        tree, since leaf positions shift.
+        """
+        if not updates:
+            return self._tree.root
+        self._items.update(updates)
+        if self._tree.covers(updates):
+            return self._tree.update_values(updates)
+        self._tree = MerkleTree(self._items)
+        return self._tree.root
+
+    def preview_root(self, updates: Mapping[Key, Value]) -> Digest:
+        """Root the store would have after ``updates``, without applying them."""
+        if not updates:
+            return self._tree.root
+        if self._tree.covers(updates):
+            return self._tree.root_with_updates(updates)
+        items = dict(self._items)
+        items.update(updates)
+        return MerkleTree(items).root
+
+    def prove(self, key: Key) -> MerkleProof:
+        return self._tree.prove(key)
+
+
+def proof_payload(proof: MerkleProof) -> list:
+    """Encode a proof as a ``stable_encode``-compatible payload (for signing)."""
+    return [proof.key, [[step.sibling, step.sibling_is_left] for step in proof.steps]]

@@ -1,0 +1,151 @@
+"""A from-scratch textbook RSA signature scheme.
+
+The paper assumes each edge node owns a public/private key pair used to sign
+every inter-node message.  This module provides that substrate without any
+external dependency: Miller–Rabin probabilistic prime generation, modular
+inverse via the extended Euclidean algorithm, and hash-then-sign signatures
+(``signature = H(message)^d mod n``).
+
+This is *textbook* RSA — no padding scheme — which is fine for the simulated
+trust model (the adversary in the simulation forges by flipping bytes, not by
+exploiting algebraic malleability), and keeps the implementation compact and
+auditable.  The default key size of 512 bits keeps key generation fast; it is
+configurable for callers who want more margin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+]
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """Public half of an RSA key pair."""
+
+    n: int
+    e: int
+
+    def fingerprint(self) -> str:
+        """Short stable identifier of the key (hex digest prefix)."""
+        material = f"{self.n:x}:{self.e:x}".encode("ascii")
+        return hashlib.sha256(material).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """Private half of an RSA key pair (keeps the public part alongside)."""
+
+    n: int
+    d: int
+    public: RsaPublicKey
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """A generated RSA key pair."""
+
+    public: RsaPublicKey
+    private: RsaPrivateKey
+
+
+def generate_keypair(bits: int = 512, rng: "random.Random | None" = None) -> RsaKeyPair:
+    """Generate an RSA key pair with a modulus of roughly ``bits`` bits."""
+    if bits < 128:
+        raise CryptoError("RSA modulus must be at least 128 bits")
+    rng = rng or random.Random()
+    e = 65537
+    half = bits // 2
+    while True:
+        p = _generate_prime(half, rng)
+        q = _generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = _modular_inverse(e, phi)
+        public = RsaPublicKey(n=n, e=e)
+        private = RsaPrivateKey(n=n, d=d, public=public)
+        return RsaKeyPair(public=public, private=private)
+
+
+def sign(private: RsaPrivateKey, message: bytes) -> bytes:
+    """Sign ``message`` with hash-then-sign RSA."""
+    digest_int = _message_representative(message, private.n)
+    signature_int = pow(digest_int, private.d, private.n)
+    return signature_int.to_bytes((private.n.bit_length() + 7) // 8, "big")
+
+
+def verify(public: RsaPublicKey, message: bytes, signature: bytes) -> bool:
+    """Return True when ``signature`` is a valid signature of ``message``."""
+    if not signature:
+        return False
+    signature_int = int.from_bytes(signature, "big")
+    if signature_int >= public.n:
+        return False
+    recovered = pow(signature_int, public.e, public.n)
+    return recovered == _message_representative(message, public.n)
+
+
+def _message_representative(message: bytes, modulus: int) -> int:
+    digest = hashlib.sha256(message).digest()
+    return int.from_bytes(digest, "big") % modulus
+
+
+def _generate_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 20) -> bool:
+    if n < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if n == prime:
+            return True
+        if n % prime == 0:
+            return False
+    # Write n - 1 as d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _modular_inverse(a: int, m: int) -> int:
+    g, x, _ = _extended_gcd(a % m, m)
+    if g != 1:
+        raise CryptoError("modular inverse does not exist")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> "tuple[int, int, int]":
+    if a == 0:
+        return b, 0, 1
+    g, x, y = _extended_gcd(b % a, a)
+    return g, y - (b // a) * x, x

@@ -1,0 +1,200 @@
+"""Per-node signing identities and signature verification.
+
+Each edge node in TransEdge owns a key pair and signs every message it sends
+to other nodes (Section 2 of the paper, "Interface").  This module provides
+two interchangeable backends behind one interface:
+
+* :class:`RsaSigner` — real public-key signatures built on the from-scratch
+  RSA implementation in :mod:`repro.crypto.rsa`.
+* :class:`HmacSigner` — a fast symmetric stand-in: every node holds a secret
+  and the verifying side consults a :class:`KeyRegistry` acting as the
+  deployment's PKI directory.  Within the simulation's threat model this is
+  equivalent (a byzantine node cannot produce another node's MAC because it
+  does not know the other node's secret), and it keeps large simulations
+  cheap.
+
+Signatures always cover ``stable_encode``-canonicalised payloads so that
+independently computed digests agree across replicas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.common.errors import SignatureError
+from repro.crypto import rsa
+from repro.crypto.hashing import Encodable, stable_encode
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over a canonicalised payload, tagged with its signer."""
+
+    signer: str
+    value: bytes
+    scheme: str
+
+    def __post_init__(self) -> None:
+        if not self.signer:
+            raise SignatureError("signature must carry a signer identity")
+
+
+class Signer:
+    """Interface implemented by the per-node signing backends."""
+
+    #: Name of the scheme, recorded inside produced signatures.
+    scheme: str = "abstract"
+
+    def __init__(self, identity: str) -> None:
+        self.identity = identity
+
+    def sign(self, payload: Encodable) -> Signature:
+        """Sign the canonical encoding of ``payload``."""
+        raise NotImplementedError
+
+    def verification_material(self) -> object:
+        """Return the object the registry should store to verify this signer."""
+        raise NotImplementedError
+
+
+class RsaSigner(Signer):
+    """Public-key signer backed by :mod:`repro.crypto.rsa`."""
+
+    scheme = "rsa"
+
+    def __init__(self, identity: str, bits: int = 512, rng: Optional[random.Random] = None) -> None:
+        super().__init__(identity)
+        self._keypair = rsa.generate_keypair(bits=bits, rng=rng)
+
+    @property
+    def public_key(self) -> rsa.RsaPublicKey:
+        return self._keypair.public
+
+    def sign(self, payload: Encodable) -> Signature:
+        message = stable_encode(payload)
+        return Signature(
+            signer=self.identity,
+            value=rsa.sign(self._keypair.private, message),
+            scheme=self.scheme,
+        )
+
+    def verification_material(self) -> rsa.RsaPublicKey:
+        return self._keypair.public
+
+
+class HmacSigner(Signer):
+    """Symmetric signer: MAC keyed by a per-node secret."""
+
+    scheme = "hmac"
+
+    def __init__(self, identity: str, secret: Optional[bytes] = None) -> None:
+        super().__init__(identity)
+        if secret is None:
+            secret = hashlib.sha256(f"secret:{identity}".encode("utf-8")).digest()
+        self._secret = secret
+
+    def sign(self, payload: Encodable) -> Signature:
+        message = stable_encode(payload)
+        value = hmac.new(self._secret, message, hashlib.sha256).digest()
+        return Signature(signer=self.identity, value=value, scheme=self.scheme)
+
+    def verification_material(self) -> bytes:
+        return self._secret
+
+
+class KeyRegistry:
+    """Directory of verification material for every node in the deployment.
+
+    The registry plays the role of the permissioned deployment's PKI: it is
+    populated once during system setup, before any byzantine behaviour can
+    occur, and is consulted by verifiers.  It never holds RSA private keys.
+    """
+
+    def __init__(self) -> None:
+        self._materials: Dict[str, object] = {}
+        self._schemes: Dict[str, str] = {}
+
+    def register(self, signer: Signer) -> None:
+        """Record the verification material for ``signer``."""
+        self._materials[signer.identity] = signer.verification_material()
+        self._schemes[signer.identity] = signer.scheme
+
+    def knows(self, identity: str) -> bool:
+        return identity in self._materials
+
+    def identities(self) -> Iterable[str]:
+        return self._materials.keys()
+
+    def verify(self, payload: Encodable, signature: Signature) -> bool:
+        """Return True when ``signature`` is a valid signature of ``payload``."""
+        material = self._materials.get(signature.signer)
+        scheme = self._schemes.get(signature.signer)
+        if material is None or scheme != signature.scheme:
+            return False
+        message = stable_encode(payload)
+        if scheme == "rsa":
+            assert isinstance(material, rsa.RsaPublicKey)
+            return rsa.verify(material, message, signature.value)
+        if scheme == "hmac":
+            assert isinstance(material, bytes)
+            expected = hmac.new(material, message, hashlib.sha256).digest()
+            return hmac.compare_digest(expected, signature.value)
+        return False
+
+    def require_valid(self, payload: Encodable, signature: Signature) -> None:
+        """Raise :class:`SignatureError` unless the signature verifies."""
+        if not self.verify(payload, signature):
+            raise SignatureError(
+                f"invalid {signature.scheme} signature from {signature.signer}"
+            )
+
+    def verify_quorum(
+        self,
+        payload: Encodable,
+        signatures: Iterable[Signature],
+        required: int,
+        allowed_signers: Optional[Iterable[str]] = None,
+    ) -> bool:
+        """Verify that at least ``required`` distinct valid signers signed ``payload``.
+
+        ``allowed_signers`` restricts which identities count towards the
+        quorum (e.g. only members of one cluster).  Duplicate signers count
+        once, and invalid signatures are simply ignored — the caller only
+        cares whether enough honest-looking signatures are present.
+        """
+        allowed = set(allowed_signers) if allowed_signers is not None else None
+        valid_signers = set()
+        for signature in signatures:
+            if allowed is not None and signature.signer not in allowed:
+                continue
+            if signature.signer in valid_signers:
+                continue
+            if self.verify(payload, signature):
+                valid_signers.add(signature.signer)
+        return len(valid_signers) >= required
+
+
+def make_signer(
+    backend: str,
+    identity: str,
+    rng: Optional[random.Random] = None,
+    rsa_bits: int = 512,
+) -> Signer:
+    """Create a signer of the configured backend (``'hmac'`` or ``'rsa'``)."""
+    if backend == "hmac":
+        return HmacSigner(identity)
+    if backend == "rsa":
+        return RsaSigner(identity, bits=rsa_bits, rng=rng)
+    raise SignatureError(f"unknown signature backend {backend!r}")
+
+
+def build_registry(signers: Mapping[str, Signer]) -> KeyRegistry:
+    """Build a registry holding the verification material of ``signers``."""
+    registry = KeyRegistry()
+    for signer in signers.values():
+        registry.register(signer)
+    return registry

@@ -1,0 +1,23 @@
+"""Latency/throughput/abort metrics and result rendering."""
+
+from repro.metrics.collector import (
+    LatencySummary,
+    MetricsCollector,
+    OperationMetrics,
+    percentile,
+    summarize_latencies,
+)
+from repro.metrics.tables import FigureResult, Series, TableResult, format_number, render_mapping
+
+__all__ = [
+    "FigureResult",
+    "LatencySummary",
+    "MetricsCollector",
+    "OperationMetrics",
+    "Series",
+    "TableResult",
+    "format_number",
+    "percentile",
+    "render_mapping",
+    "summarize_latencies",
+]

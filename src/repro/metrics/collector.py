@@ -1,0 +1,166 @@
+"""Metrics collection: latency distributions, throughput, abort rates.
+
+The benchmark harness records one sample per finished transaction into a
+:class:`MetricsCollector`, then asks for summaries.  Summaries are plain
+dataclasses, easy to print as the rows/series of the paper's figures and
+tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over a latency sample set (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    min_ms: float
+    max_ms: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, min_ms=0.0, max_ms=0.0)
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if fraction <= 0:
+        return ordered[0]
+    if fraction >= 1:
+        return ordered[-1]
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    if not samples:
+        return LatencySummary.empty()
+    return LatencySummary(
+        count=len(samples),
+        mean_ms=sum(samples) / len(samples),
+        p50_ms=percentile(samples, 0.50),
+        p95_ms=percentile(samples, 0.95),
+        p99_ms=percentile(samples, 0.99),
+        min_ms=min(samples),
+        max_ms=max(samples),
+    )
+
+
+@dataclass
+class OperationMetrics:
+    """Samples for one operation class (e.g. "read-only", "distributed-rw")."""
+
+    latencies_ms: List[float] = field(default_factory=list)
+    committed: int = 0
+    aborted: int = 0
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+    round2_latencies_ms: List[float] = field(default_factory=list)
+    second_rounds: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.committed + self.aborted
+
+    def abort_rate(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.aborted / self.total
+
+    def summary(self) -> LatencySummary:
+        return summarize_latencies(self.latencies_ms)
+
+
+class MetricsCollector:
+    """Accumulates per-operation metrics and computes throughput."""
+
+    def __init__(self) -> None:
+        self._operations: Dict[str, OperationMetrics] = {}
+        self._start_ms: Optional[float] = None
+        self._end_ms: Optional[float] = None
+
+    # -- recording ------------------------------------------------------------
+
+    def operation(self, name: str) -> OperationMetrics:
+        return self._operations.setdefault(name, OperationMetrics())
+
+    def record_commit(self, name: str, latency_ms: float) -> None:
+        metrics = self.operation(name)
+        metrics.committed += 1
+        metrics.latencies_ms.append(latency_ms)
+
+    def record_abort(self, name: str, latency_ms: float, reason: str = "") -> None:
+        metrics = self.operation(name)
+        metrics.aborted += 1
+        metrics.latencies_ms.append(latency_ms)
+        label = reason or "unspecified"
+        metrics.abort_reasons[label] = metrics.abort_reasons.get(label, 0) + 1
+
+    def record_read_only(
+        self, name: str, latency_ms: float, rounds: int, round2_latency_ms: float = 0.0
+    ) -> None:
+        metrics = self.operation(name)
+        metrics.committed += 1
+        metrics.latencies_ms.append(latency_ms)
+        if rounds >= 2:
+            metrics.second_rounds += 1
+            metrics.round2_latencies_ms.append(round2_latency_ms)
+
+    def mark_start(self, now_ms: float) -> None:
+        if self._start_ms is None or now_ms < self._start_ms:
+            self._start_ms = now_ms
+
+    def mark_end(self, now_ms: float) -> None:
+        if self._end_ms is None or now_ms > self._end_ms:
+            self._end_ms = now_ms
+
+    # -- queries ----------------------------------------------------------------
+
+    def operations(self) -> Dict[str, OperationMetrics]:
+        return dict(self._operations)
+
+    @property
+    def elapsed_ms(self) -> float:
+        if self._start_ms is None or self._end_ms is None:
+            return 0.0
+        return max(0.0, self._end_ms - self._start_ms)
+
+    def throughput_tps(self, name: Optional[str] = None) -> float:
+        """Committed operations per simulated second."""
+        elapsed = self.elapsed_ms
+        if elapsed <= 0:
+            return 0.0
+        if name is None:
+            committed = sum(metrics.committed for metrics in self._operations.values())
+        else:
+            committed = self.operation(name).committed
+        return committed / (elapsed / 1000.0)
+
+    def second_round_fraction(self, name: str) -> float:
+        metrics = self.operation(name)
+        if metrics.committed == 0:
+            return 0.0
+        return metrics.second_rounds / metrics.committed
+
+    def effective_round2_ms(self, name: str) -> float:
+        """Average round-2 latency weighted by how often round 2 happens.
+
+        This is the "effective latency of round-2 communication" reported in
+        Figure 5 of the paper (mean extra latency multiplied by the fraction
+        of read-only transactions needing a second round).
+        """
+        metrics = self.operation(name)
+        if not metrics.round2_latencies_ms or metrics.committed == 0:
+            return 0.0
+        mean_round2 = sum(metrics.round2_latencies_ms) / len(metrics.round2_latencies_ms)
+        return mean_round2 * (metrics.second_rounds / metrics.committed)

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate: scheduler, network, nodes, processes."""
+
+from repro.simnet.faults import FaultInjector, FaultRule
+from repro.simnet.latency import (
+    EdgeLatencyModel,
+    FixedLatencyModel,
+    LatencyModel,
+    ZeroLatencyModel,
+    build_latency_model,
+    client_home_partition,
+)
+from repro.simnet.messages import Message, ReplyMessage, RequestMessage, next_request_id
+from repro.simnet.network import Network, NetworkStats
+from repro.simnet.node import SimEnvironment, SimNode
+from repro.simnet.proc import Call, Gather, Process, ProcessNode, Sleep
+from repro.simnet.simulator import EventHandle, Simulator
+
+__all__ = [
+    "Call",
+    "EdgeLatencyModel",
+    "EventHandle",
+    "FaultInjector",
+    "FaultRule",
+    "FixedLatencyModel",
+    "Gather",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Process",
+    "ProcessNode",
+    "ReplyMessage",
+    "RequestMessage",
+    "SimEnvironment",
+    "SimNode",
+    "Simulator",
+    "Sleep",
+    "ZeroLatencyModel",
+    "build_latency_model",
+    "client_home_partition",
+    "next_request_id",
+]

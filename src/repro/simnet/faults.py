@@ -1,0 +1,103 @@
+"""Transport-level fault injection.
+
+Byzantine behaviour shows up in two places in the reproduction: protocol-level
+misbehaviour (a lying leader or replica, implemented in
+:mod:`repro.bft.byzantine` and exercised by tests) and transport-level faults
+injected here — dropped, delayed or tampered messages.  Filters are installed
+on the :class:`~repro.simnet.network.Network` and apply to matching traffic.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Type
+
+from repro.common.ids import NodeId
+from repro.simnet.messages import Message
+from repro.simnet.network import Network
+
+
+@dataclass
+class FaultRule:
+    """Selects the traffic a fault applies to.
+
+    ``None`` fields match everything; ``probability`` applies the fault to a
+    random subset of matching messages.
+    """
+
+    src: Optional[NodeId] = None
+    dst: Optional[NodeId] = None
+    message_type: Optional[Type[Message]] = None
+    probability: float = 1.0
+
+    def matches(self, src: NodeId, dst: NodeId, message: Message, rng: random.Random) -> bool:
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.message_type is not None and not isinstance(message, self.message_type):
+            return False
+        if self.probability < 1.0 and rng.random() > self.probability:
+            return False
+        return True
+
+
+@dataclass
+class _InstalledFault:
+    rule: FaultRule
+    action: Callable[[Message], Optional[Message]]
+    applied: int = 0
+
+
+class FaultInjector:
+    """Installs and tracks transport faults on a network."""
+
+    def __init__(self, network: Network, seed: int = 13) -> None:
+        self._network = network
+        self._rng = random.Random(seed)
+        self._faults: List[_InstalledFault] = []
+        network.add_filter(self._filter)
+
+    # -- installation -------------------------------------------------------
+
+    def drop(self, rule: FaultRule) -> _InstalledFault:
+        """Drop matching messages."""
+        return self._install(rule, lambda message: None)
+
+    def tamper(
+        self, rule: FaultRule, mutate: Callable[[Message], Message]
+    ) -> _InstalledFault:
+        """Replace matching messages with ``mutate(copy)`` of the original."""
+
+        def action(message: Message) -> Optional[Message]:
+            return mutate(copy.deepcopy(message))
+
+        return self._install(rule, action)
+
+    def isolate(self, node: NodeId) -> List[_InstalledFault]:
+        """Drop all traffic to and from ``node`` (crash/partition emulation)."""
+        return [self.drop(FaultRule(src=node)), self.drop(FaultRule(dst=node))]
+
+    def clear(self) -> None:
+        self._faults.clear()
+
+    def _install(
+        self, rule: FaultRule, action: Callable[[Message], Optional[Message]]
+    ) -> _InstalledFault:
+        fault = _InstalledFault(rule=rule, action=action)
+        self._faults.append(fault)
+        return fault
+
+    # -- filter -------------------------------------------------------------
+
+    def _filter(self, src: NodeId, dst: NodeId, message: Message) -> Optional[Message]:
+        current: Optional[Message] = message
+        for fault in self._faults:
+            if current is None:
+                return None
+            if fault.rule.matches(src, dst, current, self._rng):
+                fault.applied += 1
+                current = fault.action(current)
+        return current

@@ -1,0 +1,101 @@
+"""Latency models for the simulated edge network.
+
+The GEDM setting of the paper has three qualitatively different link types:
+
+* links between replicas of the *same* cluster (machines in one edge/micro
+  datacentre) — sub-millisecond;
+* links between *different* clusters — wide-area, a few milliseconds plus a
+  configurable "additional latency" that the paper sweeps to emulate
+  geo-distribution (Figures 8, 12, 13);
+* links between a client and a cluster — the client is placed next to one
+  "home" partition and pays the wide-area cost to reach the others.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol
+
+from repro.common.config import LatencyConfig
+from repro.common.ids import ClientId, NodeId, PartitionId, ReplicaId
+
+
+class LatencyModel(Protocol):
+    """Computes the one-way delay of a message between two nodes."""
+
+    def delay_ms(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        """One-way message delay from ``src`` to ``dst`` in milliseconds."""
+        ...  # pragma: no cover - protocol definition
+
+
+def client_home_partition(client: ClientId, num_partitions: int) -> PartitionId:
+    """Deterministically place a client next to one partition's cluster."""
+    return sum(client.name.encode("utf-8")) % max(1, num_partitions)
+
+
+class EdgeLatencyModel:
+    """Latency model matching the deployment described in Section 5.1."""
+
+    def __init__(self, config: LatencyConfig, num_partitions: int) -> None:
+        self._config = config
+        self._num_partitions = num_partitions
+
+    def _jitter(self, base: float, rng: random.Random) -> float:
+        fraction = self._config.jitter_fraction
+        if fraction <= 0 or base <= 0:
+            return base
+        return base * (1.0 + rng.uniform(-fraction, fraction))
+
+    def _partition_of(self, node: NodeId) -> PartitionId:
+        if isinstance(node, ReplicaId):
+            return node.partition
+        return client_home_partition(node, self._num_partitions)
+
+    def _is_client(self, node: NodeId) -> bool:
+        return isinstance(node, ClientId)
+
+    def delay_ms(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        src_partition = self._partition_of(src)
+        dst_partition = self._partition_of(dst)
+        same_partition = src_partition == dst_partition
+        crosses_wan = not same_partition
+        config = self._config
+
+        if self._is_client(src) or self._is_client(dst):
+            base = config.client_to_cluster_ms
+            if crosses_wan:
+                base += config.inter_cluster_ms + config.inter_cluster_extra_ms
+            return self._jitter(base, rng)
+
+        if same_partition:
+            return self._jitter(config.intra_cluster_ms, rng)
+        base = config.inter_cluster_ms + config.inter_cluster_extra_ms
+        return self._jitter(base, rng)
+
+
+class FixedLatencyModel:
+    """Constant delay for every link; handy in unit tests."""
+
+    def __init__(self, delay_ms: float = 1.0) -> None:
+        self._delay_ms = delay_ms
+
+    def delay_ms(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        return self._delay_ms
+
+
+class ZeroLatencyModel(FixedLatencyModel):
+    """Messages arrive instantaneously (pure protocol-logic tests)."""
+
+    def __init__(self) -> None:
+        super().__init__(0.0)
+
+
+def build_latency_model(
+    config: LatencyConfig,
+    num_partitions: int,
+    override: Optional[LatencyModel] = None,
+) -> LatencyModel:
+    """Return ``override`` when provided, else the standard edge model."""
+    if override is not None:
+        return override
+    return EdgeLatencyModel(config, num_partitions)

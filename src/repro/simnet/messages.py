@@ -1,0 +1,46 @@
+"""Base message classes and request/reply correlation helpers.
+
+Protocol packages (``repro.bft``, ``repro.core``, ``repro.baselines``) define
+their concrete messages as dataclasses deriving from :class:`Message`.
+Client-side workflows use the request/reply pair: a :class:`RequestMessage`
+carries a unique ``request_id`` that the responder copies into its
+:class:`ReplyMessage`, which is how the process framework in
+:mod:`repro.simnet.proc` resumes a waiting client coroutine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Message:
+    """Base class of every simulated network message."""
+
+    @property
+    def type_name(self) -> str:
+        """Short name used for dispatch and network statistics."""
+        return type(self).__name__
+
+
+_request_counter = itertools.count()
+
+
+def next_request_id() -> str:
+    """Return a process-unique request identifier."""
+    return f"req-{next(_request_counter)}"
+
+
+@dataclass
+class RequestMessage(Message):
+    """A message that expects a correlated reply."""
+
+    request_id: str = field(default_factory=next_request_id, kw_only=True)
+
+
+@dataclass
+class ReplyMessage(Message):
+    """A message answering a prior :class:`RequestMessage`."""
+
+    request_id: str = field(kw_only=True)

@@ -1,0 +1,129 @@
+"""Simulated message bus connecting all nodes of the deployment.
+
+Every node registers itself with the network; ``send`` computes a link delay
+from the latency model and schedules delivery on the destination node.  The
+network also hosts the fault-injection hooks used to emulate byzantine and
+crash behaviour at the transport level (dropping, delaying or tampering with
+messages), and records per-message-type statistics used by tests and by the
+benchmark harness to report message complexity.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
+
+from repro.common.errors import NetworkError
+from repro.common.ids import NodeId
+from repro.simnet.latency import LatencyModel
+from repro.simnet.messages import Message
+from repro.simnet.simulator import Simulator
+
+
+class MessageSink(Protocol):
+    """Anything that can receive messages from the network."""
+
+    node_id: NodeId
+
+    def receive(self, message: Message, src: NodeId) -> None:
+        ...  # pragma: no cover - protocol definition
+
+
+#: A message filter sees (src, dst, message) and returns the message to
+#: deliver (possibly modified) or ``None`` to drop it.
+MessageFilter = Callable[[NodeId, NodeId, Message], Optional[Message]]
+
+
+class NetworkStats:
+    """Counters describing the traffic that crossed the network."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.by_type: Counter = Counter()
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "sent": self.messages_sent,
+            "delivered": self.messages_delivered,
+            "dropped": self.messages_dropped,
+        }
+
+
+class Network:
+    """Point-to-point message delivery with configurable latency and faults."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: LatencyModel,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._simulator = simulator
+        self._latency_model = latency_model
+        self._rng = rng or random.Random(0)
+        self._nodes: Dict[NodeId, MessageSink] = {}
+        self._filters: List[MessageFilter] = []
+        self.stats = NetworkStats()
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    def register(self, node: MessageSink) -> None:
+        """Attach ``node`` to the network; its ``node_id`` becomes routable."""
+        if node.node_id in self._nodes:
+            raise NetworkError(f"node {node.node_id} is already registered")
+        self._nodes[node.node_id] = node
+
+    def unregister(self, node_id: NodeId) -> None:
+        self._nodes.pop(node_id, None)
+
+    def knows(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterable[NodeId]:
+        return self._nodes.keys()
+
+    def add_filter(self, message_filter: MessageFilter) -> None:
+        """Install a fault-injection filter applied to every sent message."""
+        self._filters.append(message_filter)
+
+    def remove_filter(self, message_filter: MessageFilter) -> None:
+        self._filters.remove(message_filter)
+
+    def clear_filters(self) -> None:
+        self._filters.clear()
+
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst`` with modelled latency."""
+        if dst not in self._nodes:
+            raise NetworkError(f"message to unknown node {dst}")
+        self.stats.messages_sent += 1
+        self.stats.by_type[message.type_name] += 1
+
+        delivered = message
+        for message_filter in self._filters:
+            filtered = message_filter(src, dst, delivered)
+            if filtered is None:
+                self.stats.messages_dropped += 1
+                return
+            delivered = filtered
+
+        delay = self._latency_model.delay_ms(src, dst, self._rng)
+        destination = self._nodes[dst]
+
+        def _deliver(message_to_deliver: Message = delivered) -> None:
+            self.stats.messages_delivered += 1
+            destination.receive(message_to_deliver, src)
+
+        self._simulator.schedule(delay, _deliver)
+
+    def broadcast(self, src: NodeId, dsts: Iterable[NodeId], message: Message) -> None:
+        """Send ``message`` to every destination in ``dsts`` (excluding ``src``)."""
+        for dst in dsts:
+            if dst == src:
+                continue
+            self.send(src, dst, message)

@@ -1,0 +1,152 @@
+"""Simulated nodes: shared environment, processing-cost model and dispatch.
+
+A :class:`SimNode` is an actor attached to the network.  Incoming messages
+are not handled instantaneously: each node is a single-server FIFO queue with
+a per-message processing cost, which is what makes simulated throughput
+finite and sensitive to protocol design (a leader that must verify more
+signatures or run more conflict checks per transaction serves fewer
+transactions per simulated second).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Type
+
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.ids import NodeId
+from repro.crypto.signatures import KeyRegistry, Signer, make_signer
+from repro.simnet.messages import Message
+from repro.simnet.network import Network
+from repro.simnet.simulator import Simulator
+
+
+class SimEnvironment:
+    """Everything a node needs to participate in the simulation.
+
+    One environment is shared by all nodes of a deployment: the event loop,
+    the network, the system configuration, the PKI registry and a seeded
+    random generator (so whole-system runs are reproducible).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        simulator: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        registry: Optional[KeyRegistry] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        from repro.simnet.latency import build_latency_model
+
+        self.config = config.validate()
+        self.simulator = simulator or Simulator()
+        self.rng = rng or random.Random(config.seed)
+        if network is None:
+            latency_model = build_latency_model(config.latency, config.num_partitions)
+            network = Network(self.simulator, latency_model, random.Random(config.seed + 1))
+        self.network = network
+        self.registry = registry or KeyRegistry()
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def new_signer(self, identity: str) -> Signer:
+        """Create and register a signer for ``identity`` (setup-time PKI)."""
+        signer = make_signer(self.config.crypto_backend, identity, rng=self.rng)
+        self.registry.register(signer)
+        return signer
+
+
+#: Handler signature: receives the message and the sender's node id.
+MessageHandler = Callable[[Message, NodeId], None]
+
+
+class SimNode:
+    """Base class for every simulated actor (replicas, leaders, clients)."""
+
+    def __init__(self, node_id: NodeId, env: SimEnvironment) -> None:
+        self.node_id = node_id
+        self.env = env
+        self.signer = env.new_signer(str(node_id))
+        self._handlers: Dict[Type[Message], MessageHandler] = {}
+        self._busy_until = 0.0
+        self.messages_handled = 0
+        env.network.register(self)
+
+    # -- wiring -----------------------------------------------------------
+
+    def register_handler(self, message_type: Type[Message], handler: MessageHandler) -> None:
+        """Route messages of ``message_type`` to ``handler``."""
+        self._handlers[message_type] = handler
+
+    def send(self, dst: NodeId, message: Message) -> None:
+        """Send ``message`` to ``dst`` over the simulated network."""
+        self.env.network.send(self.node_id, dst, message)
+
+    def broadcast(self, dsts, message: Message) -> None:
+        self.env.network.broadcast(self.node_id, dsts, message)
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]):
+        """Schedule a local timer on the shared event loop."""
+        return self.env.simulator.schedule(delay_ms, callback)
+
+    @property
+    def now(self) -> float:
+        return self.env.simulator.now
+
+    # -- processing model --------------------------------------------------
+
+    def processing_cost_ms(self, message: Message) -> float:
+        """Simulated time this node spends handling ``message``.
+
+        Subclasses refine this per message type (e.g. a batch proposal costs
+        time proportional to the number of transactions it carries).
+        """
+        return self.env.config.costs.message_handling_ms
+
+    def receive(self, message: Message, src: NodeId) -> None:
+        """Network entry point: queue the message behind ongoing work."""
+        arrival = self.env.simulator.now
+        start = max(arrival, self._busy_until)
+        cost = self.processing_cost_ms(message)
+        completion = start + cost
+        self._busy_until = completion
+        self.env.simulator.schedule_at(
+            completion, lambda: self._dispatch(message, src)
+        )
+
+    def occupy(self, cost_ms: float) -> None:
+        """Account for locally initiated work (e.g. sealing a batch)."""
+        now = self.env.simulator.now
+        self._busy_until = max(now, self._busy_until) + cost_ms
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, message: Message, src: NodeId) -> None:
+        self.messages_handled += 1
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            handler = self._find_handler_by_mro(type(message))
+        if handler is None:
+            self.on_unhandled(message, src)
+            return
+        handler(message, src)
+
+    def _find_handler_by_mro(self, message_type: Type[Message]) -> Optional[MessageHandler]:
+        for base in message_type.__mro__[1:]:
+            if base in self._handlers:
+                return self._handlers[base]
+        return None
+
+    def on_unhandled(self, message: Message, src: NodeId) -> None:
+        """Called for messages with no registered handler."""
+        raise SimulationError(
+            f"{self.node_id} has no handler for {message.type_name} from {src}"
+        )

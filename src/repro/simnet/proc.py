@@ -1,0 +1,193 @@
+"""Generator-based processes for client-side workflows.
+
+Client logic (run a transaction: read, buffer writes, commit, wait) is much
+easier to read as straight-line code than as a hand-written state machine.
+:class:`ProcessNode` lets a node run Python generators as simulated
+processes: the generator ``yield``s *operations* and the framework resumes it
+when the operation completes.
+
+Supported operations:
+
+* :class:`Call` — send a request to one node and wait for the correlated
+  reply (optionally bounded by a timeout, in which case ``None`` is
+  returned).
+* :class:`Gather` — issue several calls in parallel and resume once a quorum
+  (or a custom predicate) is satisfied; the result is a list of replies
+  aligned with the calls, with ``None`` for replies that never arrived.
+* :class:`Sleep` — advance simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from repro.common.errors import SimulationError
+from repro.common.ids import NodeId
+from repro.simnet.messages import Message, ReplyMessage, RequestMessage
+from repro.simnet.node import SimEnvironment, SimNode
+
+
+@dataclass
+class Call:
+    """Send ``request`` to ``dst`` and wait for the correlated reply."""
+
+    dst: NodeId
+    request: RequestMessage
+    timeout_ms: Optional[float] = None
+
+
+@dataclass
+class Gather:
+    """Issue ``calls`` in parallel and wait for enough replies.
+
+    ``quorum`` is the number of replies to wait for (default: all).  When
+    ``done`` is provided it overrides ``quorum``: it receives the partially
+    filled reply list and returns True when the wait should end.
+    """
+
+    calls: Sequence[Call]
+    quorum: Optional[int] = None
+    done: Optional[Callable[[List[Optional[ReplyMessage]]], bool]] = None
+    timeout_ms: Optional[float] = None
+
+
+@dataclass
+class Sleep:
+    """Pause the process for ``delay_ms`` of simulated time."""
+
+    delay_ms: float
+
+
+#: A process body: a generator that yields operations and receives results.
+ProcessBody = Generator[object, object, object]
+
+
+@dataclass
+class _Wait:
+    process: "Process"
+    replies: List[Optional[ReplyMessage]]
+    remaining_ids: Dict[str, int] = field(default_factory=dict)
+    needed: int = 0
+    done: Optional[Callable[[List[Optional[ReplyMessage]]], bool]] = None
+    single: bool = False
+    finished: bool = False
+    timer = None
+
+
+class Process:
+    """A running generator process hosted by a :class:`ProcessNode`."""
+
+    def __init__(self, node: "ProcessNode", body: ProcessBody, name: str = "") -> None:
+        self.node = node
+        self.body = body
+        self.name = name or f"proc@{node.node_id}"
+        self.finished = False
+        self.result: object = None
+
+    def start(self) -> None:
+        self._advance(None)
+
+    def _advance(self, value: object) -> None:
+        if self.finished:
+            return
+        try:
+            operation = self.body.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.node.on_process_finished(self)
+            return
+        self.node._execute_operation(self, operation)
+
+
+class ProcessNode(SimNode):
+    """A node able to run generator processes and correlate replies."""
+
+    def __init__(self, node_id: NodeId, env: SimEnvironment) -> None:
+        super().__init__(node_id, env)
+        self._waits_by_request: Dict[str, _Wait] = {}
+        self.register_handler(ReplyMessage, self._on_reply)
+
+    # -- public API --------------------------------------------------------
+
+    def spawn(self, body: ProcessBody, name: str = "") -> Process:
+        """Start a new process running ``body`` immediately."""
+        process = Process(self, body, name=name)
+        # Start on the event loop so that spawning from setup code and from
+        # running handlers behaves the same way.
+        self.schedule(0.0, process.start)
+        return process
+
+    def on_process_finished(self, process: Process) -> None:
+        """Hook for subclasses (e.g. workload drivers chaining transactions)."""
+
+    # -- operation execution ------------------------------------------------
+
+    def _execute_operation(self, process: Process, operation: object) -> None:
+        if isinstance(operation, Call):
+            self._execute_gather(process, Gather([operation], timeout_ms=operation.timeout_ms), single=True)
+        elif isinstance(operation, Gather):
+            self._execute_gather(process, operation, single=False)
+        elif isinstance(operation, Sleep):
+            self.schedule(operation.delay_ms, lambda: process._advance(None))
+        else:
+            raise SimulationError(
+                f"process {process.name} yielded unsupported operation {operation!r}"
+            )
+
+    def _execute_gather(self, process: Process, gather: Gather, single: bool) -> None:
+        calls = list(gather.calls)
+        if not calls:
+            process._advance(None if single else [])
+            return
+        wait = _Wait(
+            process=process,
+            replies=[None] * len(calls),
+            needed=gather.quorum if gather.quorum is not None else len(calls),
+            done=gather.done,
+            single=single,
+        )
+        for index, call in enumerate(calls):
+            request_id = call.request.request_id
+            if request_id in self._waits_by_request:
+                raise SimulationError(f"duplicate request id {request_id}")
+            wait.remaining_ids[request_id] = index
+            self._waits_by_request[request_id] = wait
+            self.send(call.dst, call.request)
+        if gather.timeout_ms is not None:
+            wait.timer = self.schedule(gather.timeout_ms, lambda: self._finish_wait(wait))
+        # Per-call timeouts inside a Gather use the smallest timeout provided.
+        per_call_timeouts = [c.timeout_ms for c in calls if c.timeout_ms is not None]
+        if per_call_timeouts and gather.timeout_ms is None:
+            wait.timer = self.schedule(min(per_call_timeouts), lambda: self._finish_wait(wait))
+
+    def _on_reply(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, ReplyMessage)
+        wait = self._waits_by_request.pop(message.request_id, None)
+        if wait is None or wait.finished:
+            return
+        index = wait.remaining_ids.pop(message.request_id)
+        wait.replies[index] = message
+        if self._wait_satisfied(wait):
+            self._finish_wait(wait)
+
+    def _wait_satisfied(self, wait: _Wait) -> bool:
+        received = sum(1 for reply in wait.replies if reply is not None)
+        if wait.done is not None:
+            return wait.done(wait.replies)
+        return received >= wait.needed
+
+    def _finish_wait(self, wait: _Wait) -> None:
+        if wait.finished:
+            return
+        wait.finished = True
+        if wait.timer is not None:
+            wait.timer.cancel()
+        for request_id in list(wait.remaining_ids):
+            self._waits_by_request.pop(request_id, None)
+        wait.remaining_ids.clear()
+        if wait.single:
+            wait.process._advance(wait.replies[0])
+        else:
+            wait.process._advance(list(wait.replies))

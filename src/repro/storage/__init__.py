@@ -1,0 +1,7 @@
+"""Storage substrate: multi-version store, hash partitioner, lock table."""
+
+from repro.storage.locks import LockMode, LockTable
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.partitioner import HashPartitioner
+
+__all__ = ["HashPartitioner", "LockMode", "LockTable", "MultiVersionStore"]

@@ -1,0 +1,141 @@
+"""Multi-version key-value store.
+
+Each partition replica keeps its data in a :class:`MultiVersionStore`.  Every
+visible write is tagged with the batch number in which it became visible, so
+the store can answer three kinds of reads:
+
+* ``latest`` — the current committed value and its version (used when serving
+  client reads for read-write transactions and round-1 read-only requests);
+* ``as_of`` — the value visible at a given batch number (used for round-2
+  read-only requests that need an older or newer-but-specific snapshot);
+* ``version_of`` — just the version, used by optimistic validation
+  (Definition 3.1, rule 1: a read is stale when the key's latest version is
+  newer than the version the transaction read).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.errors import StorageError, UnknownKeyError
+from repro.common.ids import NO_BATCH, BatchNumber
+from repro.common.types import Key, Value, VersionedValue
+
+
+@dataclass
+class _VersionChain:
+    """Versions of one key, ordered by ascending batch number."""
+
+    versions: List[BatchNumber]
+    values: List[Value]
+
+    def latest(self) -> VersionedValue:
+        return VersionedValue(value=self.values[-1], version=self.versions[-1])
+
+    def as_of(self, batch: BatchNumber) -> Optional[VersionedValue]:
+        """Newest version with ``version <= batch`` (None when none exists)."""
+        index = bisect.bisect_right(self.versions, batch) - 1
+        if index < 0:
+            return None
+        return VersionedValue(value=self.values[index], version=self.versions[index])
+
+    def append(self, batch: BatchNumber, value: Value) -> None:
+        if self.versions and batch < self.versions[-1]:
+            raise StorageError(
+                f"version {batch} is older than latest version {self.versions[-1]}"
+            )
+        if self.versions and batch == self.versions[-1]:
+            # Two writes in the same batch: last writer wins.
+            self.values[-1] = value
+            return
+        self.versions.append(batch)
+        self.values.append(value)
+
+
+class MultiVersionStore:
+    """Versioned key/value storage for one partition."""
+
+    def __init__(self, initial: Optional[Mapping[Key, Value]] = None) -> None:
+        self._chains: Dict[Key, _VersionChain] = {}
+        if initial:
+            for key, value in initial.items():
+                self._chains[key] = _VersionChain(versions=[NO_BATCH], values=[value])
+
+    # -- writes -------------------------------------------------------------
+
+    def apply(self, writes: Mapping[Key, Value], batch: BatchNumber) -> None:
+        """Make ``writes`` visible at version ``batch``."""
+        if batch <= NO_BATCH:
+            raise StorageError(f"cannot apply writes at reserved version {batch}")
+        for key, value in writes.items():
+            chain = self._chains.get(key)
+            if chain is None:
+                chain = _VersionChain(versions=[], values=[])
+                self._chains[key] = chain
+            chain.append(batch, value)
+
+    def preload(self, items: Mapping[Key, Value]) -> None:
+        """Load initial data at the reserved pre-history version."""
+        for key, value in items.items():
+            if key in self._chains:
+                raise StorageError(f"key {key!r} already preloaded")
+            self._chains[key] = _VersionChain(versions=[NO_BATCH], values=[value])
+
+    # -- reads --------------------------------------------------------------
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._chains
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def keys(self) -> Iterable[Key]:
+        return self._chains.keys()
+
+    def latest(self, key: Key) -> VersionedValue:
+        chain = self._chains.get(key)
+        if chain is None:
+            raise UnknownKeyError(key)
+        return chain.latest()
+
+    def get(self, key: Key) -> Optional[VersionedValue]:
+        chain = self._chains.get(key)
+        if chain is None:
+            return None
+        return chain.latest()
+
+    def version_of(self, key: Key) -> BatchNumber:
+        """Latest visible version of ``key`` (``NO_BATCH`` for unknown keys)."""
+        chain = self._chains.get(key)
+        if chain is None:
+            return NO_BATCH
+        return chain.versions[-1]
+
+    def as_of(self, key: Key, batch: BatchNumber) -> Optional[VersionedValue]:
+        """Value of ``key`` as of batch ``batch`` (inclusive)."""
+        chain = self._chains.get(key)
+        if chain is None:
+            return None
+        return chain.as_of(batch)
+
+    def snapshot_latest(self) -> Dict[Key, Value]:
+        """Materialise the latest visible value of every key."""
+        return {key: chain.values[-1] for key, chain in self._chains.items()}
+
+    def snapshot_as_of(self, batch: BatchNumber) -> Dict[Key, Value]:
+        """Materialise the state visible at batch ``batch``."""
+        snapshot: Dict[Key, Value] = {}
+        for key, chain in self._chains.items():
+            versioned = chain.as_of(batch)
+            if versioned is not None:
+                snapshot[key] = versioned.value
+        return snapshot
+
+    def history(self, key: Key) -> Tuple[Tuple[BatchNumber, Value], ...]:
+        """Full version history of ``key`` (oldest first)."""
+        chain = self._chains.get(key)
+        if chain is None:
+            raise UnknownKeyError(key)
+        return tuple(zip(chain.versions, chain.values))

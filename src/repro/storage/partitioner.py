@@ -1,0 +1,66 @@
+"""Hash partitioning of keys across clusters.
+
+The paper distributes the 1M-key space uniformly across the 5 clusters using
+hashing (Section 5.1).  The partitioner here uses a stable digest (not
+Python's randomised ``hash``) so that every node, client and test agrees on
+key placement, and offers helpers to group a transaction's footprint by
+partition — the basic operation behind deciding whether a transaction is
+local or distributed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, TypeVar
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import PartitionId
+from repro.common.types import Key
+
+ValueT = TypeVar("ValueT")
+
+
+class HashPartitioner:
+    """Maps keys to partitions with a stable hash."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ConfigurationError("num_partitions must be >= 1")
+        self._num_partitions = num_partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def partition_of(self, key: Key) -> PartitionId:
+        """Partition owning ``key``."""
+        digest = hashlib.blake2s(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self._num_partitions
+
+    def group_keys(self, keys: Iterable[Key]) -> Dict[PartitionId, Set[Key]]:
+        """Group ``keys`` by owning partition."""
+        grouped: Dict[PartitionId, Set[Key]] = {}
+        for key in keys:
+            grouped.setdefault(self.partition_of(key), set()).add(key)
+        return grouped
+
+    def group_items(
+        self, items: Mapping[Key, ValueT]
+    ) -> Dict[PartitionId, Dict[Key, ValueT]]:
+        """Group a key-value mapping by owning partition."""
+        grouped: Dict[PartitionId, Dict[Key, ValueT]] = {}
+        for key, value in items.items():
+            grouped.setdefault(self.partition_of(key), {})[key] = value
+        return grouped
+
+    def partitions_of(self, keys: Iterable[Key]) -> FrozenSet[PartitionId]:
+        """Set of partitions touched by ``keys``."""
+        return frozenset(self.partition_of(key) for key in keys)
+
+    def is_local(self, keys: Iterable[Key]) -> bool:
+        """True when every key lives in a single partition."""
+        return len(self.partitions_of(keys)) <= 1
+
+    def local_keys(self, keys: Iterable[Key], partition: PartitionId) -> Set[Key]:
+        """Subset of ``keys`` owned by ``partition``."""
+        return {key for key in keys if self.partition_of(key) == partition}

@@ -1,0 +1,15 @@
+"""Correctness verification: execution histories and serializability checks."""
+
+from repro.verification.history import (
+    CommittedTxn,
+    ExecutionHistory,
+    ReadOnlyObservation,
+    version_order_from_system,
+)
+
+__all__ = [
+    "CommittedTxn",
+    "ExecutionHistory",
+    "ReadOnlyObservation",
+    "version_order_from_system",
+]

@@ -1,0 +1,19 @@
+"""Workload generation (YCSB-inspired transactional workloads, Section 5.1)."""
+
+from repro.workload.distributions import (
+    KeyChooser,
+    UniformKeyChooser,
+    ZipfianKeyChooser,
+    make_chooser,
+)
+from repro.workload.generator import TxnSpec, WorkloadGenerator, WorkloadProfile
+
+__all__ = [
+    "KeyChooser",
+    "TxnSpec",
+    "UniformKeyChooser",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "ZipfianKeyChooser",
+    "make_chooser",
+]

@@ -1,0 +1,95 @@
+"""Key-choice distributions for the workload generator.
+
+The paper's workload picks keys uniformly at random over a hashed key space
+(Section 5.1).  A Zipfian chooser is also provided for skewed-contention
+experiments and ablations — contention is what drives abort rates, so being
+able to dial it is useful even though the paper's headline numbers use the
+uniform distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Protocol, Sequence, Set
+
+
+class KeyChooser(Protocol):
+    """Chooses keys from a fixed population."""
+
+    def choose(self, rng: random.Random) -> str:
+        ...  # pragma: no cover - protocol definition
+
+    def choose_distinct(self, count: int, rng: random.Random) -> List[str]:
+        ...  # pragma: no cover - protocol definition
+
+
+class UniformKeyChooser:
+    """Every key is equally likely."""
+
+    def __init__(self, keys: Sequence[str]) -> None:
+        if not keys:
+            raise ValueError("key population must not be empty")
+        self._keys = list(keys)
+
+    def choose(self, rng: random.Random) -> str:
+        return self._keys[rng.randrange(len(self._keys))]
+
+    def choose_distinct(self, count: int, rng: random.Random) -> List[str]:
+        count = min(count, len(self._keys))
+        if count > len(self._keys) // 2:
+            return rng.sample(self._keys, count)
+        chosen: Set[str] = set()
+        while len(chosen) < count:
+            chosen.add(self.choose(rng))
+        return list(chosen)
+
+
+class ZipfianKeyChooser:
+    """Keys follow a Zipf distribution: low ranks are disproportionately popular.
+
+    ``theta`` is the usual YCSB skew parameter (0 = uniform, 0.99 = heavily
+    skewed).  The cumulative weights are precomputed so choosing is a binary
+    search.
+    """
+
+    def __init__(self, keys: Sequence[str], theta: float = 0.99) -> None:
+        if not keys:
+            raise ValueError("key population must not be empty")
+        if not 0 <= theta < 1.5:
+            raise ValueError("theta must be in [0, 1.5)")
+        self._keys = list(keys)
+        weights = [1.0 / ((rank + 1) ** theta) for rank in range(len(self._keys))]
+        total = 0.0
+        self._cumulative: List[float] = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+
+    def choose(self, rng: random.Random) -> str:
+        point = rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, point)
+        index = min(index, len(self._keys) - 1)
+        return self._keys[index]
+
+    def choose_distinct(self, count: int, rng: random.Random) -> List[str]:
+        count = min(count, len(self._keys))
+        chosen: Set[str] = set()
+        attempts = 0
+        while len(chosen) < count and attempts < 50 * count:
+            chosen.add(self.choose(rng))
+            attempts += 1
+        remaining = [key for key in self._keys if key not in chosen]
+        while len(chosen) < count and remaining:
+            chosen.add(remaining.pop())
+        return list(chosen)
+
+
+def make_chooser(keys: Sequence[str], distribution: str = "uniform", theta: float = 0.99) -> KeyChooser:
+    """Factory used by workload profiles (``'uniform'`` or ``'zipfian'``)."""
+    if distribution == "uniform":
+        return UniformKeyChooser(keys)
+    if distribution == "zipfian":
+        return ZipfianKeyChooser(keys, theta=theta)
+    raise ValueError(f"unknown key distribution {distribution!r}")

@@ -1,0 +1,271 @@
+"""YCSB-inspired transactional workload generator.
+
+Following Section 5.1 of the paper, the generator produces *transaction
+specifications* — which keys to read, which keys to write and with what
+values — that drivers then execute through a client.  The default profile
+mirrors the paper's: read-write transactions carry 5 reads and 3 writes
+spread over the clusters, read-only transactions read one key from each
+accessed cluster, keys are chosen uniformly over the hashed key space, and
+values are opaque byte strings of a configured size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.common.ids import PartitionId
+from repro.common.types import Key, TxnKind, Value
+from repro.storage.partitioner import HashPartitioner
+from repro.workload.distributions import KeyChooser, make_chooser
+
+
+@dataclass(frozen=True)
+class TxnSpec:
+    """One transaction to execute: keys to read, values to write."""
+
+    kind: TxnKind
+    read_keys: tuple
+    writes: Mapping[Key, Value]
+
+    def op_count(self) -> int:
+        return len(self.read_keys) + len(self.writes)
+
+
+@dataclass
+class WorkloadProfile:
+    """Knobs describing a workload mix (defaults follow Section 5.1)."""
+
+    read_ops: int = 5
+    write_ops: int = 3
+    read_only_ops: int = 5
+    clusters_per_read_only: Optional[int] = None
+    local_fraction: float = 0.0
+    write_only_fraction: float = 0.0
+    read_only_fraction: float = 0.0
+    value_size: int = 256
+    distribution: str = "uniform"
+    zipf_theta: float = 0.99
+
+    def validate(self) -> "WorkloadProfile":
+        for name in ("local_fraction", "write_only_fraction", "read_only_fraction"):
+            fraction = getattr(self, name)
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.read_ops < 0 or self.write_ops < 0 or self.read_only_ops < 1:
+            raise ValueError("operation counts must be non-negative (>=1 for read-only)")
+        if self.value_size < 1:
+            raise ValueError("value_size must be >= 1")
+        return self
+
+
+class WorkloadGenerator:
+    """Generates transaction specifications over a fixed key population."""
+
+    def __init__(
+        self,
+        keys: Sequence[Key],
+        partitioner: HashPartitioner,
+        profile: Optional[WorkloadProfile] = None,
+        seed: int = 11,
+    ) -> None:
+        if not keys:
+            raise ValueError("workload needs a non-empty key population")
+        self.profile = (profile or WorkloadProfile()).validate()
+        self.partitioner = partitioner
+        self._rng = random.Random(seed)
+        self._keys = list(keys)
+        self._keys_by_partition: Dict[PartitionId, List[Key]] = {}
+        for key in self._keys:
+            self._keys_by_partition.setdefault(partitioner.partition_of(key), []).append(key)
+        for partition_keys in self._keys_by_partition.values():
+            partition_keys.sort()
+        self._chooser: KeyChooser = make_chooser(
+            self._keys, self.profile.distribution, self.profile.zipf_theta
+        )
+        self._choosers_by_partition: Dict[PartitionId, KeyChooser] = {
+            partition: make_chooser(keys, self.profile.distribution, self.profile.zipf_theta)
+            for partition, keys in self._keys_by_partition.items()
+        }
+        self._value_counter = 0
+
+    # ------------------------------------------------------------------
+    # value generation
+    # ------------------------------------------------------------------
+
+    def next_value(self) -> Value:
+        """A fresh, identifiable value padded to the configured size."""
+        self._value_counter += 1
+        prefix = f"v{self._value_counter:012d}:".encode("ascii")
+        return prefix.ljust(self.profile.value_size, b"x")
+
+    # ------------------------------------------------------------------
+    # single-transaction generators
+    # ------------------------------------------------------------------
+
+    def partitions(self) -> List[PartitionId]:
+        return sorted(self._keys_by_partition)
+
+    def keys_in_partition(self, partition: PartitionId, count: int) -> List[Key]:
+        chooser = self._choosers_by_partition[partition]
+        return chooser.choose_distinct(count, self._rng)
+
+    def local_read_write(self, partition: Optional[PartitionId] = None) -> TxnSpec:
+        """A read-write transaction confined to a single partition."""
+        if partition is None:
+            partition = self._rng.choice(self.partitions())
+        needed = self.profile.read_ops + self.profile.write_ops
+        keys = self.keys_in_partition(partition, needed)
+        read_keys = keys[: self.profile.read_ops]
+        write_keys = keys[self.profile.read_ops:]
+        if not write_keys and keys:
+            write_keys = [keys[-1]]
+        return TxnSpec(
+            kind=TxnKind.LOCAL_READ_WRITE,
+            read_keys=tuple(read_keys),
+            writes={key: self.next_value() for key in write_keys},
+        )
+
+    def local_write_only(self, partition: Optional[PartitionId] = None) -> TxnSpec:
+        """A write-only transaction confined to a single partition."""
+        if partition is None:
+            partition = self._rng.choice(self.partitions())
+        write_count = max(1, self.profile.write_ops)
+        keys = self.keys_in_partition(partition, write_count)
+        return TxnSpec(
+            kind=TxnKind.LOCAL_WRITE_ONLY,
+            read_keys=(),
+            writes={key: self.next_value() for key in keys},
+        )
+
+    def distributed_read_write(
+        self,
+        read_ops: Optional[int] = None,
+        write_ops: Optional[int] = None,
+    ) -> TxnSpec:
+        """A read-write transaction whose operations span the clusters.
+
+        Operations are dealt round-robin over the partitions (the paper's
+        experiments "ensure that each transaction reads or writes some data
+        on each participating cluster").
+        """
+        read_ops = self.profile.read_ops if read_ops is None else read_ops
+        write_ops = self.profile.write_ops if write_ops is None else write_ops
+        partitions = self.partitions()
+        total_ops = read_ops + write_ops
+        chosen: List[Key] = []
+        seen = set()
+        for index in range(total_ops):
+            partition = partitions[index % len(partitions)]
+            for candidate in self.keys_in_partition(partition, 1 + len(seen)):
+                if candidate not in seen:
+                    chosen.append(candidate)
+                    seen.add(candidate)
+                    break
+        read_keys = chosen[:read_ops]
+        write_keys = chosen[read_ops:]
+        return TxnSpec(
+            kind=TxnKind.DISTRIBUTED_READ_WRITE,
+            read_keys=tuple(read_keys),
+            writes={key: self.next_value() for key in write_keys},
+        )
+
+    def skewed_read_write(self, read_ops: int, write_ops: int) -> TxnSpec:
+        """A read/write-skewed transaction as in Figures 10-11 of the paper.
+
+        Reads stay on the transaction's home partition while each write goes
+        to a distinct partition (the home partition first), so the number of
+        clusters participating in 2PC equals the number of write operations —
+        "R=5,W=1 essentially means local read-write transactions" (Section
+        5.2), and skewing towards writes means coordinating more clusters.
+        """
+        partitions = self.partitions()
+        home = self._rng.choice(partitions)
+        write_partitions = [home] + [p for p in partitions if p != home]
+        write_partitions = write_partitions[: max(1, min(write_ops, len(partitions)))]
+        read_keys = self.keys_in_partition(home, read_ops) if read_ops > 0 else []
+        writes: Dict[Key, Value] = {}
+        for index in range(write_ops):
+            partition = write_partitions[index % len(write_partitions)]
+            for candidate in self.keys_in_partition(partition, index + 1):
+                if candidate not in writes and candidate not in read_keys:
+                    writes[candidate] = self.next_value()
+                    break
+        kind = (
+            TxnKind.LOCAL_READ_WRITE
+            if len(write_partitions) == 1
+            else TxnKind.DISTRIBUTED_READ_WRITE
+        )
+        return TxnSpec(kind=kind, read_keys=tuple(read_keys), writes=writes)
+
+    def read_only(self, clusters: Optional[int] = None, ops: Optional[int] = None) -> TxnSpec:
+        """A read-only transaction reading from ``clusters`` distinct partitions.
+
+        Matching Section 5.1, the default reads one key from each accessed
+        cluster; ``ops`` can raise the total read count (Figure 7's
+        long-running read-only transactions), in which case reads are spread
+        round-robin over the accessed clusters.
+        """
+        partitions = self.partitions()
+        if clusters is None:
+            clusters = (
+                self.profile.clusters_per_read_only
+                if self.profile.clusters_per_read_only is not None
+                else len(partitions)
+            )
+        clusters = max(1, min(clusters, len(partitions)))
+        accessed = self._rng.sample(partitions, clusters)
+        ops = self.profile.read_only_ops if ops is None else ops
+        ops = max(ops, clusters)
+        per_partition = {partition: 0 for partition in accessed}
+        for index in range(ops):
+            per_partition[accessed[index % clusters]] += 1
+        read_keys: List[Key] = []
+        for partition, count in per_partition.items():
+            read_keys.extend(self.keys_in_partition(partition, count))
+        return TxnSpec(kind=TxnKind.READ_ONLY, read_keys=tuple(read_keys), writes={})
+
+    # ------------------------------------------------------------------
+    # streams
+    # ------------------------------------------------------------------
+
+    def mixed_stream(
+        self,
+        count: int,
+        local_fraction: Optional[float] = None,
+        read_only_fraction: Optional[float] = None,
+        write_only_fraction: Optional[float] = None,
+    ) -> Iterator[TxnSpec]:
+        """An endless-enough stream of transactions following the mix fractions."""
+        local_fraction = (
+            self.profile.local_fraction if local_fraction is None else local_fraction
+        )
+        read_only_fraction = (
+            self.profile.read_only_fraction if read_only_fraction is None else read_only_fraction
+        )
+        write_only_fraction = (
+            self.profile.write_only_fraction if write_only_fraction is None else write_only_fraction
+        )
+        for _ in range(count):
+            draw = self._rng.random()
+            if draw < read_only_fraction:
+                yield self.read_only()
+            elif draw < read_only_fraction + write_only_fraction:
+                yield self.local_write_only()
+            elif draw < read_only_fraction + write_only_fraction + local_fraction:
+                yield self.local_read_write()
+            else:
+                yield self.distributed_read_write()
+
+    def stream_of(self, count: int, kind: TxnKind, **kwargs) -> Iterator[TxnSpec]:
+        """A stream of ``count`` transactions of one kind."""
+        makers = {
+            TxnKind.LOCAL_WRITE_ONLY: self.local_write_only,
+            TxnKind.LOCAL_READ_WRITE: self.local_read_write,
+            TxnKind.DISTRIBUTED_READ_WRITE: self.distributed_read_write,
+            TxnKind.READ_ONLY: self.read_only,
+        }
+        maker = makers[kind]
+        for _ in range(count):
+            yield maker(**kwargs)

@@ -1,0 +1,82 @@
+"""Tests for the read-only protocol strategies (TransEdge vs baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.protocols import (
+    AugustusReadOnly,
+    TransEdgeReadOnly,
+    TwoPCBftReadOnly,
+    protocol_by_name,
+)
+from repro.common.config import BatchConfig, LatencyConfig, SystemConfig
+from repro.core.system import TransEdgeSystem
+
+
+@pytest.fixture(scope="module")
+def deployed_system():
+    config = SystemConfig(
+        num_partitions=2,
+        fault_tolerance=1,
+        batch=BatchConfig(max_size=10, timeout_ms=2.0),
+        latency=LatencyConfig(jitter_fraction=0.0),
+        initial_keys=32,
+    )
+    return TransEdgeSystem(config)
+
+
+class TestProtocolFactory:
+    def test_known_names(self):
+        assert isinstance(protocol_by_name("transedge"), TransEdgeReadOnly)
+        assert isinstance(protocol_by_name("TransEdge"), TransEdgeReadOnly)
+        assert isinstance(protocol_by_name("2pc-bft"), TwoPCBftReadOnly)
+        assert isinstance(protocol_by_name("2PC/BFT"), TwoPCBftReadOnly)
+        assert isinstance(protocol_by_name("augustus"), AugustusReadOnly)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            protocol_by_name("spanner")
+
+    def test_protocol_names(self):
+        assert TransEdgeReadOnly().name == "transedge"
+        assert TwoPCBftReadOnly().name == "2pc-bft"
+        assert AugustusReadOnly().name == "augustus"
+
+
+class TestProtocolsEndToEnd:
+    @pytest.mark.parametrize("name", ["transedge", "2pc-bft", "augustus"])
+    def test_each_protocol_returns_committed_values(self, deployed_system, name):
+        system = deployed_system
+        protocol = protocol_by_name(name)
+        client = system.create_client(f"proto-{name}")
+        keys = system.keys_of_partition(0)[:1] + system.keys_of_partition(1)[:1]
+        results = []
+
+        def body():
+            result = yield from protocol.run(client, keys)
+            results.append(result)
+
+        client.spawn(body())
+        system.run_until_idle()
+        result = results[0]
+        assert set(result.values) == set(keys)
+        for key in keys:
+            assert result.values[key] is not None
+
+    def test_relative_latency_ordering(self, deployed_system):
+        """TransEdge read-only latency beats the 2PC/BFT baseline."""
+        system = deployed_system
+        client = system.create_client("latency-compare")
+        keys = system.keys_of_partition(0)[:1] + system.keys_of_partition(1)[:1]
+        outcomes = {}
+
+        def body():
+            for name in ("transedge", "2pc-bft", "augustus"):
+                protocol = protocol_by_name(name)
+                result = yield from protocol.run(client, keys)
+                outcomes[name] = result
+
+        client.spawn(body())
+        system.run_until_idle()
+        assert outcomes["transedge"].latency_ms < outcomes["2pc-bft"].latency_ms

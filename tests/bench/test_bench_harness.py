@@ -1,0 +1,97 @@
+"""Tests for the benchmark harness (scaling, drivers, experiment registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.drivers import (
+    OPERATION_LABELS,
+    execute_concurrent_workloads,
+    execute_workload,
+)
+from repro.bench.experiments import EXPERIMENTS, build_system, make_generator
+from repro.bench.run import main as bench_main
+from repro.bench.scale import scale_factor, scaled
+from repro.common.types import TxnKind
+
+
+class TestScale:
+    def test_default_scale_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert scale_factor() == 1.0
+        assert scaled(30) == 30
+
+    def test_scale_multiplies_counts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert scale_factor() == 2.5
+        assert scaled(10) == 25
+
+    def test_scale_has_floor_and_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        assert scale_factor() == pytest.approx(0.1)
+        assert scaled(10, minimum=4) == 4
+
+    def test_invalid_scale_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "not-a-number")
+        assert scale_factor() == 1.0
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artefact_has_an_experiment(self):
+        expected = {f"fig{i}" for i in range(4, 16)} | {"table1"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_registry_values_are_callables(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+    def test_cli_lists_experiments(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table1" in out
+
+    def test_cli_rejects_unknown_experiment(self):
+        assert bench_main(["does-not-exist"]) == 2
+
+
+@pytest.fixture(scope="module")
+def tiny_system():
+    return build_system(
+        num_partitions=2, fault_tolerance=1, batch_size=10, initial_keys=64
+    )
+
+
+class TestDrivers:
+    def test_operation_labels_cover_all_kinds(self):
+        assert set(OPERATION_LABELS) == set(TxnKind)
+
+    def test_execute_workload_runs_mixed_specs(self):
+        system = build_system(num_partitions=2, fault_tolerance=1, batch_size=10, initial_keys=64)
+        generator = make_generator(system)
+        specs = list(generator.stream_of(6, TxnKind.LOCAL_WRITE_ONLY))
+        specs += [generator.read_only(clusters=2) for _ in range(4)]
+        result = execute_workload(system, specs, concurrency=3, num_clients=2)
+        assert result.executed == 10
+        assert result.metrics.operation("local-write-only").total == 6
+        assert result.metrics.operation("read-only").committed == 4
+        assert result.elapsed_ms > 0
+        assert result.throughput_tps() > 0
+
+    def test_execute_workload_with_named_protocol(self):
+        system = build_system(num_partitions=2, fault_tolerance=1, batch_size=10, initial_keys=64)
+        generator = make_generator(system)
+        specs = [generator.read_only(clusters=2) for _ in range(3)]
+        result = execute_workload(system, specs, concurrency=2, read_only_protocol="augustus")
+        assert result.metrics.operation("read-only").committed == 3
+
+    def test_execute_concurrent_workloads_records_both_streams(self):
+        system = build_system(num_partitions=2, fault_tolerance=1, batch_size=10, initial_keys=64)
+        generator = make_generator(system)
+        foreground = [generator.read_only(clusters=2) for _ in range(4)]
+        background = [generator.distributed_read_write(read_ops=2, write_ops=2) for _ in range(4)]
+        result = execute_concurrent_workloads(
+            system, foreground, background,
+            foreground_concurrency=2, background_concurrency=2,
+            foreground_pacing_ms=2.0,
+        )
+        assert result.metrics.operation("read-only").committed == 4
+        assert result.metrics.operation("distributed-read-write").total == 4

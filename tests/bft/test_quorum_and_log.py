@@ -1,0 +1,120 @@
+"""Tests for vote tracking, commit certificates and the replicated log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bft.log import ReplicatedLog
+from repro.bft.quorum import CommitCertificate, VoteTracker, certificate_payload
+from repro.common.errors import ConsensusError
+from repro.common.ids import ReplicaId
+from repro.crypto.signatures import HmacSigner, KeyRegistry, Signature
+
+
+def make_cluster_signers(n=4, partition=0):
+    registry = KeyRegistry()
+    members = [ReplicaId(partition, i) for i in range(n)]
+    signers = {m: HmacSigner(str(m)) for m in members}
+    for signer in signers.values():
+        registry.register(signer)
+    return registry, members, signers
+
+
+class TestVoteTracker:
+    def test_counts_distinct_senders(self):
+        tracker = VoteTracker()
+        sig = Signature(signer="a", value=b"x", scheme="hmac")
+        assert tracker.add("a", sig)
+        assert not tracker.add("a", sig)
+        assert tracker.add("b", Signature(signer="b", value=b"y", scheme="hmac"))
+        assert tracker.count() == 2
+        assert tracker.reached(2)
+        assert not tracker.reached(3)
+
+    def test_none_signature_is_not_counted(self):
+        tracker = VoteTracker()
+        assert not tracker.add("a", None)
+        assert tracker.count() == 0
+
+    def test_signatures_limit_and_order(self):
+        tracker = VoteTracker()
+        for name in ("c", "a", "b"):
+            tracker.add(name, Signature(signer=name, value=name.encode(), scheme="hmac"))
+        assert [s.signer for s in tracker.signatures()] == ["a", "b", "c"]
+        assert len(tracker.signatures(limit=2)) == 2
+        assert tracker.voters() == ("a", "b", "c")
+
+
+class TestCommitCertificate:
+    def test_valid_certificate_verifies(self):
+        registry, members, signers = make_cluster_signers()
+        payload = certificate_payload(view=0, seq=3, digest=b"d")
+        signatures = tuple(signers[m].sign(payload) for m in members[:3])
+        certificate = CommitCertificate(
+            partition=0, view=0, seq=3, digest=b"d", signatures=signatures
+        )
+        assert certificate.verify(registry, members, required=2)
+        assert certificate.verify(registry, members, required=3)
+        assert set(certificate.signers()) == {str(m) for m in members[:3]}
+
+    def test_insufficient_signatures_fail(self):
+        registry, members, signers = make_cluster_signers()
+        payload = certificate_payload(view=0, seq=1, digest=b"d")
+        certificate = CommitCertificate(
+            partition=0, view=0, seq=1, digest=b"d",
+            signatures=(signers[members[0]].sign(payload),),
+        )
+        assert not certificate.verify(registry, members, required=2)
+
+    def test_signatures_from_outside_cluster_do_not_count(self):
+        registry, members, signers = make_cluster_signers()
+        outsider = HmacSigner("P9/R9")
+        registry.register(outsider)
+        payload = certificate_payload(view=0, seq=1, digest=b"d")
+        certificate = CommitCertificate(
+            partition=0, view=0, seq=1, digest=b"d",
+            signatures=(signers[members[0]].sign(payload), outsider.sign(payload)),
+        )
+        assert not certificate.verify(registry, members, required=2)
+
+    def test_certificate_bound_to_digest(self):
+        registry, members, signers = make_cluster_signers()
+        payload = certificate_payload(view=0, seq=1, digest=b"original")
+        signatures = tuple(signers[m].sign(payload) for m in members[:3])
+        forged = CommitCertificate(
+            partition=0, view=0, seq=1, digest=b"forged", signatures=signatures
+        )
+        assert not forged.verify(registry, members, required=2)
+
+
+class TestReplicatedLog:
+    def _certificate(self, seq):
+        return CommitCertificate(partition=0, view=0, seq=seq, digest=b"", signatures=())
+
+    def test_append_and_get(self):
+        log = ReplicatedLog()
+        log.append(0, "a", self._certificate(0))
+        entry = log.append(1, "b", self._certificate(1))
+        assert log.get(1) is entry
+        assert log.last_seq == 1
+        assert log.next_seq == 2
+        assert len(log) == 2
+        assert [e.value for e in log] == ["a", "b"]
+
+    def test_out_of_order_append_rejected(self):
+        log = ReplicatedLog()
+        with pytest.raises(ConsensusError):
+            log.append(1, "b", self._certificate(1))
+
+    def test_duplicate_seq_rejected(self):
+        log = ReplicatedLog()
+        log.append(0, "a", self._certificate(0))
+        with pytest.raises(ConsensusError):
+            log.append(0, "again", self._certificate(0))
+
+    def test_get_missing_raises_try_get_returns_none(self):
+        log = ReplicatedLog()
+        with pytest.raises(ConsensusError):
+            log.get(0)
+        assert log.try_get(0) is None
+        assert log.last_seq == -1

@@ -1,0 +1,110 @@
+"""Tests for repro.common.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    BatchConfig,
+    CostConfig,
+    FreshnessConfig,
+    LatencyConfig,
+    SystemConfig,
+    paper_scale_config,
+    small_test_config,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestSystemConfig:
+    def test_defaults_are_valid(self):
+        config = SystemConfig()
+        assert config.validate() is config
+
+    def test_cluster_size_is_3f_plus_1(self):
+        assert SystemConfig(fault_tolerance=1).cluster_size == 4
+        assert SystemConfig(fault_tolerance=2).cluster_size == 7
+        assert SystemConfig(fault_tolerance=3).cluster_size == 10
+
+    def test_quorum_size_is_2f_plus_1(self):
+        assert SystemConfig(fault_tolerance=2).quorum_size == 5
+
+    def test_certificate_size_is_f_plus_1(self):
+        assert SystemConfig(fault_tolerance=2).certificate_size == 3
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_partitions=0).validate()
+
+    def test_rejects_zero_fault_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(fault_tolerance=0).validate()
+
+    def test_rejects_unknown_crypto_backend(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(crypto_backend="ed25519").validate()
+
+    def test_rejects_empty_keyspace(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(initial_keys=0).validate()
+
+    def test_with_updates_returns_validated_copy(self):
+        base = SystemConfig()
+        updated = base.with_updates(num_partitions=3)
+        assert updated.num_partitions == 3
+        assert base.num_partitions == 5
+        assert updated is not base
+
+    def test_with_updates_rejects_invalid_change(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig().with_updates(num_partitions=-1)
+
+    def test_paper_scale_matches_section_5_1(self):
+        config = paper_scale_config()
+        assert config.num_partitions == 5
+        assert config.fault_tolerance == 2
+        assert config.cluster_size == 7
+
+    def test_small_test_config_is_small_and_valid(self):
+        config = small_test_config()
+        assert config.num_partitions == 2
+        assert config.cluster_size == 4
+        assert config.initial_keys <= 256
+
+
+class TestNestedConfigs:
+    def test_latency_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            LatencyConfig(intra_cluster_ms=-1).validate()
+
+    def test_latency_rejects_bad_jitter(self):
+        with pytest.raises(ConfigurationError):
+            LatencyConfig(jitter_fraction=1.5).validate()
+
+    def test_latency_accepts_zero_extra(self):
+        LatencyConfig(inter_cluster_extra_ms=0.0).validate()
+
+    def test_cost_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CostConfig(signature_verify_ms=-0.1).validate()
+
+    def test_batch_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            BatchConfig(max_size=0).validate()
+
+    def test_batch_rejects_nonpositive_timeout(self):
+        with pytest.raises(ConfigurationError):
+            BatchConfig(timeout_ms=0).validate()
+
+    def test_freshness_rejects_nonpositive_window(self):
+        with pytest.raises(ConfigurationError):
+            FreshnessConfig(acceptance_window_ms=0).validate()
+
+    def test_freshness_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            FreshnessConfig(client_staleness_bound_ms=0).validate()
+
+    def test_nested_validation_runs_from_system_config(self):
+        config = SystemConfig(batch=BatchConfig(max_size=0))
+        with pytest.raises(ConfigurationError):
+            config.validate()

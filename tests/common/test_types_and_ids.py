@@ -1,0 +1,96 @@
+"""Tests for repro.common.types and repro.common.ids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.ids import (
+    NO_BATCH,
+    ClientId,
+    ReplicaId,
+    TxnIdGenerator,
+    leader_of,
+)
+from repro.common.types import (
+    CommitResult,
+    ReadRecord,
+    ReadSet,
+    TxnStatus,
+    VersionedValue,
+    WriteRecord,
+    WriteSet,
+    as_value,
+)
+
+
+class TestIds:
+    def test_replica_id_is_hashable_and_ordered(self):
+        a = ReplicaId(0, 1)
+        b = ReplicaId(0, 2)
+        c = ReplicaId(1, 0)
+        assert a < b < c
+        assert len({a, b, c, ReplicaId(0, 1)}) == 3
+
+    def test_replica_id_str(self):
+        assert str(ReplicaId(2, 3)) == "P2/R3"
+
+    def test_client_id_str(self):
+        assert str(ClientId("w1")) == "client:w1"
+
+    def test_txn_id_generator_unique_and_prefixed(self):
+        gen = TxnIdGenerator("clientA")
+        first, second = gen.next(), gen.next()
+        assert first != second
+        assert first.startswith("clientA#")
+
+    def test_txn_ids_from_different_clients_never_collide(self):
+        a = TxnIdGenerator("a")
+        b = TxnIdGenerator("b")
+        assert {a.next() for _ in range(10)}.isdisjoint({b.next() for _ in range(10)})
+
+    def test_leader_of_rotates_with_view(self):
+        assert leader_of(0, view=0, cluster_size=4) == ReplicaId(0, 0)
+        assert leader_of(0, view=1, cluster_size=4) == ReplicaId(0, 1)
+        assert leader_of(0, view=4, cluster_size=4) == ReplicaId(0, 0)
+        assert leader_of(3, view=2, cluster_size=7) == ReplicaId(3, 2)
+
+
+class TestValueTypes:
+    def test_as_value_accepts_str_and_bytes(self):
+        assert as_value("abc") == b"abc"
+        assert as_value(b"xyz") == b"xyz"
+
+    def test_versioned_value_initial(self):
+        assert VersionedValue(b"v").is_initial()
+        assert not VersionedValue(b"v", version=3).is_initial()
+
+    def test_read_set_tracks_keys_and_partitions(self):
+        reads = ReadSet()
+        reads.add(ReadRecord(key="k1", value=b"a", version=1, partition=0))
+        reads.add(ReadRecord(key="k2", value=b"b", version=2, partition=1))
+        assert reads.keys() == frozenset({"k1", "k2"})
+        assert reads.partitions() == frozenset({0, 1})
+        assert "k1" in reads
+        assert len(reads) == 2
+
+    def test_read_set_last_read_wins(self):
+        reads = ReadSet()
+        reads.add(ReadRecord(key="k", value=b"a", version=1, partition=0))
+        reads.add(ReadRecord(key="k", value=b"b", version=5, partition=0))
+        assert len(reads) == 1
+        assert reads.records["k"].version == 5
+
+    def test_write_set_mapping_and_last_write_wins(self):
+        writes = WriteSet()
+        writes.add(WriteRecord(key="k", value=b"1", partition=0))
+        writes.add(WriteRecord(key="k", value=b"2", partition=0))
+        writes.add(WriteRecord(key="j", value=b"3", partition=1))
+        assert writes.as_mapping() == {"k": b"2", "j": b"3"}
+        assert writes.partitions() == frozenset({0, 1})
+
+    def test_commit_result_committed_property(self):
+        ok = CommitResult(txn_id="t", status=TxnStatus.COMMITTED, commit_batch=4)
+        aborted = CommitResult(txn_id="t", status=TxnStatus.ABORTED)
+        assert ok.committed
+        assert not aborted.committed
+        assert aborted.commit_batch == NO_BATCH

@@ -1,0 +1,110 @@
+"""Tests for CD vectors (Algorithm 1 building blocks)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import InvalidTransactionError
+from repro.common.ids import NO_BATCH
+from repro.core.cdvector import CDVector, combine_all
+
+
+class TestConstruction:
+    def test_initial_vector_has_no_dependencies(self):
+        vector = CDVector.initial(4)
+        assert len(vector) == 4
+        assert all(vector[p] == NO_BATCH for p in range(4))
+        assert vector.dependencies() == ()
+
+    def test_from_entries(self):
+        vector = CDVector.from_entries([2, -1, 5])
+        assert vector[0] == 2 and vector[2] == 5
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            CDVector(entries=())
+
+    def test_with_entry_is_functional(self):
+        base = CDVector.initial(3)
+        updated = base.with_entry(1, 7)
+        assert updated[1] == 7
+        assert base[1] == NO_BATCH
+
+    def test_payload_is_plain_ints(self):
+        assert CDVector.from_entries([1, -1]).payload() == [1, -1]
+
+
+class TestPairwiseMax:
+    def test_example_from_paper_figure_3(self):
+        # V_X_2 = [2, 5]: self entry 2, dependency on Y's prepare batch 5.
+        previous = CDVector.from_entries([1, -1])
+        reported_by_y = CDVector.from_entries([-1, 5])
+        combined = previous.pairwise_max(reported_by_y).with_entry(0, 2)
+        assert combined.entries == (2, 5)
+
+    def test_pairwise_max_is_commutative_and_idempotent(self):
+        a = CDVector.from_entries([3, -1, 2])
+        b = CDVector.from_entries([1, 4, 2])
+        assert a.pairwise_max(b) == b.pairwise_max(a)
+        assert a.pairwise_max(a) == a
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            CDVector.from_entries([1, 2]).pairwise_max(CDVector.from_entries([1, 2, 3]))
+
+    def test_combine_all_folds_every_vector(self):
+        base = CDVector.initial(3)
+        reported = [
+            CDVector.from_entries([0, 2, -1]),
+            CDVector.from_entries([1, -1, 4]),
+        ]
+        combined = combine_all(base, reported)
+        assert combined.entries == (1, 2, 4)
+
+    def test_combine_all_empty_is_identity(self):
+        base = CDVector.from_entries([5, 6])
+        assert combine_all(base, []) == base
+
+
+class TestDominates:
+    def test_dominates_requires_every_entry(self):
+        high = CDVector.from_entries([3, 4])
+        low = CDVector.from_entries([2, 4])
+        assert high.dominates(low)
+        assert not low.dominates(high)
+        assert high.dominates(high)
+
+    def test_dominates_rejects_length_mismatch(self):
+        assert not CDVector.from_entries([1]).dominates(CDVector.from_entries([1, 2]))
+
+    def test_dependencies_skips_empty_entries(self):
+        vector = CDVector.from_entries([-1, 3, -1, 0])
+        assert vector.dependencies() == ((1, 3), (3, 0))
+
+
+cd_entries = st.lists(st.integers(min_value=-1, max_value=50), min_size=1, max_size=6)
+
+
+class TestProperties:
+    @given(cd_entries, cd_entries)
+    def test_pairwise_max_dominates_both_inputs(self, a_entries, b_entries):
+        size = min(len(a_entries), len(b_entries))
+        a = CDVector.from_entries(a_entries[:size])
+        b = CDVector.from_entries(b_entries[:size])
+        combined = a.pairwise_max(b)
+        assert combined.dominates(a)
+        assert combined.dominates(b)
+
+    @given(cd_entries, cd_entries, cd_entries)
+    def test_pairwise_max_is_associative(self, xs, ys, zs):
+        size = min(len(xs), len(ys), len(zs))
+        a, b, c = (CDVector.from_entries(v[:size]) for v in (xs, ys, zs))
+        assert a.pairwise_max(b).pairwise_max(c) == a.pairwise_max(b.pairwise_max(c))
+
+    @given(st.lists(cd_entries, min_size=1, max_size=5))
+    def test_combine_all_result_dominates_every_reported_vector(self, entry_lists):
+        size = min(len(entries) for entries in entry_lists)
+        vectors = [CDVector.from_entries(entries[:size]) for entries in entry_lists]
+        combined = combine_all(CDVector.initial(size), vectors)
+        assert all(combined.dominates(vector) for vector in vectors)

@@ -1,0 +1,53 @@
+"""Tests for the cluster topology directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.common.ids import ReplicaId
+from repro.core.topology import ClusterTopology
+
+
+@pytest.fixture
+def topology():
+    return ClusterTopology(SystemConfig(num_partitions=3, fault_tolerance=1))
+
+
+class TestClusterTopology:
+    def test_members_per_partition(self, topology):
+        assert topology.num_partitions == 3
+        assert len(topology.members(0)) == 4
+        assert topology.members(2)[0] == ReplicaId(2, 0)
+
+    def test_initial_leader_is_replica_zero(self, topology):
+        for partition in topology.partitions():
+            assert topology.leader(partition) == ReplicaId(partition, 0)
+
+    def test_followers_exclude_leader(self, topology):
+        followers = topology.followers(1)
+        assert ReplicaId(1, 0) not in followers
+        assert len(followers) == 3
+
+    def test_set_leader(self, topology):
+        topology.set_leader(0, ReplicaId(0, 2))
+        assert topology.leader(0) == ReplicaId(0, 2)
+        assert ReplicaId(0, 2) not in topology.followers(0)
+
+    def test_set_leader_rejects_foreign_replica(self, topology):
+        with pytest.raises(ConfigurationError):
+            topology.set_leader(0, ReplicaId(1, 0))
+
+    def test_unknown_partition_rejected(self, topology):
+        with pytest.raises(ConfigurationError):
+            topology.members(9)
+        with pytest.raises(ConfigurationError):
+            topology.leader(-1)
+
+    def test_all_replicas_count(self, topology):
+        assert len(topology.all_replicas()) == 3 * 4
+
+    def test_cluster_size_follows_fault_tolerance(self):
+        topology = ClusterTopology(SystemConfig(num_partitions=2, fault_tolerance=3))
+        assert len(topology.members(0)) == 10

@@ -1,0 +1,232 @@
+"""Tests for transaction payloads and the OCC conflict rules (Definition 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import InvalidTransactionError
+from repro.common.ids import NO_BATCH
+from repro.core.occ import (
+    ConflictChecker,
+    Footprint,
+    KeyConflictIndex,
+    stale_read_check,
+    transactions_conflict,
+)
+from repro.core.transaction import TxnPayload, make_transaction
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.partitioner import HashPartitioner
+
+
+@pytest.fixture
+def partitioner():
+    return HashPartitioner(2)
+
+
+def keys_for(partitioner, partition, count, prefix="k"):
+    """Deterministic keys that hash to the requested partition."""
+    found = []
+    index = 0
+    while len(found) < count:
+        key = f"{prefix}{index}"
+        if partitioner.partition_of(key) == partition:
+            found.append(key)
+        index += 1
+    return found
+
+
+class TestTxnPayload:
+    def test_requires_id_and_operations(self):
+        with pytest.raises(InvalidTransactionError):
+            TxnPayload(txn_id="", reads={"a": 0}, writes={})
+        with pytest.raises(InvalidTransactionError):
+            TxnPayload(txn_id="t", reads={}, writes={})
+
+    def test_keys_union(self):
+        txn = make_transaction("t", reads={"a": 1}, writes={"b": b"x"})
+        assert txn.keys() == frozenset({"a", "b"})
+
+    def test_partitions_and_distribution(self, partitioner):
+        p0_keys = keys_for(partitioner, 0, 2)
+        p1_keys = keys_for(partitioner, 1, 1)
+        local = make_transaction("t1", writes={k: b"v" for k in p0_keys})
+        distributed = make_transaction(
+            "t2", reads={p0_keys[0]: 0}, writes={p1_keys[0]: b"v"}
+        )
+        assert not local.is_distributed(partitioner)
+        assert distributed.is_distributed(partitioner)
+        assert distributed.partitions(partitioner) == frozenset({0, 1})
+
+    def test_per_partition_projections(self, partitioner):
+        p0 = keys_for(partitioner, 0, 1)[0]
+        p1 = keys_for(partitioner, 1, 1)[0]
+        txn = make_transaction("t", reads={p0: 3}, writes={p1: b"v"})
+        assert txn.reads_in(0, partitioner) == {p0: 3}
+        assert txn.reads_in(1, partitioner) == {}
+        assert txn.writes_in(1, partitioner) == {p1: b"v"}
+        assert txn.read_keys_in(0, partitioner) == frozenset({p0})
+        assert txn.write_keys_in(0, partitioner) == frozenset()
+
+    def test_write_only_detection(self):
+        assert make_transaction("t", writes={"a": b"1"}).is_write_only()
+        assert not make_transaction("t", reads={"a": 1}, writes={"b": b"1"}).is_write_only()
+
+    def test_payload_is_canonical(self):
+        a = make_transaction("t", reads={"a": 1, "b": 2}, writes={"c": b"x"})
+        b = make_transaction("t", reads={"b": 2, "a": 1}, writes={"c": b"x"})
+        assert a.payload() == b.payload()
+
+
+class TestFootprintConflicts:
+    def test_ww_wr_rw_conflicts(self):
+        ww = Footprint(reads=frozenset(), writes=frozenset({"k"}))
+        assert ww.conflicts_with(Footprint(reads=frozenset(), writes=frozenset({"k"})))
+        wr = Footprint(reads=frozenset({"k"}), writes=frozenset())
+        assert wr.conflicts_with(Footprint(reads=frozenset(), writes=frozenset({"k"})))
+        assert Footprint(reads=frozenset(), writes=frozenset({"k"})).conflicts_with(wr)
+
+    def test_read_read_is_not_a_conflict(self):
+        a = Footprint(reads=frozenset({"k"}), writes=frozenset())
+        b = Footprint(reads=frozenset({"k"}), writes=frozenset())
+        assert not a.conflicts_with(b)
+
+    def test_disjoint_footprints_do_not_conflict(self):
+        a = Footprint(reads=frozenset({"a"}), writes=frozenset({"b"}))
+        b = Footprint(reads=frozenset({"c"}), writes=frozenset({"d"}))
+        assert not a.conflicts_with(b)
+
+    def test_transactions_conflict_respects_partition(self, partitioner):
+        p0 = keys_for(partitioner, 0, 1)[0]
+        p1 = keys_for(partitioner, 1, 1)[0]
+        a = make_transaction("a", writes={p0: b"1", p1: b"1"})
+        b = make_transaction("b", writes={p1: b"2"})
+        assert not transactions_conflict(a, b, 0, partitioner)
+        assert transactions_conflict(a, b, 1, partitioner)
+
+
+class TestStaleReads:
+    def test_fresh_read_passes(self, partitioner):
+        key = keys_for(partitioner, 0, 1)[0]
+        store = MultiVersionStore({key: b"v"})
+        txn = make_transaction("t", reads={key: NO_BATCH}, writes={key: b"n"})
+        assert stale_read_check(txn, 0, partitioner, store) is None
+
+    def test_stale_read_detected(self, partitioner):
+        key = keys_for(partitioner, 0, 1)[0]
+        store = MultiVersionStore({key: b"v"})
+        store.apply({key: b"newer"}, batch=3)
+        txn = make_transaction("t", reads={key: NO_BATCH}, writes={key: b"n"})
+        assert stale_read_check(txn, 0, partitioner, store) == key
+
+    def test_reads_of_other_partitions_are_ignored(self, partitioner):
+        p1_key = keys_for(partitioner, 1, 1)[0]
+        store = MultiVersionStore()
+        txn = make_transaction("t", reads={p1_key: 7}, writes={p1_key: b"n"})
+        assert stale_read_check(txn, 0, partitioner, store) is None
+
+
+class TestKeyConflictIndex:
+    def test_detects_conflicts_through_index(self, partitioner):
+        keys = keys_for(partitioner, 0, 3)
+        index = KeyConflictIndex(0, partitioner)
+        index.add(make_transaction("t1", writes={keys[0]: b"1"}))
+        index.add(make_transaction("t2", reads={keys[1]: 0}, writes={keys[2]: b"2"}))
+        # write-write with t1
+        assert index.first_conflict(make_transaction("x", writes={keys[0]: b"9"})) == "t1"
+        # write-read with t2's read
+        assert index.first_conflict(make_transaction("y", writes={keys[1]: b"9"})) == "t2"
+        # read-write with t2's write
+        assert index.first_conflict(make_transaction("z", reads={keys[2]: 0}, writes={"other": b"1"})) == "t2"
+
+    def test_no_conflict_for_disjoint_or_read_read(self, partitioner):
+        keys = keys_for(partitioner, 0, 3)
+        index = KeyConflictIndex(0, partitioner)
+        index.add(make_transaction("t1", reads={keys[0]: 0}, writes={keys[1]: b"1"}))
+        probe = make_transaction("p", reads={keys[0]: 0}, writes={keys[2]: b"2"})
+        assert index.first_conflict(probe) is None
+
+    def test_remove_clears_footprint(self, partitioner):
+        keys = keys_for(partitioner, 0, 2)
+        index = KeyConflictIndex(0, partitioner)
+        index.add(make_transaction("t1", writes={keys[0]: b"1"}))
+        index.remove("t1")
+        assert index.first_conflict(make_transaction("x", writes={keys[0]: b"9"})) is None
+        assert len(index) == 0
+
+    def test_duplicate_add_is_idempotent(self, partitioner):
+        keys = keys_for(partitioner, 0, 1)
+        index = KeyConflictIndex(0, partitioner)
+        txn = make_transaction("t1", writes={keys[0]: b"1"})
+        index.add(txn)
+        index.add(txn)
+        index.remove("t1")
+        assert len(index) == 0
+
+    def test_ignores_keys_of_other_partitions(self, partitioner):
+        p1_key = keys_for(partitioner, 1, 1)[0]
+        index = KeyConflictIndex(0, partitioner)
+        index.add(make_transaction("t1", writes={p1_key: b"1"}))
+        assert index.first_conflict(make_transaction("x", writes={p1_key: b"2"})) is None
+
+    def test_clear(self, partitioner):
+        keys = keys_for(partitioner, 0, 1)
+        index = KeyConflictIndex(0, partitioner)
+        index.add(make_transaction("t1", writes={keys[0]: b"1"}))
+        index.clear()
+        assert "t1" not in index
+
+
+class TestConflictChecker:
+    def test_accepts_fresh_nonconflicting_transaction(self, partitioner):
+        keys = keys_for(partitioner, 0, 2)
+        store = MultiVersionStore({k: b"v" for k in keys})
+        checker = ConflictChecker(0, partitioner, store)
+        txn = make_transaction("t", reads={keys[0]: NO_BATCH}, writes={keys[1]: b"x"})
+        assert checker.check(txn).ok
+
+    def test_rejects_stale_read(self, partitioner):
+        keys = keys_for(partitioner, 0, 1)
+        store = MultiVersionStore({keys[0]: b"v"})
+        store.apply({keys[0]: b"w"}, batch=2)
+        checker = ConflictChecker(0, partitioner, store)
+        txn = make_transaction("t", reads={keys[0]: NO_BATCH}, writes={keys[0]: b"x"})
+        report = checker.check(txn)
+        assert not report.ok
+        assert "stale" in report.reason
+
+    def test_rejects_conflict_with_index(self, partitioner):
+        keys = keys_for(partitioner, 0, 2)
+        store = MultiVersionStore({k: b"v" for k in keys})
+        checker = ConflictChecker(0, partitioner, store)
+        index = KeyConflictIndex(0, partitioner)
+        index.add(make_transaction("pending", writes={keys[0]: b"1"}))
+        txn = make_transaction("t", reads={keys[0]: NO_BATCH}, writes={keys[1]: b"x"})
+        report = checker.check(txn, indexes=[index])
+        assert not report.ok
+        assert report.conflicting_txn == "pending"
+
+    def test_explicit_pending_pairs_supported(self, partitioner):
+        keys = keys_for(partitioner, 0, 1)
+        store = MultiVersionStore({keys[0]: b"v"})
+        checker = ConflictChecker(0, partitioner, store)
+        pending_txn = make_transaction("p", writes={keys[0]: b"1"})
+        txn = make_transaction("t", writes={keys[0]: b"2"})
+        report = checker.check(txn, pending=[("prepared", pending_txn)])
+        assert not report.ok
+        assert "prepared" in report.reason
+
+    def test_transaction_with_empty_local_footprint_is_accepted(self, partitioner):
+        p1_key = keys_for(partitioner, 1, 1)[0]
+        store = MultiVersionStore()
+        checker = ConflictChecker(0, partitioner, store)
+        txn = make_transaction("t", writes={p1_key: b"x"})
+        assert checker.check(txn).ok
+
+    def test_does_not_conflict_with_itself(self, partitioner):
+        keys = keys_for(partitioner, 0, 1)
+        store = MultiVersionStore({keys[0]: b"v"})
+        checker = ConflictChecker(0, partitioner, store)
+        txn = make_transaction("t", writes={keys[0]: b"1"})
+        index = KeyConflictIndex(0, partitioner)
+        index.add(txn)
+        assert checker.check(txn, indexes=[index]).ok

@@ -1,0 +1,86 @@
+"""Tests for repro.crypto.hashing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import (
+    combine_digests,
+    digest_of,
+    sha256,
+    sha256_hex,
+    stable_encode,
+)
+
+
+class TestSha256:
+    def test_known_vector(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_digest_is_32_bytes(self):
+        assert len(sha256(b"abc")) == 32
+
+
+class TestStableEncode:
+    def test_mapping_order_does_not_matter(self):
+        a = {"x": 1, "y": [2, 3], "z": "s"}
+        b = {"z": "s", "y": [2, 3], "x": 1}
+        assert stable_encode(a) == stable_encode(b)
+
+    def test_distinguishes_types(self):
+        assert stable_encode(1) != stable_encode("1")
+        assert stable_encode(True) != stable_encode(1)
+        assert stable_encode(b"a") != stable_encode("a")
+        assert stable_encode(None) != stable_encode(0)
+
+    def test_distinguishes_nesting(self):
+        assert stable_encode([1, [2]]) != stable_encode([[1], 2])
+        assert stable_encode([[], [1]]) != stable_encode([[1], []])
+
+    def test_rejects_non_string_mapping_keys(self):
+        with pytest.raises(TypeError):
+            stable_encode({1: "x"})
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            stable_encode(object())
+
+    def test_digest_of_is_stable(self):
+        assert digest_of({"a": 1}) == digest_of({"a": 1})
+
+    def test_combine_digests_order_sensitive(self):
+        d1, d2 = sha256(b"1"), sha256(b"2")
+        assert combine_digests([d1, d2]) != combine_digests([d2, d1])
+
+
+# A recursive strategy for encodable values.
+encodable = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**64), max_value=2**64)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+class TestStableEncodeProperties:
+    @given(encodable)
+    def test_encoding_is_deterministic(self, value):
+        assert stable_encode(value) == stable_encode(value)
+
+    @given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=6))
+    def test_mapping_insertion_order_is_irrelevant(self, mapping):
+        reordered = dict(sorted(mapping.items(), reverse=True))
+        assert stable_encode(mapping) == stable_encode(reordered)
+
+    @given(st.lists(st.integers(), max_size=6), st.lists(st.integers(), max_size=6))
+    def test_distinct_lists_encode_differently(self, a, b):
+        if a != b:
+            assert stable_encode(a) != stable_encode(b)

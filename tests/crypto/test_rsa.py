@@ -1,0 +1,90 @@
+"""Tests for the from-scratch RSA implementation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import CryptoError
+from repro.crypto import rsa
+
+
+@pytest.fixture(scope="module")
+def keypair() -> rsa.RsaKeyPair:
+    # Module-scoped: key generation is the expensive part.
+    return rsa.generate_keypair(bits=512, rng=random.Random(42))
+
+
+class TestKeyGeneration:
+    def test_modulus_has_requested_size(self, keypair):
+        assert keypair.public.n.bit_length() >= 500
+
+    def test_public_exponent_is_standard(self, keypair):
+        assert keypair.public.e == 65537
+
+    def test_rejects_tiny_moduli(self):
+        with pytest.raises(CryptoError):
+            rsa.generate_keypair(bits=64)
+
+    def test_fingerprint_is_stable_and_short(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 16
+
+    def test_different_seeds_give_different_keys(self):
+        a = rsa.generate_keypair(bits=256, rng=random.Random(1))
+        b = rsa.generate_keypair(bits=256, rng=random.Random(2))
+        assert a.public.n != b.public.n
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        message = b"batch digest 42"
+        signature = rsa.sign(keypair.private, message)
+        assert rsa.verify(keypair.public, message, signature)
+
+    def test_rejects_wrong_message(self, keypair):
+        signature = rsa.sign(keypair.private, b"original")
+        assert not rsa.verify(keypair.public, b"tampered", signature)
+
+    def test_rejects_tampered_signature(self, keypair):
+        signature = bytearray(rsa.sign(keypair.private, b"m"))
+        signature[0] ^= 0xFF
+        assert not rsa.verify(keypair.public, b"m", bytes(signature))
+
+    def test_rejects_empty_signature(self, keypair):
+        assert not rsa.verify(keypair.public, b"m", b"")
+
+    def test_rejects_signature_from_other_key(self, keypair):
+        other = rsa.generate_keypair(bits=256, rng=random.Random(7))
+        signature = rsa.sign(other.private, b"m")
+        assert not rsa.verify(keypair.public, b"m", signature)
+
+    def test_rejects_out_of_range_signature(self, keypair):
+        too_big = (keypair.public.n + 5).to_bytes(
+            (keypair.public.n.bit_length() // 8) + 2, "big"
+        )
+        assert not rsa.verify(keypair.public, b"m", too_big)
+
+    def test_signature_deterministic_for_same_message(self, keypair):
+        assert rsa.sign(keypair.private, b"x") == rsa.sign(keypair.private, b"x")
+
+
+class TestPrimeHelpers:
+    def test_miller_rabin_accepts_known_primes(self):
+        rng = random.Random(3)
+        for prime in (2, 3, 5, 104729, (1 << 61) - 1):
+            assert rsa._is_probable_prime(prime, rng)
+
+    def test_miller_rabin_rejects_known_composites(self):
+        rng = random.Random(3)
+        for composite in (1, 4, 100, 561, 104729 * 3):
+            assert not rsa._is_probable_prime(composite, rng)
+
+    def test_modular_inverse(self):
+        assert rsa._modular_inverse(3, 11) == 4
+        assert (17 * rsa._modular_inverse(17, 3120)) % 3120 == 1
+
+    def test_modular_inverse_requires_coprimality(self):
+        with pytest.raises(CryptoError):
+            rsa._modular_inverse(6, 9)

@@ -1,0 +1,127 @@
+"""Tests for signers and the key registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import SignatureError
+from repro.crypto.signatures import (
+    HmacSigner,
+    KeyRegistry,
+    RsaSigner,
+    Signature,
+    build_registry,
+    make_signer,
+)
+
+
+@pytest.fixture
+def registry_with_nodes():
+    registry = KeyRegistry()
+    signers = {name: HmacSigner(name) for name in ("P0/R0", "P0/R1", "P0/R2", "P0/R3")}
+    for signer in signers.values():
+        registry.register(signer)
+    return registry, signers
+
+
+class TestHmacSigner:
+    def test_sign_verify_roundtrip(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = {"batch": 3, "root": b"\x01\x02"}
+        signature = signers["P0/R0"].sign(payload)
+        assert registry.verify(payload, signature)
+
+    def test_rejects_wrong_payload(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        signature = signers["P0/R0"].sign({"batch": 3})
+        assert not registry.verify({"batch": 4}, signature)
+
+    def test_rejects_unknown_signer(self, registry_with_nodes):
+        registry, _ = registry_with_nodes
+        rogue = HmacSigner("intruder")
+        signature = rogue.sign("hello")
+        assert not registry.verify("hello", signature)
+
+    def test_cannot_impersonate_other_node(self, registry_with_nodes):
+        # A byzantine node cannot produce a signature that verifies as
+        # coming from another node, because it does not know its secret.
+        registry, signers = registry_with_nodes
+        byzantine = signers["P0/R3"]
+        forged = Signature(signer="P0/R0", value=byzantine.sign("x").value, scheme="hmac")
+        assert not registry.verify("x", forged)
+
+    def test_require_valid_raises(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        signature = signers["P0/R1"].sign("payload")
+        registry.require_valid("payload", signature)
+        with pytest.raises(SignatureError):
+            registry.require_valid("other payload", signature)
+
+    def test_signature_requires_signer_identity(self):
+        with pytest.raises(SignatureError):
+            Signature(signer="", value=b"sig", scheme="hmac")
+
+
+class TestRsaSigner:
+    def test_sign_verify_roundtrip(self):
+        registry = KeyRegistry()
+        signer = RsaSigner("node-A", bits=256, rng=random.Random(11))
+        registry.register(signer)
+        payload = ["values", 1, 2, 3]
+        assert registry.verify(payload, signer.sign(payload))
+
+    def test_scheme_mismatch_is_rejected(self):
+        registry = KeyRegistry()
+        hmac_signer = HmacSigner("node-A")
+        registry.register(hmac_signer)
+        forged = Signature(signer="node-A", value=b"\x00" * 32, scheme="rsa")
+        assert not registry.verify("x", forged)
+
+
+class TestQuorumVerification:
+    def test_quorum_met(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = {"seq": 9}
+        sigs = [s.sign(payload) for s in signers.values()]
+        assert registry.verify_quorum(payload, sigs, required=3)
+
+    def test_duplicate_signers_count_once(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = "p"
+        sigs = [signers["P0/R0"].sign(payload)] * 5
+        assert not registry.verify_quorum(payload, sigs, required=2)
+
+    def test_invalid_signatures_do_not_count(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        good = signers["P0/R0"].sign("p")
+        bad = Signature(signer="P0/R1", value=b"junk", scheme="hmac")
+        assert not registry.verify_quorum("p", [good, bad], required=2)
+
+    def test_allowed_signers_restricts_quorum(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = 1
+        sigs = [s.sign(payload) for s in signers.values()]
+        assert not registry.verify_quorum(
+            payload, sigs, required=3, allowed_signers=["P0/R0", "P0/R1"]
+        )
+        assert registry.verify_quorum(
+            payload, sigs, required=2, allowed_signers=["P0/R0", "P0/R1"]
+        )
+
+
+class TestFactories:
+    def test_make_signer_backends(self):
+        assert isinstance(make_signer("hmac", "a"), HmacSigner)
+        assert isinstance(make_signer("rsa", "a", rng=random.Random(5), rsa_bits=256), RsaSigner)
+
+    def test_make_signer_rejects_unknown_backend(self):
+        with pytest.raises(SignatureError):
+            make_signer("dsa", "a")
+
+    def test_build_registry_registers_all(self):
+        signers = {"a": HmacSigner("a"), "b": HmacSigner("b")}
+        registry = build_registry(signers)
+        assert registry.knows("a") and registry.knows("b")
+        assert set(registry.identities()) == {"a", "b"}

@@ -1,0 +1,141 @@
+"""Tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simnet.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(3.0, lambda: order.append("middle"))
+        sim.run_until_idle()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run_until_idle()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_zero_delay_events_run(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(0.0, lambda: hits.append(1))
+        sim.run_until_idle()
+        assert hits == [1]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(depth: int) -> None:
+            hits.append(sim.now)
+            if depth > 0:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(1.0, lambda: chain(3))
+        sim.run_until_idle()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.schedule(1.0, lambda: hits.append("no"))
+        sim.schedule(2.0, lambda: hits.append("yes"))
+        handle.cancel()
+        sim.run_until_idle()
+        assert hits == ["yes"]
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        handle.cancel()  # should not raise
+
+
+class TestRunLimits:
+    def test_run_until_time_stops_and_advances_clock(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(10.0, lambda: hits.append(2))
+        sim.run(until_ms=5.0)
+        assert hits == [1]
+        assert sim.now == 5.0
+        sim.run_until_idle()
+        assert hits == [1, 2]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: hits.append(i))
+        processed = sim.run(max_events=4)
+        assert processed == 4
+        assert hits == [0, 1, 2, 3]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 3
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, reenter)
+        sim.run_until_idle()
+
+    def test_run_until_idle_backstop(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
