@@ -27,6 +27,7 @@ experiment harness that regenerates the paper's figures and tables.
 
 from repro.common.config import (
     BatchConfig,
+    CheckpointConfig,
     CostConfig,
     FreshnessConfig,
     LatencyConfig,
@@ -44,6 +45,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchConfig",
+    "CheckpointConfig",
     "CommitResult",
     "CostConfig",
     "FreshnessConfig",

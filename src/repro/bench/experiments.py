@@ -18,9 +18,10 @@ from typing import Dict, Iterable, List, Optional
 from repro.baselines.protocols import protocol_by_name
 from repro.bench.drivers import execute_concurrent_workloads, execute_workload
 from repro.bench.scale import scaled
-from repro.common.config import BatchConfig, LatencyConfig, SystemConfig
+from repro.common.config import BatchConfig, CheckpointConfig, LatencyConfig, SystemConfig
 from repro.common.types import TxnKind
 from repro.core.system import TransEdgeSystem
+from repro.metrics.collector import MetricsCollector
 from repro.metrics.tables import FigureResult, TableResult
 from repro.workload.generator import WorkloadGenerator, WorkloadProfile
 
@@ -556,6 +557,96 @@ def table1_read_only_interference(txns_per_point: Optional[int] = None) -> Table
 
 
 # ---------------------------------------------------------------------------
+# Figure 16 — checkpointing, log compaction and crash recovery
+# ---------------------------------------------------------------------------
+
+
+def fig16_crash_recovery(txns_per_point: Optional[int] = None) -> FigureResult:
+    """Crash-and-recover a follower while checkpointing bounds log growth.
+
+    Not a figure of the paper: this exercises the ``repro.recovery``
+    subsystem.  For each checkpoint interval a write-heavy workload runs while
+    one follower of partition 0 is crashed mid-run and restarted later; the
+    figure reports the end-of-run SMR log length with and without
+    checkpointing, the longest version chain, and how far the restarted
+    replica still trails its leader once the run drains.
+    """
+    txns = scaled(txns_per_point or 300)
+    figure = FigureResult(
+        figure_id="Figure 16",
+        title="Checkpoint interval vs log growth and crash recovery",
+        x_label="checkpoint interval (batches)",
+        y_label="count (batches / versions)",
+    )
+    bounded_log = figure.add_series("max SMR log length (checkpointing)")
+    unbounded_log = figure.add_series("max SMR log length (disabled)")
+    chains = figure.add_series("max version-chain length (checkpointing)")
+    lag = figure.add_series("restarted replica lag (batches)")
+    events = MetricsCollector()
+    intervals = (5, 10, 20)
+    baseline_length = None
+    for interval in intervals:
+        for enabled in (True, False):
+            if not enabled and baseline_length is not None:
+                continue  # the interval is unused when disabled: one run suffices
+            config = SystemConfig(
+                num_partitions=2,
+                fault_tolerance=1,
+                batch=BatchConfig(max_size=8, timeout_ms=2.0),
+                latency=latency_config(0.0),
+                initial_keys=400,
+                value_size=64,
+                checkpoint=CheckpointConfig(
+                    enabled=enabled,
+                    interval_batches=interval,
+                    retention_batches=interval,
+                ),
+            )
+            system = TransEdgeSystem(config)
+            generator = make_generator(system)
+            specs = list(generator.stream_of(txns, TxnKind.LOCAL_READ_WRITE))
+            victim = system.topology.members(0)[2]  # a follower: the cluster stays live
+            if enabled:
+                system.env.simulator.schedule(
+                    25.0, lambda s=system, v=victim: s.crash_replica(v)
+                )
+                system.env.simulator.schedule(
+                    70.0, lambda s=system, v=victim: s.restart_replica(v)
+                )
+            execute_workload(
+                system, specs, concurrency=16, num_clients=4, metrics=events
+            )
+            if enabled:
+                counters = system.counters()
+                events.record_event("checkpoints-stable", counters.checkpoints_stable)
+                events.record_event("log-entries-truncated", counters.log_entries_truncated)
+                events.record_event("versions-pruned", counters.versions_pruned)
+                victim_replica = system.replicas[victim]
+                events.record_event(
+                    "recoveries-completed", victim_replica.counters.recoveries_completed
+                )
+                bounded_log.add(interval, system.max_log_length())
+                chains.add(interval, system.max_version_chain_length())
+                lag.add(
+                    interval,
+                    system.leader_replica(0).log.last_seq - victim_replica.log.last_seq,
+                )
+            else:
+                baseline_length = system.max_log_length()
+    for interval in intervals:
+        unbounded_log.add(interval, baseline_length)
+    figure.notes.append(
+        f"{txns} local read-write txns per point; one partition-0 follower crashed at "
+        "t=25ms and restarted (with state transfer) at t=70ms in the checkpointing runs"
+    )
+    figure.notes.append(
+        "recovery events: "
+        + ", ".join(f"{name}={count}" for name, count in sorted(events.events().items()))
+    )
+    return figure
+
+
+# ---------------------------------------------------------------------------
 # Ablations
 # ---------------------------------------------------------------------------
 
@@ -633,6 +724,7 @@ EXPERIMENTS = {
     "fig13": fig13_abort_rates,
     "fig14": fig14_mix_throughput,
     "fig15": fig15_fault_tolerance,
+    "fig16": fig16_crash_recovery,
     "table1": table1_read_only_interference,
     "ablation-untracked": ablation_untracked_dependencies,
     "ablation-round2": ablation_round2_vs_write_rate,

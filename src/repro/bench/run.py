@@ -4,15 +4,20 @@ Usage::
 
     python -m repro.bench.run --list
     python -m repro.bench.run fig4 fig6
-    python -m repro.bench.run all
+    python -m repro.bench.run all --json BENCH_results.json
     REPRO_BENCH_SCALE=4 python -m repro.bench.run table1
 
 Each experiment prints the reproduced rows/series as an aligned text table.
+With ``--json <path>`` the results are additionally written as a
+machine-readable JSON document (one entry per experiment, with wall-clock
+times and the scale factor), which is how the perf trajectory collects
+``BENCH_*.json`` files across runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List
@@ -29,9 +34,15 @@ def main(argv: "List[str] | None" = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (fig4..fig15, table1, ablation-*) or 'all'",
+        help="experiment ids (fig4..fig16, table1, ablation-*) or 'all'",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write results as machine-readable JSON to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -45,8 +56,21 @@ def main(argv: "List[str] | None" = None) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.json:
+        # Fail fast on an unwritable path instead of after the experiments.
+        try:
+            with open(args.json, "a", encoding="utf-8"):
+                pass
+        except OSError as error:
+            print(f"cannot write JSON results to {args.json}: {error}", file=sys.stderr)
+            return 2
 
     print(f"scale factor: {scale_factor()} (set REPRO_BENCH_SCALE to change)")
+    document = {
+        "scale_factor": scale_factor(),
+        "unix_time": time.time(),
+        "experiments": {},
+    }
     for name in requested:
         started = time.time()
         result = EXPERIMENTS[name]()
@@ -54,6 +78,16 @@ def main(argv: "List[str] | None" = None) -> int:
         print()
         print(result.render())
         print(f"[{name} completed in {elapsed:.1f}s wall clock]")
+        document["experiments"][name] = {
+            "elapsed_s": round(elapsed, 3),
+            "result": result.to_dict(),
+        }
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote JSON results to {args.json}")
     return 0
 
 

@@ -299,6 +299,39 @@ class PbftEngine:
             if message.view == self.view:
                 self._accept_pre_prepare(message, src)
 
+    # -- checkpoint / recovery hooks -------------------------------------------------
+
+    def install_checkpoint(self, last_delivered: int) -> None:
+        """Fast-forward delivery past state installed out of band.
+
+        A recovering replica that restored a checkpoint image (and possibly
+        replayed a log suffix) through :mod:`repro.recovery` did not run these
+        instances through consensus; this realigns the engine so that the next
+        live instance it participates in is ``last_delivered + 1``.  Votes
+        already collected for newer instances are kept, so an instance whose
+        consensus messages partly arrived during recovery can still decide.
+        """
+        if last_delivered < self._next_deliver_seq - 1:
+            return
+        self._next_deliver_seq = last_delivered + 1
+        self._next_proposal_seq = max(self._next_proposal_seq, self._next_deliver_seq)
+        self.compact_below(self._next_deliver_seq)
+        for seq in [s for s in self._pending_deliveries if s <= last_delivered]:
+            del self._pending_deliveries[seq]
+        self._deliver_ready()
+
+    def compact_below(self, seq: int) -> None:
+        """Drop bookkeeping for instances below ``seq`` (stable-checkpoint GC).
+
+        Without compaction every decided instance lives forever; the
+        checkpoint manager calls this when a checkpoint becomes stable so
+        that engine memory, like the log, stays bounded by the checkpoint
+        interval.
+        """
+        self._instances = {s: inst for s, inst in self._instances.items() if s >= seq}
+        for buffered_seq in [s for s in self._buffered_pre_prepares if s < seq]:
+            del self._buffered_pre_prepares[buffered_seq]
+
     # -- view change ---------------------------------------------------------------
 
     def suspect_leader(self) -> None:

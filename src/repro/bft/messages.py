@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.bft.quorum import checkpoint_payload
 from repro.crypto.signatures import Signature
 from repro.simnet.messages import Message
 
@@ -59,6 +60,25 @@ class Commit(BftMessage):
 
     def signing_payload(self) -> object:
         return ["commit", self.view, self.seq, self.digest]
+
+
+@dataclass
+class CheckpointVote(BftMessage):
+    """A replica's vote that its partition state at ``seq`` digests to ``digest``.
+
+    Periodic checkpoints follow the classic PBFT pattern: every
+    ``CheckpointConfig.interval_batches`` delivered batches each replica
+    digests a restorable image of its state and broadcasts this vote.
+    ``2f + 1`` matching votes form a checkpoint certificate that makes the
+    checkpoint *stable*, allowing the SMR log below it to be truncated and
+    the image to be served to recovering replicas (see ``repro.recovery``).
+    Checkpoints are view-independent, so ``view`` is not signed.
+    """
+
+    digest: bytes = b""
+
+    def signing_payload(self) -> object:
+        return checkpoint_payload(self.seq, self.digest)
 
 
 @dataclass

@@ -28,6 +28,16 @@ def certificate_payload(view: int, seq: int, digest: bytes) -> object:
     return ["commit", view, seq, digest]
 
 
+def checkpoint_payload(seq: int, digest: bytes) -> object:
+    """Canonical payload checkpoint-vote signatures cover.
+
+    Shared by ``CheckpointVote.signing_payload`` and
+    ``CheckpointCertificate.payload`` (``repro.recovery``): votes are signed
+    and certificates verified over the same bytes by construction.
+    """
+    return ["checkpoint", int(seq), digest]
+
+
 @dataclass(frozen=True)
 class CommitCertificate:
     """Proof that a cluster decided ``digest`` at sequence ``seq``."""

@@ -109,6 +109,29 @@ class FreshnessConfig:
 
 
 @dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpointing, log-compaction and state-transfer policy (``repro.recovery``).
+
+    Every ``interval_batches`` delivered batches each replica digests its
+    partition state and votes for a checkpoint; ``2f + 1`` matching votes make
+    the checkpoint *stable*, after which the SMR log below it is truncated and
+    version chains are pruned down to ``retention_batches`` below the stable
+    checkpoint.  Disabling checkpointing restores the unbounded seed
+    behaviour (useful for history-verification tests that replay full logs).
+    """
+
+    enabled: bool = True
+    interval_batches: int = 100
+    retention_batches: int = 20
+
+    def validate(self) -> None:
+        if self.interval_batches < 1:
+            raise ConfigurationError("checkpoint interval_batches must be >= 1")
+        if self.retention_batches < 0:
+            raise ConfigurationError("checkpoint retention_batches must be >= 0")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level description of a simulated TransEdge deployment."""
 
@@ -118,6 +141,7 @@ class SystemConfig:
     latency: LatencyConfig = field(default_factory=LatencyConfig)
     costs: CostConfig = field(default_factory=CostConfig)
     freshness: FreshnessConfig = field(default_factory=FreshnessConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     crypto_backend: str = "hmac"
     seed: int = 7
     initial_keys: int = 1_000
@@ -157,6 +181,7 @@ class SystemConfig:
         self.latency.validate()
         self.costs.validate()
         self.freshness.validate()
+        self.checkpoint.validate()
         return self
 
     def with_updates(self, **changes: object) -> "SystemConfig":

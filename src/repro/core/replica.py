@@ -18,8 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.bft.engine import PbftEngine
-from repro.bft.log import ReplicatedLog
-from repro.bft.messages import BftMessage
+from repro.bft.log import LogEntry, ReplicatedLog
+from repro.bft.messages import BftMessage, CheckpointVote
 from repro.bft.quorum import CommitCertificate
 from repro.common.config import SystemConfig
 from repro.common.ids import NO_BATCH, BatchNumber, NodeId, PartitionId, ReplicaId
@@ -47,6 +47,10 @@ from repro.core.messages import (
 from repro.core.occ import ConflictChecker, KeyConflictIndex
 from repro.core.prepared import PreparedBatches
 from repro.core.topology import ClusterTopology
+from repro.recovery.checkpoint import CheckpointCertificate, CheckpointManager
+from repro.recovery.messages import StateTransferReply, StateTransferRequest
+from repro.recovery.snapshot import SnapshotImage
+from repro.recovery.transfer import RecoveryCoordinator
 from repro.simnet.messages import Message
 from repro.simnet.node import SimEnvironment, SimNode
 from repro.storage.locks import LockMode, LockTable
@@ -67,6 +71,14 @@ class ReplicaCounters:
     read_only_served: int = 0
     snapshot_requests_served: int = 0
     validation_failures: int = 0
+    checkpoints_taken: int = 0
+    checkpoints_stable: int = 0
+    log_entries_truncated: int = 0
+    versions_pruned: int = 0
+    state_transfers_served: int = 0
+    state_transfers_rejected: int = 0
+    recoveries_started: int = 0
+    recoveries_completed: int = 0
 
 
 class PartitionReplica(SimNode):
@@ -110,8 +122,14 @@ class PartitionReplica(SimNode):
             digest_fn=lambda batch: batch.digest(),
         )
         self.leader_role = LeaderRole(self)
+        self.checkpoints = CheckpointManager(self)
+        self.checkpoints.bootstrap(initial_data or {})
+        self.recovery = RecoveryCoordinator(self)
 
         self.register_handler(BftMessage, self._on_bft_message)
+        self.register_handler(CheckpointVote, self._on_checkpoint_vote)
+        self.register_handler(StateTransferRequest, self._on_state_transfer_request)
+        self.register_handler(StateTransferReply, self._on_state_transfer_reply)
         self.register_handler(ReadRequest, self._on_read_request)
         self.register_handler(ReadOnlyRequest, self._on_read_only_request)
         self.register_handler(SnapshotRequest, self._on_snapshot_request)
@@ -181,6 +199,21 @@ class PartitionReplica(SimNode):
                 costs.message_handling_ms
                 + self.config.certificate_size * costs.signature_verify_ms
                 + costs.conflict_check_ms
+            )
+        if isinstance(message, StateTransferReply):
+            # Installing an image writes every item; replaying a batch costs
+            # what delivering it would have.
+            items = len(message.image) if message.image is not None else 0
+            replayed = sum(
+                entry.value.size()
+                for entry in message.entries
+                if isinstance(entry.value, Batch)
+            )
+            return (
+                costs.message_handling_ms
+                + items * costs.write_op_ms
+                + len(message.entries) * costs.batch_base_ms
+                + replayed * (costs.hash_ms + costs.conflict_check_ms)
             )
         return costs.message_handling_ms
 
@@ -317,7 +350,20 @@ class PartitionReplica(SimNode):
 
     def deliver(self, seq: int, proposal: object, certificate: CommitCertificate) -> None:
         batch: Batch = proposal  # validated by validate_proposal
-        entry = self.log.append(seq, batch, certificate)
+        header = self._apply_batch(seq, batch, certificate)
+        self.checkpoints.on_batch_delivered(seq)
+        self._serve_deferred_snapshots()
+        self.leader_role.on_batch_delivered(seq, batch, header)
+
+    def _apply_batch(
+        self, seq: int, batch: Batch, certificate: CommitCertificate
+    ) -> CertifiedHeader:
+        """Fold a decided batch into this replica's state.
+
+        Shared by live consensus delivery and state-transfer replay; only the
+        leader-role and deferred-snapshot reactions differ between the two.
+        """
+        self.log.append(seq, batch, certificate)
         updates = self._expected_cache.pop(batch.digest(), None)
         if updates is None:
             updates = batch.visible_writes(self.partitioner)
@@ -351,13 +397,93 @@ class PartitionReplica(SimNode):
                 self.counters.distributed_committed += 1
             else:
                 self.counters.distributed_aborted += 1
-
-        self._serve_deferred_snapshots()
-        self.leader_role.on_batch_delivered(seq, batch, header)
+        return header
 
     def on_view_change(self, new_view: int, new_leader: ReplicaId) -> None:
         self.topology.set_leader(self.partition, new_leader)
         self.leader_role.on_view_change(new_view, new_leader)
+
+    # ------------------------------------------------------------------
+    # crash recovery (see repro.recovery)
+    # ------------------------------------------------------------------
+
+    def reset_for_recovery(self, preserve_recovery: bool = False) -> None:
+        """Discard all volatile state, as a crash would.
+
+        The replica keeps its identity, network registration, key material
+        and counters; the store, Merkle tree, SMR log, prepared bookkeeping,
+        consensus engine and leader role all restart empty and are
+        repopulated through state transfer.  The genesis snapshot survives
+        (the preloaded dataset is durable, shipped with the node).
+        ``preserve_recovery`` keeps the in-flight recovery coordinator so a
+        mid-transfer wipe does not lose the recovery session itself.
+        """
+        genesis = self.checkpoints.snapshots.genesis
+        self.store = MultiVersionStore()
+        self.merkle = MerkleStore({})
+        self.prepared_batches = PreparedBatches()
+        self.log = ReplicatedLog()
+        self.prepared_index = KeyConflictIndex(self.partition, self.partitioner)
+        self.headers = []
+        self.last_header = None
+        self._expected_cache = {}
+        self._deferred_snapshots = []
+        self.engine = PbftEngine(
+            owner=self,
+            partition=self.partition,
+            members=self.topology.members(self.partition),
+            fault_tolerance=self.config.fault_tolerance,
+            application=self,
+            digest_fn=lambda batch: batch.digest(),
+        )
+        self.leader_role = LeaderRole(self)
+        self.checkpoints = CheckpointManager(self)
+        self.checkpoints.adopt_genesis(genesis)
+        if not preserve_recovery:
+            self.recovery = RecoveryCoordinator(self)
+
+    def begin_recovery(self) -> None:
+        """Start fetching the partition state from cluster peers."""
+        self.recovery.begin()
+
+    def install_snapshot(
+        self,
+        image: SnapshotImage,
+        certificate: Optional[CheckpointCertificate],
+    ) -> None:
+        """Replace this (empty) replica's state with a verified checkpoint image."""
+        self.store.restore_image(image.store_image())
+        self.merkle = MerkleStore(image.values())
+        self.log.reset_base(image.seq + 1)
+        for number, records in image.prepared:
+            self.prepared_batches.add_group(number, list(records))
+            for record in records:
+                self.prepared_index.add(record.txn)
+        if image.header is not None:
+            from repro.recovery.transfer import StateTransferError
+
+            if self.merkle.root != image.header.merkle_root:
+                raise StateTransferError(
+                    "image values do not match the certified header's Merkle root"
+                )
+            self.headers = [image.header]
+            self.last_header = image.header
+        self.engine.install_checkpoint(image.seq)
+        if certificate is not None:
+            self.checkpoints.adopt(image, certificate)
+
+    def apply_recovered_entry(self, entry: LogEntry) -> None:
+        """Replay one verified log entry fetched through state transfer."""
+        from repro.recovery.transfer import StateTransferError
+
+        batch: Batch = entry.value
+        self._apply_batch(entry.seq, batch, entry.certificate)
+        if self.merkle.root != batch.read_only.merkle_root:
+            raise StateTransferError(
+                f"replaying batch {entry.seq} diverged from its certified Merkle root"
+            )
+        self.checkpoints.on_batch_delivered(entry.seq)
+        self._serve_deferred_snapshots()
 
     # ------------------------------------------------------------------
     # client-facing handlers
@@ -366,6 +492,43 @@ class PartitionReplica(SimNode):
     def _on_bft_message(self, message: Message, src: NodeId) -> None:
         assert isinstance(message, BftMessage)
         self.engine.handle(message, src)
+
+    def _on_checkpoint_vote(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, CheckpointVote)
+        self.checkpoints.on_vote(message, src)
+
+    def _on_state_transfer_request(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, StateTransferRequest)
+        if message.partition != self.partition:
+            return
+        self.counters.state_transfers_served += 1
+        image = None
+        certificate = None
+        start = message.have_seq + 1
+        stable = self.checkpoints.stable_image
+        if stable is not None and self.checkpoints.stable_seq > message.have_seq:
+            image = stable
+            certificate = self.checkpoints.stable_certificate
+            start = stable.seq + 1
+        elif message.have_seq < self.log.first_seq:
+            # Nothing stable yet but the requester is behind our first entry:
+            # base the transfer on the (uncertified) genesis image, which the
+            # requester validates by replaying batch 0's certified root.
+            image = self.checkpoints.snapshots.genesis
+            start = 0
+        self.send(
+            src,
+            StateTransferReply(
+                partition=self.partition,
+                image=image,
+                certificate=certificate,
+                entries=self.log.entries_from(start),
+            ),
+        )
+
+    def _on_state_transfer_reply(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, StateTransferReply)
+        self.recovery.on_reply(message, src)
 
     def _on_read_request(self, message: Message, src: NodeId) -> None:
         assert isinstance(message, ReadRequest)

@@ -56,6 +56,14 @@ class SystemCounters:
     read_only_served: int = 0
     snapshot_requests_served: int = 0
     validation_failures: int = 0
+    checkpoints_taken: int = 0
+    checkpoints_stable: int = 0
+    log_entries_truncated: int = 0
+    versions_pruned: int = 0
+    state_transfers_served: int = 0
+    state_transfers_rejected: int = 0
+    recoveries_started: int = 0
+    recoveries_completed: int = 0
 
 
 class TransEdgeSystem:
@@ -132,6 +140,45 @@ class TransEdgeSystem:
         return sorted(self._data_by_partition.get(partition, {}))
 
     # ------------------------------------------------------------------
+    # crash faults and recovery (see repro.recovery)
+    # ------------------------------------------------------------------
+
+    def crash_replica(self, replica_id: ReplicaId) -> PartitionReplica:
+        """Crash ``replica_id``: it stops processing and its traffic is dropped.
+
+        Crashing the current leader of a cluster additionally requires a view
+        change (e.g. ``suspect_leader`` on the survivors) for that cluster to
+        make progress, exactly as in the real protocol.
+        """
+        replica = self.replicas[replica_id]
+        if not replica.crashed:
+            replica.crashed = True
+            self.fault_injector.crash(replica_id)
+        return replica
+
+    def restart_replica(self, replica_id: ReplicaId) -> PartitionReplica:
+        """Restart a crashed replica with empty volatile state and recover it.
+
+        The replica rejoins through state transfer: it fetches the latest
+        stable checkpoint plus the log suffix from its peers and resumes
+        participating in consensus once they are verified and installed.
+        """
+        replica = self.replicas[replica_id]
+        self.fault_injector.restart(replica_id)
+        replica.crashed = False
+        replica.reset_for_recovery()
+        replica.begin_recovery()
+        return replica
+
+    def max_log_length(self) -> int:
+        """Longest SMR log across all replicas (bounded by checkpointing)."""
+        return max(len(replica.log) for replica in self.replicas.values())
+
+    def max_version_chain_length(self) -> int:
+        """Longest per-key version chain across all replica stores."""
+        return max(replica.store.max_chain_length() for replica in self.replicas.values())
+
+    # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
 
@@ -171,6 +218,14 @@ class TransEdgeSystem:
             total.read_only_served += counters.read_only_served
             total.snapshot_requests_served += counters.snapshot_requests_served
             total.validation_failures += counters.validation_failures
+            total.checkpoints_taken += counters.checkpoints_taken
+            total.checkpoints_stable += counters.checkpoints_stable
+            total.log_entries_truncated += counters.log_entries_truncated
+            total.versions_pruned += counters.versions_pruned
+            total.state_transfers_served += counters.state_transfers_served
+            total.state_transfers_rejected += counters.state_transfers_rejected
+            total.recoveries_started += counters.recoveries_started
+            total.recoveries_completed += counters.recoveries_completed
         return total
 
     def committed_read_write(self) -> int:

@@ -86,6 +86,7 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self._operations: Dict[str, OperationMetrics] = {}
+        self._events: Dict[str, int] = {}
         self._start_ms: Optional[float] = None
         self._end_ms: Optional[float] = None
 
@@ -115,6 +116,21 @@ class MetricsCollector:
         if rounds >= 2:
             metrics.second_rounds += 1
             metrics.round2_latencies_ms.append(round2_latency_ms)
+
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Count a protocol event (checkpoint stabilised, replica recovered, ...).
+
+        Events are plain named counters; the recovery experiment (Figure 16)
+        accumulates checkpoint/recovery activity here and reports the totals
+        in its result notes.
+        """
+        self._events[name] = self._events.get(name, 0) + count
+
+    def event_count(self, name: str) -> int:
+        return self._events.get(name, 0)
+
+    def events(self) -> Dict[str, int]:
+        return dict(self._events)
 
     def mark_start(self, now_ms: float) -> None:
         if self._start_ms is None or now_ms < self._start_ms:

@@ -65,6 +65,21 @@ class FigureResult:
         self.series.append(series)
         return series
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``repro.bench.run --json``)."""
+        return {
+            "kind": "figure",
+            "id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [
+                {"name": series.name, "points": [[x, series.points[x]] for x in series.xs()]}
+                for series in self.series
+            ],
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         """Render the figure as an aligned text table (x column + one per series)."""
         xs: List[Number] = sorted({x for series in self.series for x in series.points})
@@ -103,6 +118,20 @@ class TableResult:
 
     def get(self, row: str, column: Number) -> Optional[Number]:
         return self.rows.get(row, {}).get(column)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``repro.bench.run --json``)."""
+        return {
+            "kind": "table",
+            "id": self.table_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": {
+                name: [[column, cells[column]] for column in self.columns if column in cells]
+                for name, cells in self.rows.items()
+            },
+            "notes": list(self.notes),
+        }
 
     def render(self) -> str:
         header = [""] + [format_number(column) for column in self.columns]

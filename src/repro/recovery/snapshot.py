@@ -1,0 +1,144 @@
+"""Restorable snapshot images of partition-replica state.
+
+A :class:`SnapshotImage` is everything a replica needs to stand in for the
+log prefix up to (and including) one batch: the store contents *with their
+versions* (so OCC validation behaves identically after a restore), the
+prepared-but-undecided distributed transactions in flight at that batch (so
+later committed segments still validate), and the certified header of the
+checkpoint batch (so CD vectors, LCE and the Merkle root carry over).
+
+Images are digested with the canonical encoding from
+:mod:`repro.crypto.hashing`; the digest is what checkpoint votes sign, which
+makes a quorum-certified image transferable: a recovering replica can accept
+an image from a single (possibly byzantine) peer and check it against the
+checkpoint certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.common.ids import NO_BATCH, BatchNumber, PartitionId
+from repro.common.types import Key, Value
+from repro.core.batch import CertifiedHeader, PreparedRecord
+from repro.crypto.hashing import Digest, digest_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.core.replica import PartitionReplica
+
+
+@dataclass(frozen=True)
+class SnapshotImage:
+    """A restorable image of one partition's state at batch ``seq``.
+
+    ``items`` holds ``(key, version, value)`` triples sorted by key;
+    ``prepared`` holds ``(batch_number, records)`` groups for every prepare
+    group still undecided at the checkpoint.  Coordinator-side 2PC decisions
+    are deliberately *not* part of the image: they are leader-volatile state
+    (followers never record them), so including them would make honest
+    replicas' digests diverge.  ``header`` is the certified header of batch
+    ``seq`` and is bound to the image through its Merkle root rather than the
+    digest, since it carries its own consensus certificate.
+    """
+
+    partition: PartitionId
+    seq: BatchNumber
+    items: Tuple[Tuple[Key, BatchNumber, Value], ...]
+    prepared: Tuple[Tuple[BatchNumber, Tuple[PreparedRecord, ...]], ...] = ()
+    header: Optional[CertifiedHeader] = None
+
+    @cached_property
+    def _digest(self) -> Digest:
+        return digest_of(
+            {
+                "partition": self.partition,
+                "seq": int(self.seq),
+                "items": [
+                    [key, int(version), value] for key, version, value in self.items
+                ],
+                "prepared": [
+                    [int(number), [record.payload() for record in records]]
+                    for number, records in self.prepared
+                ],
+            }
+        )
+
+    def digest(self) -> Digest:
+        """Digest covered by checkpoint votes (header excluded, see class doc)."""
+        return self._digest
+
+    def values(self) -> Dict[Key, Value]:
+        """The plain key/value map of the image (drops versions)."""
+        return {key: value for key, _, value in self.items}
+
+    def store_image(self) -> Dict[Key, Tuple[BatchNumber, Value]]:
+        """The image in :meth:`MultiVersionStore.restore_image` form."""
+        return {key: (version, value) for key, version, value in self.items}
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @classmethod
+    def capture(cls, replica: "PartitionReplica", seq: BatchNumber) -> "SnapshotImage":
+        """Snapshot ``replica``'s state right after it delivered batch ``seq``."""
+        store_image = replica.store.snapshot_image(seq)
+        items = tuple(
+            (key, version, value)
+            for key, (version, value) in sorted(store_image.items())
+        )
+        prepared: List[Tuple[BatchNumber, Tuple[PreparedRecord, ...]]] = []
+        for number in replica.prepared_batches.group_numbers():
+            group = replica.prepared_batches.group(number)
+            records = tuple(group.records[txn_id] for txn_id in sorted(group.records))
+            prepared.append((number, records))
+        header = replica.last_header
+        if header is not None and header.number != seq:
+            header = next((h for h in replica.headers if h.number == seq), header)
+        return cls(
+            partition=replica.partition,
+            seq=seq,
+            items=items,
+            prepared=tuple(prepared),
+            header=header,
+        )
+
+    @classmethod
+    def genesis(cls, partition: PartitionId, initial: Dict[Key, Value]) -> "SnapshotImage":
+        """The pre-history image: the preloaded data at the reserved version.
+
+        The genesis image has no certificate — its authenticity is checked by
+        replaying the log from batch 0, whose certified Merkle root covers
+        exactly the preloaded data.
+        """
+        items = tuple((key, NO_BATCH, initial[key]) for key in sorted(initial))
+        return cls(partition=partition, seq=NO_BATCH, items=items)
+
+
+class SnapshotStore:
+    """Holds a replica's snapshot images: the genesis image, tentative images
+    awaiting checkpoint agreement, and the latest stable one."""
+
+    def __init__(self) -> None:
+        self._images: Dict[BatchNumber, SnapshotImage] = {}
+        self.genesis: Optional[SnapshotImage] = None
+
+    def set_genesis(self, image: SnapshotImage) -> None:
+        self.genesis = image
+
+    def add(self, image: SnapshotImage) -> None:
+        self._images[image.seq] = image
+
+    def get(self, seq: BatchNumber) -> Optional[SnapshotImage]:
+        return self._images.get(seq)
+
+    def retain_only(self, seq: BatchNumber) -> None:
+        """Keep only the image at ``seq`` (it became the stable checkpoint)."""
+        self._images = {s: img for s, img in self._images.items() if s == seq}
+
+    def seqs(self) -> List[BatchNumber]:
+        return sorted(self._images)
+
+    def __len__(self) -> int:
+        return len(self._images)

@@ -1,0 +1,184 @@
+"""State transfer: how a restarted or lagging replica rejoins its cluster.
+
+The recovering replica broadcasts a
+:class:`~repro.recovery.messages.StateTransferRequest` to its peers and
+installs the first verifiable reply:
+
+1. if the reply carries a checkpoint image newer than anything the replica
+   holds, the image digest is checked against the checkpoint certificate
+   (``f + 1`` member signatures, like any cross-trust-domain proof in this
+   codebase) and the certified header is checked against the restored Merkle
+   root, then the image replaces the replica's state wholesale;
+2. the log-suffix entries are replayed in order, each one's commit
+   certificate verified against the batch digest and the Merkle root checked
+   against the batch's certified read-only segment after application;
+3. the consensus engine is fast-forwarded past the recovered prefix so the
+   replica resumes voting on live instances.
+
+Any verification failure discards the whole reply (and resets the replica to
+empty if a partial install had begun), leaving recovery in progress for the
+next peer's reply — so one honest responder is enough and byzantine
+responders cannot poison the restored state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bft.log import LogEntry
+from repro.common.errors import TransEdgeError
+from repro.common.ids import NO_BATCH
+from repro.core.batch import Batch
+from repro.recovery.messages import StateTransferReply, StateTransferRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.core.replica import PartitionReplica
+
+
+class StateTransferError(TransEdgeError):
+    """A state-transfer reply failed verification and was discarded."""
+
+
+class RecoveryCoordinator:
+    """Drives state transfer for one replica."""
+
+    #: Simulated milliseconds between request re-broadcasts while a recovery
+    #: session has not completed (replies lost or all rejected).
+    RETRY_INTERVAL_MS = 25.0
+
+    def __init__(self, replica: "PartitionReplica") -> None:
+        self._replica = replica
+        self.in_progress = False
+
+    def begin(self) -> None:
+        """Ask every cluster peer for the state this replica is missing."""
+        if self.in_progress:
+            return
+        self.in_progress = True
+        self._replica.counters.recoveries_started += 1
+        self._broadcast_request()
+
+    def _broadcast_request(self) -> None:
+        replica = self._replica
+        # A re-crashed or re-reset replica owns a fresh coordinator; a stale
+        # timer firing on the old one must not keep requesting on its behalf.
+        if not self.in_progress or replica.recovery is not self or replica.crashed:
+            return
+        request = StateTransferRequest(
+            partition=replica.partition, have_seq=replica.log.last_seq
+        )
+        peers = [m for m in replica.cluster_members if m != replica.node_id]
+        replica.broadcast(peers, request)
+        replica.schedule(self.RETRY_INTERVAL_MS, self._broadcast_request)
+
+    def on_reply(self, message: StateTransferReply, src) -> None:
+        replica = self._replica
+        if message.partition != replica.partition:
+            return
+        if not self.in_progress and not self._extends(message):
+            # Recovery already completed, but a late reply that verifiably
+            # extends our log is still worth applying: the completing reply
+            # may have come from a peer that was itself behind.
+            return
+        try:
+            self._install(message)
+        except StateTransferError:
+            replica.counters.state_transfers_rejected += 1
+            return
+        if self.in_progress:
+            self.in_progress = False
+            replica.counters.recoveries_completed += 1
+
+    def _extends(self, reply: StateTransferReply) -> bool:
+        """Does this reply carry anything above what the replica already holds?"""
+        tip = reply.image.seq if reply.image is not None else NO_BATCH
+        if reply.entries:
+            tip = max(tip, reply.entries[-1].seq)
+        return tip > self._replica.log.last_seq
+
+    # -- installation -------------------------------------------------------
+
+    def _install(self, reply: StateTransferReply) -> None:
+        replica = self._replica
+        image = reply.image
+        mutated = False
+        # A freshly reset replica holds nothing at all — even the genesis
+        # image (seq == last_seq == NO_BATCH) is news to it.
+        needs_base = replica.log.next_seq == 0 and len(replica.store) == 0
+        try:
+            if image is not None and (image.seq > replica.log.last_seq or needs_base):
+                self._verify_image(reply)
+                replica.reset_for_recovery(preserve_recovery=True)
+                mutated = True
+                replica.install_snapshot(image, reply.certificate)
+            for entry in reply.entries:
+                if entry.seq < replica.log.next_seq:
+                    continue  # already held (or covered by the image)
+                if entry.seq > replica.log.next_seq:
+                    break  # gap: the remainder of this reply is unusable
+                self._verify_entry(entry)
+                mutated = True
+                replica.apply_recovered_entry(entry)
+        except StateTransferError:
+            if mutated:
+                # A partially applied reply would leave the replica in a state
+                # nobody can certify; wipe it and wait for an honest peer.
+                replica.reset_for_recovery(preserve_recovery=True)
+            raise
+        if replica.log.last_seq < 0:
+            raise StateTransferError("reply contained no usable state")
+        replica.engine.install_checkpoint(replica.log.last_seq)
+
+    def _verify_image(self, reply: StateTransferReply) -> None:
+        replica = self._replica
+        image = reply.image
+        if image is None or image.partition != replica.partition:
+            raise StateTransferError("image missing or for the wrong partition")
+        if reply.certificate is None:
+            # Only the pre-history genesis image may arrive uncertified; its
+            # content is validated by replaying batch 0, whose certified
+            # Merkle root covers exactly the preloaded data.
+            if image.seq != NO_BATCH:
+                raise StateTransferError("non-genesis image without a certificate")
+            if image.prepared or image.header is not None:
+                raise StateTransferError("genesis image carries non-genesis state")
+            return
+        certificate = reply.certificate
+        if (
+            certificate.partition != replica.partition
+            or certificate.seq != image.seq
+            or certificate.digest != image.digest()
+        ):
+            raise StateTransferError("checkpoint certificate does not cover the image")
+        if not certificate.verify(
+            replica.env.registry,
+            replica.cluster_members,
+            replica.config.certificate_size,
+        ):
+            raise StateTransferError("checkpoint certificate signatures invalid")
+        header = image.header
+        if header is None or header.number != image.seq:
+            raise StateTransferError("image header missing or at the wrong batch")
+        if not header.verify(
+            replica.env.registry,
+            replica.cluster_members,
+            replica.config.certificate_size,
+        ):
+            raise StateTransferError("image header certificate invalid")
+
+    def _verify_entry(self, entry: LogEntry) -> None:
+        replica = self._replica
+        batch = entry.value
+        if not isinstance(batch, Batch):
+            raise StateTransferError(f"log entry {entry.seq} does not carry a batch")
+        if batch.partition != replica.partition or batch.number != entry.seq:
+            raise StateTransferError(f"log entry {entry.seq} batch mismatch")
+        certificate = entry.certificate
+        if certificate.seq != entry.seq or certificate.digest != batch.digest():
+            raise StateTransferError(f"certificate for entry {entry.seq} mismatched")
+        if not certificate.verify(
+            replica.env.registry,
+            replica.cluster_members,
+            replica.config.certificate_size,
+        ):
+            raise StateTransferError(f"certificate for entry {entry.seq} invalid")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import copy
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Type
 
 from repro.common.ids import NodeId
 from repro.simnet.messages import Message
@@ -58,6 +58,7 @@ class FaultInjector:
         self._network = network
         self._rng = random.Random(seed)
         self._faults: List[_InstalledFault] = []
+        self._crashed: Dict[NodeId, List[_InstalledFault]] = {}
         network.add_filter(self._filter)
 
     # -- installation -------------------------------------------------------
@@ -80,8 +81,35 @@ class FaultInjector:
         """Drop all traffic to and from ``node`` (crash/partition emulation)."""
         return [self.drop(FaultRule(src=node)), self.drop(FaultRule(dst=node))]
 
+    def crash(self, node: NodeId) -> List[_InstalledFault]:
+        """Crash ``node``: drop all its traffic until :meth:`restart`.
+
+        Unlike a bare :meth:`isolate`, the installed faults are remembered so
+        the crash can be lifted later — the crash-then-restart fault used by
+        the recovery benchmarks and tests (``repro.recovery``).
+        """
+        if node in self._crashed:
+            return self._crashed[node]
+        faults = self.isolate(node)
+        self._crashed[node] = faults
+        return faults
+
+    def restart(self, node: NodeId) -> None:
+        """Lift a previous :meth:`crash`; the node's traffic flows again."""
+        for fault in self._crashed.pop(node, []):
+            self.remove(fault)
+
+    def is_crashed(self, node: NodeId) -> bool:
+        return node in self._crashed
+
+    def remove(self, fault: _InstalledFault) -> None:
+        """Uninstall one previously installed fault (no-op when already gone)."""
+        if fault in self._faults:
+            self._faults.remove(fault)
+
     def clear(self) -> None:
         self._faults.clear()
+        self._crashed.clear()
 
     def _install(
         self, rule: FaultRule, action: Callable[[Message], Optional[Message]]

@@ -74,6 +74,10 @@ class SimNode:
         self._handlers: Dict[Type[Message], MessageHandler] = {}
         self._busy_until = 0.0
         self.messages_handled = 0
+        #: Crash-fault flag: a crashed node silently drops everything it
+        #: receives (including deliveries already in flight when it crashed)
+        #: until the fault injector restarts it.
+        self.crashed = False
         env.network.register(self)
 
     # -- wiring -----------------------------------------------------------
@@ -109,6 +113,8 @@ class SimNode:
 
     def receive(self, message: Message, src: NodeId) -> None:
         """Network entry point: queue the message behind ongoing work."""
+        if self.crashed:
+            return
         arrival = self.env.simulator.now
         start = max(arrival, self._busy_until)
         cost = self.processing_cost_ms(message)
@@ -130,6 +136,8 @@ class SimNode:
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch(self, message: Message, src: NodeId) -> None:
+        if self.crashed:
+            return
         self.messages_handled += 1
         handler = self._handlers.get(type(message))
         if handler is None:

@@ -83,6 +83,54 @@ class MultiVersionStore:
                 raise StorageError(f"key {key!r} already preloaded")
             self._chains[key] = _VersionChain(versions=[NO_BATCH], values=[value])
 
+    # -- checkpointing support ----------------------------------------------
+
+    def snapshot_image(self, batch: BatchNumber) -> Dict[Key, Tuple[BatchNumber, Value]]:
+        """Latest ``(version, value)`` of every key visible at ``batch``.
+
+        This is the restorable form of the store used by checkpoint images:
+        unlike :meth:`snapshot_as_of` it keeps the version of each value, so a
+        replica restored from the image answers ``version_of``/``as_of``
+        queries identically to one that processed the whole log.
+        """
+        image: Dict[Key, Tuple[BatchNumber, Value]] = {}
+        for key, chain in self._chains.items():
+            versioned = chain.as_of(batch)
+            if versioned is not None:
+                image[key] = (versioned.version, versioned.value)
+        return image
+
+    def restore_image(self, image: Mapping[Key, Tuple[BatchNumber, Value]]) -> None:
+        """Rebuild an empty store from a checkpoint image (one version per key)."""
+        if self._chains:
+            raise StorageError("restore_image requires an empty store")
+        for key, (version, value) in image.items():
+            self._chains[key] = _VersionChain(versions=[version], values=[value])
+
+    def prune(self, upto: BatchNumber) -> int:
+        """Drop versions older than the newest version ``<= upto``.
+
+        After pruning, ``as_of(key, batch)`` stays exact for every
+        ``batch >= upto``; older snapshots resolve to the oldest retained
+        version.  Returns the number of versions removed.
+        """
+        pruned = 0
+        for chain in self._chains.values():
+            cut = bisect.bisect_right(chain.versions, upto) - 1
+            if cut > 0:
+                del chain.versions[:cut]
+                del chain.values[:cut]
+                pruned += cut
+        return pruned
+
+    def max_chain_length(self) -> int:
+        """Length of the longest version chain (0 for an empty store)."""
+        return max((len(chain.versions) for chain in self._chains.values()), default=0)
+
+    def total_versions(self) -> int:
+        """Total number of stored versions across all keys."""
+        return sum(len(chain.versions) for chain in self._chains.values())
+
     # -- reads --------------------------------------------------------------
 
     def __contains__(self, key: Key) -> bool:

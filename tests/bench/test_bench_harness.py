@@ -52,6 +52,30 @@ class TestExperimentRegistry:
     def test_cli_rejects_unknown_experiment(self):
         assert bench_main(["does-not-exist"]) == 2
 
+    def test_cli_writes_json_results(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.metrics.tables import FigureResult
+
+        def fake_experiment():
+            figure = FigureResult(
+                figure_id="Figure T", title="test", x_label="x", y_label="y"
+            )
+            figure.add_series("s").add(1, 2.5)
+            return figure
+
+        import repro.bench.run as run_module
+
+        monkeypatch.setattr(run_module, "EXPERIMENTS", {"fake": fake_experiment})
+        out = tmp_path / "BENCH_fake.json"
+        assert bench_main(["fake", "--json", str(out)]) == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["scale_factor"] == scale_factor()
+        result = document["experiments"]["fake"]["result"]
+        assert result["kind"] == "figure"
+        assert result["series"][0]["points"] == [[1, 2.5]]
+        assert document["experiments"]["fake"]["elapsed_s"] >= 0
+
 
 @pytest.fixture(scope="module")
 def tiny_system():

@@ -118,3 +118,76 @@ class TestReplicatedLog:
             log.get(0)
         assert log.try_get(0) is None
         assert log.last_seq == -1
+
+
+class TestLogTruncation:
+    """Prefix compaction at and around a stable-checkpoint sequence number."""
+
+    def _filled(self, count):
+        log = ReplicatedLog()
+        for seq in range(count):
+            log.append(
+                seq,
+                f"v{seq}",
+                CommitCertificate(partition=0, view=0, seq=seq, digest=b"", signatures=()),
+            )
+        return log
+
+    def test_truncate_below_stable_checkpoint(self):
+        log = self._filled(10)
+        # Stable checkpoint at seq 6: entries 0..6 are covered by the image.
+        assert log.truncate_prefix(7) == 7
+        assert log.first_seq == 7
+        assert log.last_seq == 9
+        assert len(log) == 3
+        assert [entry.seq for entry in log] == [7, 8, 9]
+
+    def test_global_numbering_survives_truncation(self):
+        log = self._filled(5)
+        log.truncate_prefix(3)
+        assert log.try_get(2) is None
+        with pytest.raises(ConsensusError):
+            log.get(2)
+        assert log.get(3).value == "v3"
+        # Appends still speak global sequence numbers.
+        assert log.next_seq == 5
+        with pytest.raises(ConsensusError):
+            log.append(7, "gap", CommitCertificate(partition=0, view=0, seq=7, digest=b"", signatures=()))
+        log.append(5, "v5", CommitCertificate(partition=0, view=0, seq=5, digest=b"", signatures=()))
+        assert log.last_seq == 5
+
+    def test_truncate_is_idempotent_and_clamped(self):
+        log = self._filled(4)
+        assert log.truncate_prefix(2) == 2
+        assert log.truncate_prefix(2) == 0  # already truncated there
+        assert log.truncate_prefix(1) == 0  # below the base: no-op
+        # Truncating past the end empties the log but keeps numbering.
+        assert log.truncate_prefix(100) == 2
+        assert len(log) == 0
+        assert log.first_seq == 4
+        assert log.next_seq == 4
+        assert log.last_seq == 3
+
+    def test_entries_from_returns_state_transfer_suffix(self):
+        log = self._filled(8)
+        log.truncate_prefix(4)
+        assert [e.seq for e in log.entries_from(6)] == [6, 7]
+        # Requests below the base silently clamp to what is still stored.
+        assert [e.seq for e in log.entries_from(0)] == [4, 5, 6, 7]
+        assert log.entries_from(8) == ()
+
+    def test_reset_base_anchors_an_empty_log(self):
+        log = ReplicatedLog()
+        log.reset_base(12)
+        assert log.first_seq == 12
+        assert log.next_seq == 12
+        assert log.last_seq == 11
+        with pytest.raises(ConsensusError):
+            log.append(0, "old", CommitCertificate(partition=0, view=0, seq=0, digest=b"", signatures=()))
+        log.append(12, "v12", CommitCertificate(partition=0, view=0, seq=12, digest=b"", signatures=()))
+        assert log.get(12).value == "v12"
+
+    def test_reset_base_requires_empty_log(self):
+        log = self._filled(2)
+        with pytest.raises(ConsensusError):
+            log.reset_base(5)

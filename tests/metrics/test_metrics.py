@@ -145,3 +145,38 @@ class TestRendering:
     def test_render_mapping(self):
         text = render_mapping("summary", {"throughput": 1234.0, "aborts": 2})
         assert "summary" in text and "throughput" in text and "1,234" in text
+
+
+class TestEventCounters:
+    def test_record_event_accumulates(self):
+        from repro.metrics.collector import MetricsCollector
+
+        collector = MetricsCollector()
+        collector.record_event("checkpoints-stable")
+        collector.record_event("checkpoints-stable", 3)
+        collector.record_event("recoveries-completed", 0)
+        assert collector.event_count("checkpoints-stable") == 4
+        assert collector.event_count("never-recorded") == 0
+        assert collector.events() == {"checkpoints-stable": 4, "recoveries-completed": 0}
+
+
+class TestSerialisation:
+    def test_figure_to_dict_roundtrips_through_json(self):
+        import json
+
+        figure = FigureResult("Figure 9", "t", "batch size", "tps")
+        figure.add_series("TransEdge").add(100, 5000.5)
+        figure.notes.append("a note")
+        document = json.loads(json.dumps(figure.to_dict()))
+        assert document["kind"] == "figure"
+        assert document["series"] == [{"name": "TransEdge", "points": [[100, 5000.5]]}]
+        assert document["notes"] == ["a note"]
+
+    def test_table_to_dict_roundtrips_through_json(self):
+        import json
+
+        table = TableResult(table_id="Table 1", title="t", columns=[1, 2])
+        table.set("row", 1, 0.5)
+        document = json.loads(json.dumps(table.to_dict()))
+        assert document["kind"] == "table"
+        assert document["rows"] == {"row": [[1, 0.5]]}

@@ -1,0 +1,125 @@
+"""Checkpoint agreement, snapshot images and the garbage collection they drive."""
+
+from __future__ import annotations
+
+from repro.bft.messages import CheckpointVote
+from repro.common.config import BatchConfig, CheckpointConfig, LatencyConfig, SystemConfig
+from repro.common.ids import NO_BATCH
+from repro.core.system import TransEdgeSystem
+from repro.recovery.snapshot import SnapshotImage
+
+
+def make_system(interval=5, retention=2, enabled=True, num_partitions=2, initial_keys=64):
+    config = SystemConfig(
+        num_partitions=num_partitions,
+        fault_tolerance=1,
+        initial_keys=initial_keys,
+        batch=BatchConfig(max_size=4, timeout_ms=2.0),
+        latency=LatencyConfig(jitter_fraction=0.0),
+        checkpoint=CheckpointConfig(
+            enabled=enabled, interval_batches=interval, retention_batches=retention
+        ),
+    )
+    return TransEdgeSystem(config)
+
+
+def run_local_writes(system, count, tag="w", partition=0):
+    client = system.create_client(f"writer-{tag}")
+    keys = system.keys_of_partition(partition)[:8]
+
+    def body():
+        for i in range(count):
+            result = yield from client.read_write_txn(
+                [], {keys[i % len(keys)]: f"{tag}-{i}".encode()}
+            )
+            assert result.committed, result.abort_reason
+
+    client.spawn(body())
+    system.run_until_idle()
+
+
+class TestSnapshotImage:
+    def test_honest_replicas_capture_identical_digests(self):
+        system = make_system(enabled=False)  # capture manually, at a fixed seq
+        run_local_writes(system, 12)
+        replicas = system.cluster_replicas(0)
+        seq = replicas[0].log.last_seq
+        digests = {SnapshotImage.capture(r, seq).digest() for r in replicas}
+        assert len(digests) == 1
+
+    def test_digest_binds_items(self):
+        base = SnapshotImage.genesis(0, {"a": b"1", "b": b"2"})
+        forged = SnapshotImage.genesis(0, {"a": b"1", "b": b"FORGED"})
+        assert base.digest() != forged.digest()
+
+    def test_image_restores_versions_not_just_values(self):
+        system = make_system(enabled=False)
+        run_local_writes(system, 10)
+        replica = system.cluster_replicas(0)[0]
+        seq = replica.log.last_seq
+        image = SnapshotImage.capture(replica, seq)
+        restored = {key: version for key, version, _ in image.items}
+        for key in system.keys_of_partition(0)[:8]:
+            assert restored[key] == replica.store.version_of(key)
+
+
+class TestCheckpointAgreement:
+    def test_checkpoints_stabilise_and_truncate_logs(self):
+        system = make_system(interval=5, retention=2)
+        run_local_writes(system, 30)
+        for replica in system.cluster_replicas(0):
+            manager = replica.checkpoints
+            assert manager.stable_seq > NO_BATCH
+            assert manager.stable_seq % 5 == 0
+            assert manager.stable_certificate is not None
+            # The log was truncated below the stable checkpoint...
+            assert replica.log.first_seq == manager.stable_seq + 1
+            # ...and is bounded by the checkpoint interval plus in-flight work.
+            assert len(replica.log) <= 5 + 2
+        counters = system.counters()
+        assert counters.checkpoints_stable > 0
+        assert counters.log_entries_truncated > 0
+
+    def test_version_chains_pruned_to_retention_window(self):
+        system = make_system(interval=5, retention=2, initial_keys=16)
+        run_local_writes(system, 40)
+        counters = system.counters()
+        assert counters.versions_pruned > 0
+        for replica in system.cluster_replicas(0):
+            stable = replica.checkpoints.stable_seq
+            # Every retained version is either within the retention window or
+            # the base version the window rests on.
+            floor = stable - 2
+            for key in system.keys_of_partition(0)[:8]:
+                history = replica.store.history(key)
+                assert all(version >= floor for version, _ in history[1:])
+            assert replica.store.max_chain_length() <= len(replica.log) + 2 + 1
+
+    def test_headers_pruned_with_the_log(self):
+        system = make_system(interval=5, retention=2)
+        run_local_writes(system, 30)
+        for replica in system.cluster_replicas(0):
+            floor = replica.checkpoints.stable_seq - 2
+            assert all(header.number >= floor for header in replica.headers)
+            assert replica.last_header is not None
+
+    def test_disabled_checkpointing_keeps_full_log(self):
+        system = make_system(enabled=False)
+        run_local_writes(system, 30)
+        for replica in system.cluster_replicas(0):
+            assert replica.log.first_seq == 0
+            assert len(replica.log) == replica.log.last_seq + 1
+            assert replica.checkpoints.stable_seq == NO_BATCH
+        assert system.counters().checkpoints_taken == 0
+
+    def test_forged_vote_is_ignored(self):
+        system = make_system(interval=5)
+        run_local_writes(system, 8)
+        replica = system.cluster_replicas(0)[0]
+        attacker = system.cluster_replicas(0)[1]
+        before = dict(replica.checkpoints._votes)
+        # Signature by the wrong signer for the claimed sender.
+        vote = CheckpointVote(seq=500, digest=b"forged")
+        vote.signature = attacker.signer.sign(vote.signing_payload())
+        replica.checkpoints.on_vote(vote, system.topology.members(0)[2])
+        assert dict(replica.checkpoints._votes) == before

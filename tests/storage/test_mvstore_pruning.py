@@ -1,0 +1,118 @@
+"""Boundary cases of ``as_of`` snapshots, checkpoint images and pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.ids import NO_BATCH
+from repro.storage.mvstore import MultiVersionStore
+
+
+def versioned_store():
+    """One key with versions at NO_BATCH, 2, 5, 9 and one single-version key."""
+    store = MultiVersionStore({"k": b"v-initial", "solo": b"solo-initial"})
+    store.apply({"k": b"v2"}, batch=2)
+    store.apply({"k": b"v5"}, batch=5)
+    store.apply({"k": b"v9"}, batch=9)
+    return store
+
+
+class TestAsOfBoundaries:
+    def test_as_of_exact_version_batch(self):
+        store = versioned_store()
+        assert store.as_of("k", 5).value == b"v5"
+        assert store.as_of("k", 5).version == 5
+
+    def test_as_of_between_versions_returns_older(self):
+        store = versioned_store()
+        assert store.as_of("k", 4).value == b"v2"
+        assert store.as_of("k", 8).value == b"v5"
+
+    def test_as_of_at_and_beyond_latest(self):
+        store = versioned_store()
+        assert store.as_of("k", 9).value == b"v9"
+        assert store.as_of("k", 10_000).value == b"v9"
+
+    def test_as_of_prehistory_reserved_version(self):
+        store = versioned_store()
+        assert store.as_of("k", NO_BATCH).value == b"v-initial"
+        assert store.as_of("k", 0).value == b"v-initial"
+
+    def test_as_of_unknown_key_is_none(self):
+        store = versioned_store()
+        assert store.as_of("missing", 5) is None
+
+    def test_as_of_key_born_after_batch_is_none(self):
+        store = MultiVersionStore()
+        store.apply({"late": b"x"}, batch=7)
+        assert store.as_of("late", 6) is None
+        assert store.as_of("late", 7).value == b"x"
+
+
+class TestPruning:
+    def test_prune_keeps_newest_version_at_or_below_cutoff(self):
+        store = versioned_store()
+        pruned = store.prune(5)
+        # Versions NO_BATCH and 2 go; 5 (newest <= cutoff) and 9 stay.
+        assert pruned == 2
+        assert store.history("k") == ((5, b"v5"), (9, b"v9"))
+
+    def test_prune_between_versions_cuts_below_the_floor(self):
+        store = versioned_store()
+        store.prune(4)  # newest version <= 4 is 2
+        assert store.history("k") == ((2, b"v2"), (5, b"v5"), (9, b"v9"))
+
+    def test_as_of_stays_exact_at_and_above_cutoff(self):
+        store = versioned_store()
+        store.prune(5)
+        assert store.as_of("k", 5).value == b"v5"
+        assert store.as_of("k", 8).value == b"v5"
+        assert store.as_of("k", 9).value == b"v9"
+
+    def test_prune_never_empties_a_chain(self):
+        store = versioned_store()
+        assert store.prune(10_000) == 3
+        assert store.latest("k").value == b"v9"
+        assert store.latest("solo").value == b"solo-initial"
+        assert store.max_chain_length() == 1
+
+    def test_prune_below_everything_is_a_noop(self):
+        store = versioned_store()
+        assert store.prune(-10) == 0
+        assert store.total_versions() == 5
+
+    def test_latest_and_version_of_unaffected_by_prune(self):
+        store = versioned_store()
+        store.prune(9)
+        assert store.version_of("k") == 9
+        assert store.version_of("solo") == NO_BATCH
+
+
+class TestSnapshotImages:
+    def test_snapshot_image_keeps_versions(self):
+        store = versioned_store()
+        image = store.snapshot_image(5)
+        assert image["k"] == (5, b"v5")
+        assert image["solo"] == (NO_BATCH, b"solo-initial")
+
+    def test_snapshot_image_skips_unborn_keys(self):
+        store = versioned_store()
+        store.apply({"late": b"x"}, batch=8)
+        assert "late" not in store.snapshot_image(5)
+        assert store.snapshot_image(8)["late"] == (8, b"x")
+
+    def test_restore_image_roundtrip(self):
+        store = versioned_store()
+        restored = MultiVersionStore()
+        restored.restore_image(store.snapshot_image(5))
+        assert restored.version_of("k") == 5
+        assert restored.latest("k").value == b"v5"
+        # Writes continue above the restored version.
+        restored.apply({"k": b"v7"}, batch=7)
+        assert restored.history("k") == ((5, b"v5"), (7, b"v7"))
+
+    def test_restore_image_requires_empty_store(self):
+        store = versioned_store()
+        with pytest.raises(StorageError):
+            store.restore_image({"k": (1, b"x")})
