@@ -1,0 +1,33 @@
+"""Perf: snapshot-read fast path vs the pre-archive rebuild path.
+
+Not a figure of the paper — this regenerates the repo's machine-readable
+perf baseline (``BENCH_perf.json``): round-2 snapshot-read service time via
+the :class:`~repro.crypto.archive.MerkleTreeArchive` must stay flat as the
+partition grows, while the original rebuild path scales with the partition
+size; a short end-to-end run also reports the signature verify-cache hit
+rate.  Wall-clock assertions use generous factors so the qualitative claim
+holds on slow CI machines.
+"""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import perf_snapshot_hotpaths
+
+
+def test_perf_snapshot_hotpaths(benchmark):
+    figure = run_once(benchmark, perf_snapshot_hotpaths)
+    record_result("perf_hotpaths", figure)
+    fast = figure.series_by_name("archive prove_at")
+    rebuild = figure.series_by_name("rebuild (pre-archive path)")
+    xs = fast.xs()
+    smallest, largest = xs[0], xs[-1]
+    assert largest >= 10 * smallest  # the sweep really spans 10x in keys
+    # The archive path must beat the pre-archive path by at least 5x at the
+    # largest partition (measured margin is >100x).
+    assert rebuild.points[largest] >= 5 * fast.points[largest]
+    # Fast-path service time is flat in the partition size (within noise),
+    # while the rebuild path demonstrably grows with it.
+    assert fast.points[largest] <= 5 * fast.points[smallest]
+    assert rebuild.points[largest] >= 3 * rebuild.points[smallest]
+    # The end-to-end run served its snapshot requests from the archive.
+    assert any("rebuilds 0" in note for note in figure.notes)

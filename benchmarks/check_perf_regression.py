@@ -1,0 +1,89 @@
+"""Compare a fresh BENCH_perf.json against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BENCH_perf.json BENCH_perf_ci.json
+
+Absolute wall-clock numbers are machine-dependent (the committed baseline
+and a CI runner are different machines), so the gate is normalised: both
+runs time the archive fast path *and* the pre-archive rebuild path on the
+same machine, and what is compared across runs is the per-point **speedup**
+(rebuild / fast).  The check fails when the candidate's speedup at any swept
+partition size drops below the baseline's speedup divided by ``--max-ratio``
+(default 2x) — i.e. the fast path got at least 2x slower *relative to the
+rebuild yardstick*, which is what a real algorithmic regression (such as the
+archive silently falling back to rebuilds) looks like on any machine.
+Absolute times are printed for information only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+FAST_SERIES = "archive prove_at"
+REBUILD_SERIES = "rebuild (pre-archive path)"
+
+
+def load_perf(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    experiment = document["experiments"]["perf"]["result"]
+    series = {s["name"]: {x: y for x, y in s["points"]} for s in experiment["series"]}
+    for name in (FAST_SERIES, REBUILD_SERIES):
+        if name not in series:
+            raise SystemExit(f"{path}: no series named {name!r} in the perf experiment")
+    return series
+
+
+def speedups(series: dict) -> dict:
+    return {
+        keys: series[REBUILD_SERIES][keys] / series[FAST_SERIES][keys]
+        for keys in series[FAST_SERIES]
+        if keys in series[REBUILD_SERIES] and series[FAST_SERIES][keys] > 0
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_perf.json")
+    parser.add_argument("candidate", help="freshly produced BENCH_perf.json")
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    baseline = load_perf(args.baseline)
+    candidate = load_perf(args.candidate)
+    baseline_speedups = speedups(baseline)
+    candidate_speedups = speedups(candidate)
+    failures = []
+    for keys in sorted(baseline_speedups):
+        if keys not in candidate_speedups:
+            failures.append(f"{keys} keys: point missing from candidate run")
+            continue
+        floor = baseline_speedups[keys] / args.max_ratio
+        regressed = candidate_speedups[keys] < floor
+        marker = "FAIL" if regressed else "ok"
+        print(
+            f"{keys:>7} keys: fast {candidate[FAST_SERIES][keys]:9.1f}µs  "
+            f"rebuild {candidate[REBUILD_SERIES][keys]:9.1f}µs  "
+            f"speedup {candidate_speedups[keys]:7.1f}x  "
+            f"(baseline {baseline_speedups[keys]:7.1f}x, floor {floor:6.1f}x)  [{marker}]"
+        )
+        if regressed:
+            failures.append(
+                f"{keys} keys: speedup {candidate_speedups[keys]:.1f}x is below "
+                f"{floor:.1f}x (baseline {baseline_speedups[keys]:.1f}x / "
+                f"{args.max_ratio}x budget)"
+            )
+    if failures:
+        print("\nsnapshot-read fast path regressed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nsnapshot-read fast path within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from repro.common.config import (
     CostConfig,
     FreshnessConfig,
     LatencyConfig,
+    PerfConfig,
     SystemConfig,
     paper_scale_config,
     small_test_config,
@@ -50,6 +51,7 @@ __all__ = [
     "CostConfig",
     "FreshnessConfig",
     "LatencyConfig",
+    "PerfConfig",
     "ReadOnlyResult",
     "SystemConfig",
     "TransEdgeClient",

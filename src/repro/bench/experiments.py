@@ -13,7 +13,9 @@ The mapping from experiment to paper artefact is in DESIGN.md §4.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional
+import random
+import time
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.baselines.protocols import protocol_by_name
 from repro.bench.drivers import execute_concurrent_workloads, execute_workload
@@ -21,8 +23,11 @@ from repro.bench.scale import scaled
 from repro.common.config import BatchConfig, CheckpointConfig, LatencyConfig, SystemConfig
 from repro.common.types import TxnKind
 from repro.core.system import TransEdgeSystem
+from repro.crypto.archive import MerkleTreeArchive
+from repro.crypto.merkle import MerkleStore, MerkleTree
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.tables import FigureResult, TableResult
+from repro.storage.mvstore import MultiVersionStore
 from repro.workload.generator import WorkloadGenerator, WorkloadProfile
 
 #: Batch sizes swept by the paper's throughput experiments (Figures 9-15).
@@ -647,6 +652,125 @@ def fig16_crash_recovery(txns_per_point: Optional[int] = None) -> FigureResult:
 
 
 # ---------------------------------------------------------------------------
+# Perf — hot-path wall-clock baseline (BENCH_perf.json)
+# ---------------------------------------------------------------------------
+
+
+#: Partition sizes swept by the snapshot-read service-time measurement; the
+#: largest is 10x the smallest, which is the flatness claim the perf baseline
+#: records.
+PERF_KEY_COUNTS = (500, 1000, 2000, 5000)
+
+
+def _mean_call_us(fn: Callable[[], None], reps: int) -> float:
+    """Mean wall-clock microseconds per call over ``reps`` calls (1 warm-up)."""
+    fn()
+    started = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - started) / reps * 1e6
+
+
+def perf_snapshot_hotpaths(txns_per_point: Optional[int] = None) -> FigureResult:
+    """Snapshot-read service time vs partition size, plus verify-cache hit rate.
+
+    Not a figure of the paper: this is the repo's machine-readable perf
+    baseline (``BENCH_perf.json``).  It times the two implementations of
+    round-2 snapshot-read service against the same state:
+
+    * ``archive prove_at`` — the :class:`MerkleTreeArchive` fast path, which
+      resolves the historical tree as a copy-on-write view and proves only the
+      requested keys (O(read · log K));
+    * ``rebuild (pre-archive path)`` — the original implementation that
+      materialises the historical snapshot and rebuilds a full tree per
+      request (O(K)).
+
+    The y-values are wall-clock microseconds per served request, so absolute
+    numbers are machine-dependent; the CI regression gate therefore compares
+    the per-point *speedup* (rebuild / fast, both timed on the same machine)
+    against the committed baseline's speedup, with a generous 2x budget.  A
+    short end-to-end run also records the shared signature verify-cache hit
+    rate in the notes.
+    """
+    reps_fast = scaled(txns_per_point or 300)
+    reps_rebuild = max(5, reps_fast // 10)
+    figure = FigureResult(
+        figure_id="Perf",
+        title="Snapshot-read service time: archive fast path vs full rebuild",
+        x_label="partition keys",
+        y_label="service time per request (µs, wall-clock)",
+    )
+    fast_series = figure.add_series("archive prove_at")
+    rebuild_series = figure.add_series("rebuild (pre-archive path)")
+    batches = 32
+    writes_per_batch = 8
+    request_size = 4
+    for key_count in PERF_KEY_COUNTS:
+        rng = random.Random(key_count)
+        items = {f"key-{i:06d}": b"value-" + bytes(26) for i in range(key_count)}
+        keys = sorted(items)
+        store = MultiVersionStore(items)
+        merkle = MerkleStore(items, archive=MerkleTreeArchive(max_batches=2 * batches))
+        for batch in range(1, batches + 1):
+            updates = {
+                rng.choice(keys): f"batch-{batch}-{i}".encode()
+                for i in range(writes_per_batch)
+            }
+            store.apply(updates, batch)
+            merkle.apply(updates, batch=batch)
+        target = batches // 2
+        request = [rng.choice(keys) for _ in range(request_size)]
+
+        def serve_fast() -> None:
+            tree = merkle.tree_at(target)
+            for key in request:
+                store.as_of(key, target)
+                tree.prove(key)
+
+        def serve_rebuild() -> None:
+            tree = MerkleTree(store.snapshot_as_of(target))
+            for key in request:
+                store.as_of(key, target)
+                tree.prove(key)
+
+        fast_series.add(key_count, _mean_call_us(serve_fast, reps_fast))
+        rebuild_series.add(key_count, _mean_call_us(serve_rebuild, reps_rebuild))
+
+    # Verify-cache effectiveness, measured on a real (small) deployment under
+    # a read-only + distributed-writer mix that exercises the round-2 path.
+    system = build_system(fault_tolerance=1, initial_keys=300)
+    generator = make_generator(system)
+    foreground = [generator.read_only(clusters=5) for _ in range(scaled(20))]
+    background = [generator.distributed_read_write() for _ in range(scaled(40))]
+    execute_concurrent_workloads(
+        system,
+        foreground,
+        background,
+        foreground_protocol="transedge",
+        foreground_concurrency=4,
+        background_concurrency=6,
+        foreground_pacing_ms=8.0,
+    )
+    registry = system.env.registry
+    counters = system.counters()
+    figure.notes.append(
+        f"verify-cache hit rate {100.0 * registry.cache_hit_rate():.1f}% "
+        f"({registry.cache_hits} hits / {registry.cache_misses} misses) on a "
+        f"5-cluster f=1 run"
+    )
+    figure.notes.append(
+        f"snapshot requests served {counters.snapshot_requests_served} "
+        f"(fast path {counters.snapshot_fast_path}, rebuilds {counters.snapshot_rebuilds})"
+    )
+    figure.notes.append(
+        f"{batches} batches of {writes_per_batch} writes archived per point; "
+        f"requests read {request_size} keys; {reps_fast}/{reps_rebuild} timed "
+        "repetitions (fast/rebuild)"
+    )
+    return figure
+
+
+# ---------------------------------------------------------------------------
 # Ablations
 # ---------------------------------------------------------------------------
 
@@ -725,6 +849,7 @@ EXPERIMENTS = {
     "fig14": fig14_mix_throughput,
     "fig15": fig15_fault_tolerance,
     "fig16": fig16_crash_recovery,
+    "perf": perf_snapshot_hotpaths,
     "table1": table1_read_only_interference,
     "ablation-untracked": ablation_untracked_dependencies,
     "ablation-round2": ablation_round2_vs_write_rate,

@@ -399,4 +399,7 @@ class PbftEngine:
             return False
         if message.signature.signer != str(src):
             return False
+        # The registry memoizes verification verdicts (keyed by a digest it
+        # computes itself from the received payload — never trusted from the
+        # message), so repeated checks of the same vote skip the MAC/RSA work.
         return self._registry.verify(message.signing_payload(), message.signature)

@@ -20,7 +20,14 @@ from repro.simnet.messages import Message
 
 @dataclass
 class BftMessage(Message):
-    """Common fields of every consensus message."""
+    """Common fields of every consensus message.
+
+    Note: nothing verification-related is ever memoized *on* a message.
+    Messages travel by reference and their contents are sender-controlled, so
+    any carried digest could be poisoned to alias a different payload in the
+    verify cache; verifiers (the :class:`~repro.crypto.signatures.KeyRegistry`)
+    always canonicalise what they actually received.
+    """
 
     view: int = 0
     seq: int = 0

@@ -132,8 +132,50 @@ class CheckpointConfig:
 
 
 @dataclass(frozen=True)
+class PerfConfig:
+    """Hot-path performance knobs: Merkle tree archive and verify caching.
+
+    ``archive_enabled`` keeps a copy-on-write archive of recent committed
+    Merkle trees per partition, so round-2 snapshot reads are served in
+    O(read · log K) instead of rebuilding an O(K) tree per request;
+    ``archive_max_batches`` bounds its memory when checkpoint-driven pruning
+    is off.  ``snapshot_rebuild_fallback`` controls what happens for batches
+    older than the archive: rebuild the historical tree from the
+    multi-version store (the pre-archive behaviour, default), or refuse the
+    request (the client times out and retries another replica) — refusing is
+    strictly O(read) service but trades liveness; serving any *other*
+    snapshot would be unsound, since only the earliest dependency-satisfying
+    header is covered by the protocol's two-round consistency argument.
+    ``verify_cache_size`` sizes the LRU signature-verification cache shared
+    through the :class:`~repro.crypto.signatures.KeyRegistry`, so a quorum of
+    identical votes is canonicalised and verified once, not ``3f + 1`` times
+    (0 disables the cache).
+    """
+
+    archive_enabled: bool = True
+    archive_max_batches: int = 512
+    snapshot_rebuild_fallback: bool = True
+    verify_cache_size: int = 4096
+
+    def validate(self) -> None:
+        if self.archive_max_batches < 1:
+            raise ConfigurationError("archive_max_batches must be >= 1")
+        if self.verify_cache_size < 0:
+            raise ConfigurationError("verify_cache_size must be >= 0")
+        if not self.archive_enabled and not self.snapshot_rebuild_fallback:
+            raise ConfigurationError(
+                "archive_enabled=False with snapshot_rebuild_fallback=False "
+                "would refuse every round-2 snapshot read"
+            )
+
+
+@dataclass(frozen=True)
 class SystemConfig:
-    """Top-level description of a simulated TransEdge deployment."""
+    """Top-level description of a simulated TransEdge deployment.
+
+    ``perf`` collects the hot-path optimisation knobs (Merkle tree archive
+    for snapshot reads, signature verify cache); see :class:`PerfConfig`.
+    """
 
     num_partitions: int = 5
     fault_tolerance: int = 2
@@ -142,6 +184,7 @@ class SystemConfig:
     costs: CostConfig = field(default_factory=CostConfig)
     freshness: FreshnessConfig = field(default_factory=FreshnessConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    perf: PerfConfig = field(default_factory=PerfConfig)
     crypto_backend: str = "hmac"
     seed: int = 7
     initial_keys: int = 1_000
@@ -182,6 +225,7 @@ class SystemConfig:
         self.costs.validate()
         self.freshness.validate()
         self.checkpoint.validate()
+        self.perf.validate()
         return self
 
     def with_updates(self, **changes: object) -> "SystemConfig":

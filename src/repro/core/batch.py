@@ -231,13 +231,19 @@ class CertifiedHeader:
     def timestamp_ms(self) -> float:
         return self.read_only.timestamp_ms
 
-    def digest(self) -> Digest:
+    @cached_property
+    def _digest(self) -> Digest:
         header_payload = {
             "partition": self.partition,
             "number": int(self.number),
             "read_only": self.read_only.payload(),
         }
         return digest_of({"header": header_payload, "content": self.content_digest})
+
+    def digest(self) -> Digest:
+        # Cached: headers are immutable and re-verified many times (2PC vote
+        # validation, read-only responses, state transfer).
+        return self._digest
 
     def verify(
         self,

@@ -14,8 +14,9 @@ drives 2PC across clusters.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.bft.engine import PbftEngine
 from repro.bft.log import LogEntry, ReplicatedLog
@@ -24,6 +25,7 @@ from repro.bft.quorum import CommitCertificate
 from repro.common.config import SystemConfig
 from repro.common.ids import NO_BATCH, BatchNumber, NodeId, PartitionId, ReplicaId
 from repro.common.types import Key, Value
+from repro.crypto.archive import MerkleTreeArchive
 from repro.crypto.hashing import Digest
 from repro.crypto.merkle import MerkleStore, MerkleTree
 from repro.core.batch import Batch, CertifiedHeader, CommitRecord, PreparedRecord
@@ -70,6 +72,9 @@ class ReplicaCounters:
     lock_interference_aborts: int = 0
     read_only_served: int = 0
     snapshot_requests_served: int = 0
+    snapshot_fast_path: int = 0
+    snapshot_rebuilds: int = 0
+    snapshot_refused: int = 0
     validation_failures: int = 0
     checkpoints_taken: int = 0
     checkpoints_stable: int = 0
@@ -100,7 +105,7 @@ class PartitionReplica(SimNode):
         self.counters = ReplicaCounters()
 
         self.store = MultiVersionStore(initial_data or {})
-        self.merkle = MerkleStore(initial_data or {})
+        self.merkle = self._make_merkle_store(initial_data or {})
         self.prepared_batches = PreparedBatches()
         self.log = ReplicatedLog()
         self.locks = LockTable()  # only used by the Augustus baseline
@@ -109,6 +114,9 @@ class PartitionReplica(SimNode):
         self.prepared_index = KeyConflictIndex(self.partition, partitioner)
 
         self.headers: List[CertifiedHeader] = []
+        # LCEs of self.headers, kept parallel so the round-2 header lookup is
+        # a bisect (LCEs are non-decreasing across batches).
+        self._header_lces: List[BatchNumber] = []
         self.last_header: Optional[CertifiedHeader] = None
         self._expected_cache: Dict[bytes, Dict[Key, Value]] = {}
         self._deferred_snapshots: List[Tuple[SnapshotRequest, NodeId]] = []
@@ -154,6 +162,17 @@ class PartitionReplica(SimNode):
 
     def conflict_checker(self) -> ConflictChecker:
         return ConflictChecker(self.partition, self.partitioner, self.store)
+
+    def _make_merkle_store(
+        self, initial: Mapping[Key, Value], base_batch: BatchNumber = NO_BATCH
+    ) -> MerkleStore:
+        """Build the per-partition Merkle store, archived per the perf config."""
+        archive = None
+        if self.config.perf.archive_enabled:
+            archive = MerkleTreeArchive(
+                max_batches=self.config.perf.archive_max_batches
+            )
+        return MerkleStore(initial, archive=archive, base_batch=base_batch)
 
     def current_cd_vector(self) -> CDVector:
         if self.last_header is not None:
@@ -369,7 +388,7 @@ class PartitionReplica(SimNode):
             updates = batch.visible_writes(self.partitioner)
         if updates:
             self.store.apply(updates, batch=seq)
-        self.merkle.apply(updates)
+        self.merkle.apply(updates, batch=seq)
 
         # Track the new prepare group and retire committed ones.
         self.prepared_batches.add_group(seq, list(batch.prepared))
@@ -384,6 +403,7 @@ class PartitionReplica(SimNode):
 
         header = batch.certified_header(certificate)
         self.headers.append(header)
+        self._header_lces.append(header.lce)
         self.last_header = header
 
         self.counters.batches_delivered += 1
@@ -420,11 +440,12 @@ class PartitionReplica(SimNode):
         """
         genesis = self.checkpoints.snapshots.genesis
         self.store = MultiVersionStore()
-        self.merkle = MerkleStore({})
+        self.merkle = self._make_merkle_store({})
         self.prepared_batches = PreparedBatches()
         self.log = ReplicatedLog()
         self.prepared_index = KeyConflictIndex(self.partition, self.partitioner)
         self.headers = []
+        self._header_lces = []
         self.last_header = None
         self._expected_cache = {}
         self._deferred_snapshots = []
@@ -453,7 +474,7 @@ class PartitionReplica(SimNode):
     ) -> None:
         """Replace this (empty) replica's state with a verified checkpoint image."""
         self.store.restore_image(image.store_image())
-        self.merkle = MerkleStore(image.values())
+        self.merkle = self._make_merkle_store(image.values(), base_batch=image.seq)
         self.log.reset_base(image.seq + 1)
         for number, records in image.prepared:
             self.prepared_batches.add_group(number, list(records))
@@ -467,6 +488,7 @@ class PartitionReplica(SimNode):
                     "image values do not match the certified header's Merkle root"
                 )
             self.headers = [image.header]
+            self._header_lces = [image.header.lce]
             self.last_header = image.header
         self.engine.install_checkpoint(image.seq)
         if certificate is not None:
@@ -553,7 +575,9 @@ class PartitionReplica(SimNode):
     def _on_read_only_request(self, message: Message, src: NodeId) -> None:
         assert isinstance(message, ReadOnlyRequest)
         self.counters.read_only_served += 1
-        values, versions, proofs = self._collect_reads(message.keys, self.merkle, self.store, None)
+        values, versions, proofs = self._collect_reads(
+            message.keys, self.merkle.tree, as_of=None
+        )
         self.send(
             src,
             ReadOnlyReply(
@@ -577,20 +601,28 @@ class PartitionReplica(SimNode):
         self._answer_snapshot(message, src, header)
 
     def _answer_snapshot(self, message: SnapshotRequest, src: NodeId, header: CertifiedHeader) -> None:
+        # Fast path: the archive resolves the tree of any recent batch as a
+        # copy-on-write view, so serving the request costs O(read · log K)
+        # instead of materialising the partition and rebuilding an O(K) tree.
+        tree = self.merkle.tree_at(header.number)
+        if tree is not None:
+            self.counters.snapshot_fast_path += 1
+        elif self.config.perf.snapshot_rebuild_fallback:
+            tree = MerkleTree(self.store.snapshot_as_of(header.number))
+            self.counters.snapshot_rebuilds += 1
+        else:
+            # The archive cannot answer and rebuilds are disabled: refuse
+            # (the client times out and retries elsewhere) rather than serve
+            # a different snapshot.  Only the *earliest* dependency-
+            # satisfying header is covered by the two-round consistency
+            # argument (Theorem 4.6); substituting a newer one could carry
+            # fresh cross-partition dependencies the client never rechecks.
+            self.counters.snapshot_refused += 1
+            return
         self.counters.snapshot_requests_served += 1
-        snapshot_items = self.store.snapshot_as_of(header.number)
-        tree = MerkleTree(snapshot_items)
-        values: Dict[Key, Value] = {}
-        versions: Dict[Key, BatchNumber] = {}
-        proofs = {}
-        for key in message.keys:
-            versioned = self.store.as_of(key, header.number)
-            if versioned is None:
-                continue
-            values[key] = versioned.value
-            versions[key] = versioned.version
-            if key in tree:
-                proofs[key] = tree.prove(key)
+        values, versions, proofs = self._collect_reads(
+            message.keys, tree, as_of=header.number
+        )
         self.send(
             src,
             SnapshotReply(
@@ -604,10 +636,17 @@ class PartitionReplica(SimNode):
         )
 
     def _earliest_header_with_lce(self, required: BatchNumber) -> Optional[CertifiedHeader]:
-        for header in self.headers:
-            if header.lce >= required:
-                return header
-        return None
+        # LCEs are non-decreasing, so the earliest satisfying header is found
+        # by bisection instead of a linear scan over the retained headers.
+        index = bisect.bisect_left(self._header_lces, required)
+        if index >= len(self.headers):
+            return None
+        return self.headers[index]
+
+    def prune_headers_below(self, retain_from: BatchNumber) -> None:
+        """Checkpoint GC: drop certified headers (and their LCE index) below the window."""
+        self.headers = [h for h in self.headers if h.number >= retain_from]
+        self._header_lces = [h.lce for h in self.headers]
 
     def _serve_deferred_snapshots(self) -> None:
         if not self._deferred_snapshots:
@@ -621,18 +660,28 @@ class PartitionReplica(SimNode):
                 self._answer_snapshot(message, src, header)
         self._deferred_snapshots = still_waiting
 
-    def _collect_reads(self, keys, merkle: MerkleStore, store: MultiVersionStore, as_of):
+    def _collect_reads(self, keys, tree, as_of: Optional[BatchNumber]):
+        """Values, versions and proofs for ``keys`` against one tree.
+
+        ``tree`` is anything with ``__contains__``/``prove`` — the live
+        :class:`MerkleTree`, an archived
+        :class:`~repro.crypto.archive.HistoricalTreeView`, or a rebuilt
+        historical tree.  ``as_of`` bounds the store lookup to the tree's
+        batch (None reads the latest version).
+        """
         values: Dict[Key, Value] = {}
         versions: Dict[Key, BatchNumber] = {}
         proofs = {}
         for key in keys:
-            versioned = store.get(key) if as_of is None else store.as_of(key, as_of)
+            versioned = (
+                self.store.get(key) if as_of is None else self.store.as_of(key, as_of)
+            )
             if versioned is None:
                 continue
             values[key] = versioned.value
             versions[key] = versioned.version
-            if key in merkle.tree:
-                proofs[key] = merkle.prove(key)
+            if key in tree:
+                proofs[key] = tree.prove(key)
         return values, versions, proofs
 
     # ------------------------------------------------------------------

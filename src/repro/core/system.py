@@ -55,6 +55,9 @@ class SystemCounters:
     lock_interference_aborts: int = 0
     read_only_served: int = 0
     snapshot_requests_served: int = 0
+    snapshot_fast_path: int = 0
+    snapshot_rebuilds: int = 0
+    snapshot_refused: int = 0
     validation_failures: int = 0
     checkpoints_taken: int = 0
     checkpoints_stable: int = 0
@@ -217,6 +220,9 @@ class TransEdgeSystem:
             total.lock_interference_aborts += counters.lock_interference_aborts
             total.read_only_served += counters.read_only_served
             total.snapshot_requests_served += counters.snapshot_requests_served
+            total.snapshot_fast_path += counters.snapshot_fast_path
+            total.snapshot_rebuilds += counters.snapshot_rebuilds
+            total.snapshot_refused += counters.snapshot_refused
             total.validation_failures += counters.validation_failures
             total.checkpoints_taken += counters.checkpoints_taken
             total.checkpoints_stable += counters.checkpoints_stable

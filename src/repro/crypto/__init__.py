@@ -1,5 +1,6 @@
 """Cryptographic substrate: hashing, signatures, key registry and Merkle ADS."""
 
+from repro.crypto.archive import HistoricalTreeView, MerkleTreeArchive
 from repro.crypto.hashing import (
     Digest,
     combine_digests,
@@ -31,11 +32,13 @@ from repro.crypto.signatures import (
 __all__ = [
     "Digest",
     "EMPTY_ROOT",
+    "HistoricalTreeView",
     "HmacSigner",
     "KeyRegistry",
     "MerkleProof",
     "MerkleStore",
     "MerkleTree",
+    "MerkleTreeArchive",
     "ProofStep",
     "RsaKeyPair",
     "RsaPrivateKey",

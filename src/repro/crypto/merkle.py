@@ -18,11 +18,16 @@ read-only client asks for an older snapshot in round two.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ProofError
+from repro.common.ids import NO_BATCH, BatchNumber
 from repro.common.types import Key, Value
 from repro.crypto.hashing import Digest, sha256
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (archive imports merkle)
+    from repro.crypto.archive import HistoricalTreeView, MerkleTreeArchive
 
 #: Root value of a tree with no leaves.
 EMPTY_ROOT: Digest = sha256(b"transedge:empty-merkle-tree")
@@ -54,6 +59,35 @@ class MerkleProof:
 
     def __len__(self) -> int:
         return len(self.steps)
+
+
+def proof_steps(level_sizes, leaf_index, digest_at) -> Tuple[ProofStep, ...]:
+    """The sibling walk shared by live trees and archived historical views.
+
+    ``level_sizes`` are the per-level node counts (leaves first),
+    ``digest_at(level, index)`` resolves one node digest.  Keeping the walk —
+    including the odd-node-promotion rule (an odd node contributes no sibling
+    at its level) — in one place is what makes archive proofs byte-identical
+    to live-tree proofs by construction.
+    """
+    index = leaf_index
+    steps: List[ProofStep] = []
+    for level_number, size in enumerate(level_sizes[:-1]):
+        if index % 2 == 0:
+            sibling_index = index + 1
+            sibling_is_left = False
+        else:
+            sibling_index = index - 1
+            sibling_is_left = True
+        if sibling_index < size:
+            steps.append(
+                ProofStep(
+                    sibling=digest_at(level_number, sibling_index),
+                    sibling_is_left=sibling_is_left,
+                )
+            )
+        index //= 2
+    return tuple(steps)
 
 
 class MerkleTree:
@@ -167,6 +201,22 @@ class MerkleTree:
             return top[0]
         return self.root
 
+    def capture_paths(self, keys: Iterable[Key]) -> List[Dict[int, Digest]]:
+        """Snapshot the digests on the root paths of ``keys``, level by level.
+
+        This is exactly the cell set :meth:`update_values` overwrites for the
+        same keys, so the result is the reverse delta that restores this tree
+        after such an update — the raw material of
+        :class:`~repro.crypto.archive.MerkleTreeArchive`.  Cost is
+        O(len(keys) · log K).
+        """
+        dirty = {self._index[key] for key in keys}
+        snapshot: List[Dict[int, Digest]] = []
+        for level in self._levels:
+            snapshot.append({index: level[index] for index in dirty})
+            dirty = {index // 2 for index in dirty}
+        return snapshot
+
     def __len__(self) -> int:
         return len(self._keys)
 
@@ -183,21 +233,12 @@ class MerkleTree:
         """
         if key not in self._index:
             raise ProofError(f"key {key!r} is not in the Merkle tree")
-        index = self._index[key]
-        steps: List[ProofStep] = []
-        for level in self._levels[:-1]:
-            if index % 2 == 0:
-                sibling_index = index + 1
-                sibling_is_left = False
-            else:
-                sibling_index = index - 1
-                sibling_is_left = True
-            if sibling_index < len(level):
-                steps.append(ProofStep(sibling=level[sibling_index], sibling_is_left=sibling_is_left))
-            # When the node is the odd one out it is promoted unchanged and
-            # contributes no sibling at this level.
-            index //= 2
-        return MerkleProof(key=key, steps=tuple(steps))
+        steps = proof_steps(
+            [len(level) for level in self._levels],
+            self._index[key],
+            lambda level, index: self._levels[level][index],
+        )
+        return MerkleProof(key=key, steps=steps)
 
 
 def verify_proof(root: Digest, key: Key, value: Value, proof: MerkleProof) -> bool:
@@ -224,11 +265,24 @@ class MerkleStore:
     Replicas keep one ``MerkleStore`` per partition; ``apply`` folds in a
     batch's visible write-sets and rebuilds the tree, returning the new root
     that is then agreed on through consensus.
+
+    When constructed with a :class:`~repro.crypto.archive.MerkleTreeArchive`,
+    every batch-tagged ``apply`` first archives the superseded tree state, so
+    :meth:`tree_at`/:meth:`prove_at` can answer round-2 snapshot reads for
+    recent batches without materialising or rebuilding anything.
     """
 
-    def __init__(self, initial: Optional[Mapping[Key, Value]] = None) -> None:
+    def __init__(
+        self,
+        initial: Optional[Mapping[Key, Value]] = None,
+        archive: Optional["MerkleTreeArchive"] = None,
+        base_batch: BatchNumber = NO_BATCH,
+    ) -> None:
         self._items: Dict[Key, Value] = dict(initial or {})
         self._tree = MerkleTree(self._items)
+        self._archive = archive
+        if archive is not None:
+            archive.reset(base_batch)
 
     @property
     def root(self) -> Digest:
@@ -237,6 +291,10 @@ class MerkleStore:
     @property
     def tree(self) -> MerkleTree:
         return self._tree
+
+    @property
+    def archive(self) -> Optional["MerkleTreeArchive"]:
+        return self._archive
 
     def __len__(self) -> int:
         return len(self._items)
@@ -248,22 +306,53 @@ class MerkleStore:
         return self._items.get(key)
 
     def items(self) -> Mapping[Key, Value]:
-        return dict(self._items)
+        """Read-only live view of the store contents (no copy)."""
+        return MappingProxyType(self._items)
 
-    def apply(self, updates: Mapping[Key, Value]) -> Digest:
+    def apply(self, updates: Mapping[Key, Value], batch: Optional[BatchNumber] = None) -> Digest:
         """Apply ``updates`` and return the new root.
 
         Updates to existing keys take the incremental path (only the affected
         tree paths are recomputed); introducing a brand-new key rebuilds the
-        tree, since leaf positions shift.
+        tree, since leaf positions shift.  ``batch`` tags the update for the
+        archive; an untagged mutating apply clears the archive, since its
+        deltas would no longer describe the live tree.
         """
         if not updates:
             return self._tree.root
+        covered = self._tree.covers(updates)
+        if self._archive is not None:
+            if batch is None:
+                self._archive.invalidate()
+            elif covered:
+                self._archive.record_delta(batch, self._tree.capture_paths(updates))
+            else:
+                self._archive.record_tree(batch, self._tree)
         self._items.update(updates)
-        if self._tree.covers(updates):
+        if covered:
             return self._tree.update_values(updates)
         self._tree = MerkleTree(self._items)
         return self._tree.root
+
+    def tree_at(
+        self, batch: BatchNumber
+    ) -> Optional["MerkleTree | HistoricalTreeView"]:
+        """The tree as of ``batch``, or None without an archive / past retention."""
+        if self._archive is None:
+            return None
+        return self._archive.tree_at(batch, self._tree)
+
+    def prove_at(self, key: Key, batch: BatchNumber) -> MerkleProof:
+        """Proof for ``key`` against the archived tree as of ``batch``."""
+        if self._archive is None:
+            raise ProofError("store has no Merkle tree archive")
+        return self._archive.prove_at(key, batch, self._tree)
+
+    def prune_archive(self, upto: BatchNumber) -> int:
+        """Retention hook: drop archived states below ``upto`` (checkpoint GC)."""
+        if self._archive is None:
+            return 0
+        return self._archive.prune(upto)
 
     def preview_root(self, updates: Mapping[Key, Value]) -> Digest:
         """Root the store would have after ``updates``, without applying them."""

@@ -22,12 +22,13 @@ from __future__ import annotations
 import hashlib
 import hmac
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.common.errors import SignatureError
 from repro.crypto import rsa
-from repro.crypto.hashing import Encodable, stable_encode
+from repro.crypto.hashing import Digest, Encodable, sha256, stable_encode
 
 
 @dataclass(frozen=True)
@@ -112,14 +113,39 @@ class KeyRegistry:
     The registry plays the role of the permissioned deployment's PKI: it is
     populated once during system setup, before any byzantine behaviour can
     occur, and is consulted by verifiers.  It never holds RSA private keys.
+
+    Verification results are memoized in an LRU cache keyed on
+    ``(signer, scheme, payload digest, signature bytes)``: the signatures a
+    BFT quorum exchanges are verified by every one of the ``3f + 1`` cluster
+    members and certificates are re-verified per response, but the expensive
+    work (the MAC/RSA check) only depends on the key.  Correctness does not:
+    a tampered payload, signature or claimed signer changes the key and
+    misses the cache, so memoization can never turn an invalid signature
+    valid — *provided the cache key is computed from the verified payload
+    itself*.  ``payload_digest`` exists so a caller verifying many signatures
+    over one payload (:meth:`verify_quorum`) canonicalises it once; it MUST
+    be ``digest_of(payload)`` computed locally from the very payload passed
+    in, never a value carried inside a network message (a byzantine sender
+    could alias it to another payload and poison the cache).
+    ``verify_cache_size=0`` disables caching.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, verify_cache_size: int = 4096) -> None:
         self._materials: Dict[str, object] = {}
         self._schemes: Dict[str, str] = {}
+        self._verify_cache: "OrderedDict[Tuple[str, str, Digest, bytes], bool]" = OrderedDict()
+        self._verify_cache_size = verify_cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def register(self, signer: Signer) -> None:
-        """Record the verification material for ``signer``."""
+        """Record the verification material for ``signer``.
+
+        Re-registering an identity (key rotation) drops the verify cache:
+        verdicts computed under the replaced material are stale.
+        """
+        if signer.identity in self._materials:
+            self._verify_cache.clear()
         self._materials[signer.identity] = signer.verification_material()
         self._schemes[signer.identity] = signer.scheme
 
@@ -129,13 +155,62 @@ class KeyRegistry:
     def identities(self) -> Iterable[str]:
         return self._materials.keys()
 
-    def verify(self, payload: Encodable, signature: Signature) -> bool:
-        """Return True when ``signature`` is a valid signature of ``payload``."""
+    def verify(
+        self,
+        payload: Encodable,
+        signature: Signature,
+        payload_digest: Optional[Digest] = None,
+    ) -> bool:
+        """Return True when ``signature`` is a valid signature of ``payload``.
+
+        ``payload_digest``, when given, must be ``digest_of(payload)``
+        computed by the caller from this very ``payload`` object (see the
+        class docstring); it is only used as the memoization key, never as
+        the verified bytes.
+        """
+        return self._verify_encoded(payload, signature, payload_digest, None)
+
+    def _verify_encoded(
+        self,
+        payload: Encodable,
+        signature: Signature,
+        payload_digest: Optional[Digest],
+        message: Optional[bytes],
+    ) -> bool:
+        """Shared verify core; ``message`` carries pre-encoded payload bytes
+        (from :meth:`verify_quorum`) so the payload is canonicalised at most
+        once per call chain."""
         material = self._materials.get(signature.signer)
         scheme = self._schemes.get(signature.signer)
         if material is None or scheme != signature.scheme:
             return False
-        message = stable_encode(payload)
+        if self._verify_cache_size == 0:
+            if message is None:
+                message = stable_encode(payload)
+            return self._check(material, scheme, message, signature)
+        if payload_digest is None:
+            # Encode once: the same bytes key the cache and feed the check.
+            if message is None:
+                message = stable_encode(payload)
+            payload_digest = sha256(message)
+        cache_key = (signature.signer, scheme, payload_digest, signature.value)
+        cached = self._verify_cache.get(cache_key)
+        if cached is not None:
+            self._verify_cache.move_to_end(cache_key)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        if message is None:
+            message = stable_encode(payload)
+        valid = self._check(material, scheme, message, signature)
+        self._verify_cache[cache_key] = valid
+        if len(self._verify_cache) > self._verify_cache_size:
+            self._verify_cache.popitem(last=False)
+        return valid
+
+    def _check(
+        self, material: object, scheme: str, message: bytes, signature: Signature
+    ) -> bool:
         if scheme == "rsa":
             assert isinstance(material, rsa.RsaPublicKey)
             return rsa.verify(material, message, signature.value)
@@ -144,6 +219,13 @@ class KeyRegistry:
             expected = hmac.new(material, message, hashlib.sha256).digest()
             return hmac.compare_digest(expected, signature.value)
         return False
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of verifications answered from the cache (0.0 when unused)."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
 
     def require_valid(self, payload: Encodable, signature: Signature) -> None:
         """Raise :class:`SignatureError` unless the signature verifies."""
@@ -167,13 +249,17 @@ class KeyRegistry:
         cares whether enough honest-looking signatures are present.
         """
         allowed = set(allowed_signers) if allowed_signers is not None else None
+        # One canonical encoding covers the whole quorum: every per-signature
+        # check (hit or miss) reuses these bytes and their digest.
+        message = stable_encode(payload)
+        payload_digest = sha256(message) if self._verify_cache_size > 0 else None
         valid_signers = set()
         for signature in signatures:
             if allowed is not None and signature.signer not in allowed:
                 continue
             if signature.signer in valid_signers:
                 continue
-            if self.verify(payload, signature):
+            if self._verify_encoded(payload, signature, payload_digest, message):
                 valid_signers.add(signature.signer)
         return len(valid_signers) >= required
 

@@ -182,11 +182,14 @@ class CheckpointManager:
         }
 
         # Everything the stable checkpoint covers can go: the log prefix, the
-        # version chains and headers below the retention window, and decided
-        # consensus instances.
+        # version chains, headers and archived Merkle trees below the
+        # retention window, and decided consensus instances.  Store, header
+        # list and tree archive are pruned to the same floor so every batch a
+        # round-2 snapshot request can still name remains fully answerable.
         truncated = replica.log.truncate_prefix(image.seq + 1)
         replica.counters.log_entries_truncated += truncated
         retain_from = image.seq - self.config.retention_batches
         replica.counters.versions_pruned += replica.store.prune(retain_from)
-        replica.headers = [h for h in replica.headers if h.number >= retain_from]
+        replica.prune_headers_below(retain_from)
+        replica.merkle.prune_archive(retain_from)
         replica.engine.compact_below(image.seq + 1)

@@ -47,7 +47,9 @@ class SimEnvironment:
             latency_model = build_latency_model(config.latency, config.num_partitions)
             network = Network(self.simulator, latency_model, random.Random(config.seed + 1))
         self.network = network
-        self.registry = registry or KeyRegistry()
+        self.registry = registry or KeyRegistry(
+            verify_cache_size=self.config.perf.verify_cache_size
+        )
 
     @property
     def now(self) -> float:

@@ -23,13 +23,15 @@ class _ScheduledEvent:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     @property
     def time(self) -> float:
@@ -41,7 +43,10 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self._event.cancelled or self._event.fired:
+            return
         self._event.cancelled = True
+        self._simulator._pending -= 1
 
 
 class Simulator:
@@ -52,6 +57,7 @@ class Simulator:
         self._queue: List[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._pending = 0
         self._running = False
 
     @property
@@ -65,7 +71,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Live events still scheduled — a counter, not an O(n) heap scan."""
+        return self._pending
 
     def schedule(self, delay_ms: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay_ms`` from now."""
@@ -81,7 +88,8 @@ class Simulator:
             )
         event = _ScheduledEvent(time=time_ms, sequence=next(self._sequence), callback=callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, self)
 
     def run(
         self,
@@ -109,6 +117,8 @@ class Simulator:
                 heapq.heappop(self._queue)
                 if event.cancelled:
                     continue
+                event.fired = True
+                self._pending -= 1
                 self._now = event.time
                 event.callback()
                 processed += 1

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.common.errors import StorageError, UnknownKeyError
 from repro.common.ids import NO_BATCH, BatchNumber
@@ -172,14 +172,20 @@ class MultiVersionStore:
         """Materialise the latest visible value of every key."""
         return {key: chain.values[-1] for key, chain in self._chains.items()}
 
-    def snapshot_as_of(self, batch: BatchNumber) -> Dict[Key, Value]:
-        """Materialise the state visible at batch ``batch``."""
-        snapshot: Dict[Key, Value] = {}
+    def iter_items_as_of(self, batch: BatchNumber) -> Iterator[Tuple[Key, Value]]:
+        """Iterate the ``(key, value)`` pairs visible at batch ``batch``.
+
+        The streaming primitive behind :meth:`snapshot_as_of`; use it
+        directly when a single pass suffices and no dict is needed.
+        """
         for key, chain in self._chains.items():
             versioned = chain.as_of(batch)
             if versioned is not None:
-                snapshot[key] = versioned.value
-        return snapshot
+                yield key, versioned.value
+
+    def snapshot_as_of(self, batch: BatchNumber) -> Dict[Key, Value]:
+        """Materialise the state visible at batch ``batch``."""
+        return dict(self.iter_items_as_of(batch))
 
     def history(self, key: Key) -> Tuple[Tuple[BatchNumber, Value], ...]:
         """Full version history of ``key`` (oldest first)."""

@@ -9,6 +9,7 @@ from repro.common.config import (
     CostConfig,
     FreshnessConfig,
     LatencyConfig,
+    PerfConfig,
     SystemConfig,
     paper_scale_config,
     small_test_config,
@@ -108,3 +109,16 @@ class TestNestedConfigs:
         config = SystemConfig(batch=BatchConfig(max_size=0))
         with pytest.raises(ConfigurationError):
             config.validate()
+
+    def test_perf_rejects_bad_archive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            PerfConfig(archive_max_batches=0).validate()
+        with pytest.raises(ConfigurationError):
+            PerfConfig(verify_cache_size=-1).validate()
+
+    def test_perf_rejects_no_archive_and_no_fallback(self):
+        # This combination would refuse every round-2 snapshot read.
+        with pytest.raises(ConfigurationError):
+            PerfConfig(archive_enabled=False, snapshot_rebuild_fallback=False).validate()
+        PerfConfig(archive_enabled=False, snapshot_rebuild_fallback=True).validate()
+        PerfConfig(archive_enabled=True, snapshot_rebuild_fallback=False).validate()

@@ -109,6 +109,14 @@ class TestMerkleStore:
         store = MerkleStore(items)
         assert store.root == MerkleTree(items).root
 
+    def test_items_is_a_live_read_only_view(self):
+        store = MerkleStore(make_items(3))
+        view = store.items()
+        with pytest.raises(TypeError):
+            view["key-000"] = b"nope"  # read-only proxy, not a copy
+        store.apply({"key-000": b"changed"})
+        assert view["key-000"] == b"changed"  # live view tracks the store
+
 
 class TestMerkleProperties:
     @settings(max_examples=30, deadline=None)

@@ -7,6 +7,7 @@ import random
 import pytest
 
 from repro.common.errors import SignatureError
+from repro.crypto.hashing import digest_of
 from repro.crypto.signatures import (
     HmacSigner,
     KeyRegistry,
@@ -109,6 +110,131 @@ class TestQuorumVerification:
         assert registry.verify_quorum(
             payload, sigs, required=2, allowed_signers=["P0/R0", "P0/R1"]
         )
+
+
+class TestVerifyCache:
+    """The memoized verify path must never be weaker than the uncached one."""
+
+    def test_repeated_verifications_hit_the_cache(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = ["commit", 0, 7, b"\x01" * 32]
+        signature = signers["P0/R0"].sign(payload)
+        assert registry.verify(payload, signature)
+        before = registry.cache_hits
+        for _ in range(5):
+            assert registry.verify(payload, signature)
+        assert registry.cache_hits == before + 5
+        assert registry.cache_hit_rate() > 0
+
+    def test_tampered_payload_fails_with_warm_cache(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = ["commit", 0, 7, b"\x01" * 32]
+        signature = signers["P0/R0"].sign(payload)
+        assert registry.verify(payload, signature)  # warm the cache
+        tampered = ["commit", 0, 7, b"\x02" * 32]
+        assert not registry.verify(tampered, signature)
+        # ... and repeatedly: the negative result is also cached, never flipped.
+        assert not registry.verify(tampered, signature)
+        assert registry.verify(payload, signature)
+
+    def test_tampered_signature_fails_with_warm_cache(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = {"seq": 12}
+        signature = signers["P0/R1"].sign(payload)
+        assert registry.verify(payload, signature)
+        forged = Signature(
+            signer=signature.signer,
+            value=bytes(reversed(signature.value)),
+            scheme=signature.scheme,
+        )
+        assert not registry.verify(payload, forged)
+
+    def test_wrong_signer_fails_with_warm_cache(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = "vote"
+        signature = signers["P0/R0"].sign(payload)
+        assert registry.verify(payload, signature)
+        impersonation = Signature(
+            signer="P0/R1", value=signature.value, scheme=signature.scheme
+        )
+        assert not registry.verify(payload, impersonation)
+
+    def test_explicit_payload_digest_matches_implicit(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = ["prepare", 1, 2, b"d"]
+        signature = signers["P0/R2"].sign(payload)
+        assert registry.verify(payload, signature, payload_digest=digest_of(payload))
+        # The explicit-digest call shares cache entries with the implicit one.
+        before = registry.cache_hits
+        assert registry.verify(payload, signature)
+        assert registry.cache_hits == before + 1
+
+    def test_cache_disabled_still_verifies(self):
+        registry = KeyRegistry(verify_cache_size=0)
+        signer = HmacSigner("solo")
+        registry.register(signer)
+        payload = {"x": 1}
+        signature = signer.sign(payload)
+        assert registry.verify(payload, signature)
+        assert registry.verify(payload, signature)
+        assert registry.cache_hits == 0 and registry.cache_misses == 0
+        assert not registry.verify({"x": 2}, signature)
+
+    def test_cache_eviction_keeps_correctness(self):
+        registry = KeyRegistry(verify_cache_size=2)
+        signer = HmacSigner("node")
+        registry.register(signer)
+        payloads = [f"payload-{i}" for i in range(5)]
+        signatures = [signer.sign(payload) for payload in payloads]
+        for payload, signature in zip(payloads, signatures):
+            assert registry.verify(payload, signature)
+        # Everything still verifies (re-verified on miss after eviction) and
+        # cross-pairing payloads with the wrong signature still fails.
+        for payload, signature in zip(payloads, signatures):
+            assert registry.verify(payload, signature)
+            assert not registry.verify(payload, signatures[0]) or payload == payloads[0]
+
+    def test_tampered_consensus_message_rejected_despite_warm_cache(
+        self, registry_with_nodes
+    ):
+        """In-transit tampering: the honest vote verifies (and is cached),
+        the tampered copy canonicalises differently and still fails."""
+        from repro.bft.messages import Prepare
+
+        registry, signers = registry_with_nodes
+        honest = Prepare(view=0, seq=4, digest=b"agreed-digest")
+        honest.signature = signers["P0/R0"].sign(honest.signing_payload())
+        assert registry.verify(honest.signing_payload(), honest.signature)
+        tampered = Prepare(view=0, seq=4, digest=b"forged-digest", signature=honest.signature)
+        assert not registry.verify(tampered.signing_payload(), tampered.signature)
+
+    def test_cache_key_cannot_be_poisoned_through_a_message(self, registry_with_nodes):
+        """The registry derives the cache key from the payload it verifies —
+        a sender cannot alias a verdict onto a different payload, because
+        verifiers never accept a digest carried inside a message."""
+        from repro.bft.messages import Prepare
+
+        registry, signers = registry_with_nodes
+        byzantine = signers["P0/R3"]
+        target_payload = Prepare(view=0, seq=9, digest=b"payload-B").signing_payload()
+        # The attacker's own message A verifies fine (it is validly signed)...
+        message_a = Prepare(view=0, seq=9, digest=b"payload-A")
+        message_a.signature = byzantine.sign(message_a.signing_payload())
+        assert registry.verify(message_a.signing_payload(), message_a.signature)
+        # ...but message B carrying A's signature must fail: A's cached
+        # verdict is keyed under A's locally computed digest, not anything
+        # the attacker can choose.
+        assert not registry.verify(target_payload, message_a.signature)
+
+    def test_quorum_verification_uses_one_encoding(self, registry_with_nodes):
+        registry, signers = registry_with_nodes
+        payload = {"seq": 3, "digest": b"q"}
+        sigs = [s.sign(payload) for s in signers.values()]
+        assert registry.verify_quorum(payload, sigs, required=3)
+        before_hits = registry.cache_hits
+        # Re-verifying the same certificate is answered fully from the cache.
+        assert registry.verify_quorum(payload, sigs, required=3)
+        assert registry.cache_hits >= before_hits + 3
 
 
 class TestFactories:

@@ -120,6 +120,41 @@ class TestRunLimits:
         handle.cancel()
         assert sim.pending_events == 1
 
+    def test_pending_events_counter_tracks_fire_and_cancel(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        handles[0].cancel()
+        handles[0].cancel()  # double-cancel must not decrement twice
+        assert sim.pending_events == 4
+        sim.run(max_events=2)
+        assert sim.pending_events == 2
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until_ms=1.5)
+        handle.cancel()  # already fired: must be a no-op
+        assert sim.pending_events == 1
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
+    def test_pending_events_counts_events_scheduled_during_run(self):
+        sim = Simulator()
+        observed = []
+
+        def first():
+            sim.schedule(1.0, lambda: None)
+            observed.append(sim.pending_events)
+
+        sim.schedule(1.0, first)
+        sim.run_until_idle()
+        assert observed == [1]
+        assert sim.pending_events == 0
+
     def test_run_is_not_reentrant(self):
         sim = Simulator()
 

@@ -100,6 +100,17 @@ class TestVersionedReads:
         store.apply({"a": b"a7", "b": b"b7"}, batch=7)
         assert store.snapshot_latest() == {"a": b"a7", "b": b"b7"}
 
+    def test_iter_items_as_of_streams_the_snapshot(self):
+        store = MultiVersionStore({"a": b"a0", "b": b"b0"})
+        store.apply({"a": b"a1"}, batch=1)
+        store.apply({"b": b"b3"}, batch=3)
+        iterator = store.iter_items_as_of(1)
+        assert iter(iterator) is iterator  # a true one-pass iterator
+        assert dict(iterator) == store.snapshot_as_of(1)
+        # Keys invisible at the requested batch are skipped entirely.
+        store.apply({"late": b"l5"}, batch=5)
+        assert dict(store.iter_items_as_of(3)) == {"a": b"a1", "b": b"b3"}
+
     def test_history_is_ordered(self):
         store = MultiVersionStore({"x": b"v"})
         store.apply({"x": b"v1"}, batch=1)
