@@ -4,7 +4,11 @@ Not a figure of the paper — this benchmark exercises the ``repro.recovery``
 subsystem: a follower is crashed and restarted mid-workload via the fault
 injector, rejoins through state transfer, and the surviving replicas' SMR
 logs and version chains stay bounded by the checkpoint interval / retention
-window while the checkpoint-free baseline grows with the run length.
+window while the checkpoint-free baseline grows with the run length.  A
+final run crashes the partition-0 *leader* with no manual view-change
+trigger: the cluster must rotate views automatically, resume the dead
+leader's unfinished 2PC (zero stranded prepared transactions) and have the
+restarted ex-leader rejoin in the current view.
 """
 
 from conftest import record_result, run_once
@@ -30,3 +34,10 @@ def test_fig16_crash_recovery(benchmark):
         # The crashed follower caught back up to (nearly) its leader; a
         # residual gap can only be the tail decided after the last checkpoint.
         assert lag.points[interval] <= interval
+    # Leader-crash variant: the ex-leader recovered, the cluster rotated
+    # views without a manual trigger, and no participant stayed wedged in
+    # `prepared`.
+    leader = figure.series_by_name("leader crash: recoveries / view changes / stranded")
+    assert leader.points[0] >= 1  # recoveries completed
+    assert leader.points[1] >= 1  # automatic view changes
+    assert leader.points[2] == 0  # stranded prepared transactions

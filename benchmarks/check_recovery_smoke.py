@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI gate for the recovery subsystem (the `recovery-smoke` job).
+
+Reads the JSON written by ``python -m repro.bench.run fig16 --json ...`` and
+asserts the leader-crash variant's convergence invariants:
+
+* at least one recovery completed (the follower crash/restart sweep *and*
+  the restarted ex-leader both count);
+* the leader-crash run rotated views automatically (no manual
+  ``suspect_leader`` exists anywhere in the experiment);
+* zero transactions were left stranded in ``prepared`` anywhere.
+
+Usage::
+
+    python benchmarks/check_recovery_smoke.py BENCH_fig16.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    try:
+        result = document["experiments"]["fig16"]["result"]
+    except KeyError:
+        print("JSON does not contain a fig16 experiment result", file=sys.stderr)
+        return 2
+
+    series = {entry["name"]: dict(entry["points"]) for entry in result["series"]}
+    leader = series.get("leader crash: recoveries / view changes / stranded")
+    if leader is None:
+        print("fig16 result lacks the leader-crash series", file=sys.stderr)
+        return 1
+    recoveries, view_changes, stranded = leader.get(0, 0), leader.get(1, 0), leader.get(2, -1)
+
+    failures = []
+    if recoveries < 1:
+        failures.append(f"ex-leader recoveries completed = {recoveries} (expected >= 1)")
+    if view_changes < 1:
+        failures.append(f"automatic view changes = {view_changes} (expected >= 1)")
+    if stranded != 0:
+        failures.append(f"stranded prepared transactions = {stranded} (expected 0)")
+
+    events = {}
+    for note in result.get("notes", []):
+        if note.startswith("recovery events: "):
+            for pair in note[len("recovery events: "):].split(", "):
+                name, _, count = pair.partition("=")
+                events[name] = int(count)
+    if events.get("recoveries-completed", 0) < 1:
+        failures.append("follower crash sweep completed no recoveries")
+    if events.get("leader-crash-views-adopted", 0) < 1:
+        failures.append("restarted ex-leader did not adopt the current view")
+
+    print(f"fig16 recovery smoke: recoveries={recoveries} view_changes={view_changes} "
+          f"stranded={stranded} events={events}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("recovery smoke invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

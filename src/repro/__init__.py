@@ -29,6 +29,7 @@ from repro.common.config import (
     BatchConfig,
     CheckpointConfig,
     CostConfig,
+    FailoverConfig,
     FreshnessConfig,
     LatencyConfig,
     PerfConfig,
@@ -49,6 +50,7 @@ __all__ = [
     "CheckpointConfig",
     "CommitResult",
     "CostConfig",
+    "FailoverConfig",
     "FreshnessConfig",
     "LatencyConfig",
     "PerfConfig",

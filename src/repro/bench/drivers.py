@@ -62,6 +62,7 @@ def execute_workload(
     read_only_protocol: "str | ReadOnlyProtocol" = "transedge",
     metrics: Optional[MetricsCollector] = None,
     client_prefix: str = "driver",
+    client_kwargs: Optional[dict] = None,
 ) -> WorkloadRunResult:
     """Execute ``specs`` on ``system`` and return metrics.
 
@@ -78,7 +79,8 @@ def execute_workload(
     executed = {"count": 0}
 
     clients: List[TransEdgeClient] = [
-        system.create_client(f"{client_prefix}-{index}") for index in range(max(1, num_clients))
+        system.create_client(f"{client_prefix}-{index}", **(client_kwargs or {}))
+        for index in range(max(1, num_clients))
     ]
 
     def driver_body(client: TransEdgeClient):

@@ -567,7 +567,7 @@ def table1_read_only_interference(txns_per_point: Optional[int] = None) -> Table
 
 
 def fig16_crash_recovery(txns_per_point: Optional[int] = None) -> FigureResult:
-    """Crash-and-recover a follower while checkpointing bounds log growth.
+    """Crash-and-recover replicas (follower *and* leader) under checkpointing.
 
     Not a figure of the paper: this exercises the ``repro.recovery``
     subsystem.  For each checkpoint interval a write-heavy workload runs while
@@ -575,6 +575,15 @@ def fig16_crash_recovery(txns_per_point: Optional[int] = None) -> FigureResult:
     figure reports the end-of-run SMR log length with and without
     checkpointing, the longest version chain, and how far the restarted
     replica still trails its leader once the run drains.
+
+    A final *leader-crash* run (mixed local + distributed workload) crashes
+    the partition-0 **leader** mid-run with no manual view-change trigger:
+    survivors detect the dead leader (progress monitor + client complaints),
+    rotate views, the new leader resumes the predecessor's unfinished 2PC,
+    and the restarted ex-leader rejoins through state transfer *adopting the
+    current view*.  The run reports recoveries completed, automatic view
+    changes, stranded prepared transactions (must be zero) and the per-node
+    signature verify-cache hit rates.
     """
     txns = scaled(txns_per_point or 300)
     figure = FigureResult(
@@ -640,9 +649,81 @@ def fig16_crash_recovery(txns_per_point: Optional[int] = None) -> FigureResult:
                 baseline_length = system.max_log_length()
     for interval in intervals:
         unbounded_log.add(interval, baseline_length)
+
+    # Leader-crash variant: no manual suspect anywhere — convergence relies
+    # entirely on the automatic failure detection added in PR 3.
+    leader_series = figure.add_series("leader crash: recoveries / view changes / stranded")
+    config = SystemConfig(
+        num_partitions=2,
+        fault_tolerance=1,
+        batch=BatchConfig(max_size=8, timeout_ms=2.0),
+        latency=latency_config(0.0),
+        initial_keys=400,
+        value_size=64,
+        checkpoint=CheckpointConfig(
+            enabled=True, interval_batches=10, retention_batches=10
+        ),
+    )
+    system = TransEdgeSystem(config)
+    generator = make_generator(system)
+    locals_stream = generator.stream_of(txns * 2 // 3, TxnKind.LOCAL_READ_WRITE)
+    dist_stream = generator.stream_of(txns // 3, TxnKind.DISTRIBUTED_READ_WRITE)
+    # Interleave 2 local : 1 distributed so 2PC is in flight when the leader
+    # dies (that is the hard case the recovery overhaul must converge from).
+    mixed = []
+    for spec in locals_stream:
+        mixed.append(spec)
+        if len(mixed) % 3 == 2:
+            nxt = next(dist_stream, None)
+            if nxt is not None:
+                mixed.append(nxt)
+    mixed.extend(dist_stream)
+    victim = system.topology.leader(0)
+    system.env.simulator.schedule(30.0, lambda: system.crash_replica(victim))
+    # Restart well after the clients' commit timeout so the complaint-driven
+    # view change happens first and the ex-leader rejoins a *newer* view.
+    system.env.simulator.schedule(2_000.0, lambda: system.restart_replica(victim))
+    result = execute_workload(
+        system,
+        mixed,
+        concurrency=16,
+        num_clients=4,
+        metrics=events,
+        client_prefix="leadercrash",
+        # Short commit timeout: clients stuck on the dead leader complain
+        # (and their aborted attempts terminate) quickly instead of at the
+        # default 120 s, which keeps the run short.
+        client_kwargs={"commit_timeout_ms": 500.0},
+    )
+    counters = system.counters()
+    ex_leader = system.replicas[victim]
+    stranded = system.stranded_prepared_transactions()
+    events.record_event("leader-crash-recoveries-completed",
+                        ex_leader.counters.recoveries_completed)
+    events.record_event("leader-crash-view-changes", counters.view_changes)
+    events.record_event("leader-crash-views-adopted", counters.views_adopted)
+    events.record_event("leader-crash-decision-queries", counters.decision_queries_served)
+    events.record_event("stranded-prepared", stranded)
+    for node, (hits, misses) in system.verify_cache_stats().items():
+        events.record_verify_cache(node, hits, misses)
+    cache_hits, cache_misses = events.verify_cache_totals()
+    leader_series.add(0, ex_leader.counters.recoveries_completed)
+    leader_series.add(1, counters.view_changes)
+    leader_series.add(2, stranded)
+
     figure.notes.append(
         f"{txns} local read-write txns per point; one partition-0 follower crashed at "
         "t=25ms and restarted (with state transfer) at t=70ms in the checkpointing runs"
+    )
+    figure.notes.append(
+        "leader-crash run: partition-0 leader crashed at t=30ms, restarted at "
+        f"t=2000ms; {result.executed} mixed txns executed; automatic view "
+        f"change only (no manual suspect); stranded prepared txns = {stranded}; "
+        f"ex-leader rejoined in view {ex_leader.engine.view}"
+    )
+    figure.notes.append(
+        f"per-node verify caches: {100.0 * cache_hits / max(1, cache_hits + cache_misses):.1f}% "
+        f"aggregate hit rate over {len(events.verify_cache_stats())} nodes"
     )
     figure.notes.append(
         "recovery events: "
@@ -751,12 +832,17 @@ def perf_snapshot_hotpaths(txns_per_point: Optional[int] = None) -> FigureResult
         background_concurrency=6,
         foreground_pacing_ms=8.0,
     )
-    registry = system.env.registry
     counters = system.counters()
+    # Sum over every node's private cache — replicas *and* clients (the
+    # replica-only totals live in SystemCounters.verify_cache_hits/misses).
+    cache_stats = system.verify_cache_stats()
+    cache_hits = sum(hits for hits, _ in cache_stats.values())
+    cache_misses = sum(misses for _, misses in cache_stats.values())
+    cache_total = max(1, cache_hits + cache_misses)
     figure.notes.append(
-        f"verify-cache hit rate {100.0 * registry.cache_hit_rate():.1f}% "
-        f"({registry.cache_hits} hits / {registry.cache_misses} misses) on a "
-        f"5-cluster f=1 run"
+        f"verify-cache hit rate {100.0 * cache_hits / cache_total:.1f}% "
+        f"({cache_hits} hits / {cache_misses} misses, summed over "
+        f"{len(cache_stats)} per-node caches) on a 5-cluster f=1 run"
     )
     figure.notes.append(
         f"snapshot requests served {counters.snapshot_requests_served} "

@@ -18,7 +18,13 @@ from repro.bft.messages import (
     Prepare,
     ViewChange,
 )
-from repro.bft.quorum import CommitCertificate, VoteTracker, certificate_payload
+from repro.bft.quorum import (
+    CommitCertificate,
+    ViewChangeCertificate,
+    VoteTracker,
+    certificate_payload,
+    view_change_payload,
+)
 
 __all__ = [
     "BftMessage",
@@ -33,8 +39,10 @@ __all__ = [
     "Prepare",
     "ReplicatedLog",
     "ViewChange",
+    "ViewChangeCertificate",
     "VoteTracker",
     "certificate_payload",
+    "view_change_payload",
     "make_equivocating_leader",
     "make_receive_blind",
     "make_silent",

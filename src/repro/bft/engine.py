@@ -37,7 +37,7 @@ from repro.common.errors import ConsensusError, NotLeaderError
 from repro.common.ids import PartitionId, ReplicaId
 from repro.crypto.signatures import KeyRegistry
 from repro.bft.messages import BftMessage, Commit, NewView, PrePrepare, Prepare, ViewChange
-from repro.bft.quorum import CommitCertificate, VoteTracker
+from repro.bft.quorum import CommitCertificate, ViewChangeCertificate, VoteTracker
 
 
 class ConsensusApplication(Protocol):
@@ -90,7 +90,9 @@ class PbftEngine:
         self._f = fault_tolerance
         self._application = application
         self._digest_fn = digest_fn
-        self._registry: KeyRegistry = owner.env.registry
+        # Verify through the owner's per-node cache when it has one (every
+        # SimNode does); the raw registry is the fallback for bare owners.
+        self._registry: KeyRegistry = getattr(owner, "verifier", None) or owner.env.registry
 
         self.view = 0
         self._instances: Dict[int, _Instance] = {}
@@ -99,6 +101,12 @@ class PbftEngine:
         self._pending_deliveries: Dict[int, Tuple[object, CommitCertificate]] = {}
         self._buffered_pre_prepares: Dict[int, Tuple[PrePrepare, object]] = {}
         self._view_change_votes: Dict[int, VoteTracker] = {}
+        # last_delivered advertised by each view-change vote, kept alongside
+        # the tracker so a quorum can be re-issued as a transferable
+        # :class:`ViewChangeCertificate`.
+        self._view_change_tips: Dict[int, Dict[str, int]] = {}
+        #: Proof of how this replica reached its current view (None at view 0).
+        self.view_certificate: Optional[ViewChangeCertificate] = None
         self.decided_count = 0
 
         if len(self._members) < 3 * self._f + 1:
@@ -320,6 +328,33 @@ class PbftEngine:
             del self._pending_deliveries[seq]
         self._deliver_ready()
 
+    def has_pending_work(self) -> bool:
+        """Evidence that this cluster should be making progress but is not.
+
+        True while any current-view instance has started (a pre-prepare was
+        accepted, or prepare/commit votes arrived for an instance whose
+        proposal this replica never saw), a pre-prepare is buffered behind a
+        delivery gap, or a decided value waits on an undelivered predecessor.
+        The replica's progress monitor arms its leader-suspicion timer on
+        exactly this predicate — votes spread the evidence, so a leader that
+        crashed after reaching only one follower is still suspected by a
+        quorum (that follower's prepares create instances everywhere).
+        """
+        if self._buffered_pre_prepares or self._pending_deliveries:
+            return True
+        for seq, instance in self._instances.items():
+            if seq < self._next_deliver_seq or instance.decided:
+                continue
+            if instance.view != self.view:
+                continue
+            if (
+                instance.pre_prepared
+                or instance.prepares.count() > 0
+                or instance.commits.count() > 0
+            ):
+                return True
+        return False
+
     def compact_below(self, seq: int) -> None:
         """Drop bookkeeping for instances below ``seq`` (stable-checkpoint GC).
 
@@ -340,24 +375,42 @@ class PbftEngine:
         message = ViewChange(view=new_view, last_delivered=self.last_delivered_seq)
         message.signature = self._owner.signer.sign(message.signing_payload())
         self._owner.broadcast(self._other_members(), message)
-        self._record_view_change_vote(new_view, str(self._owner.node_id), message.signature)
+        self._record_view_change_vote(
+            new_view, str(self._owner.node_id), message.signature, self.last_delivered_seq
+        )
 
     def _on_view_change_msg(self, message: ViewChange, src: ReplicaId) -> None:
         if message.view <= self.view or not self._is_member(src):
             return
         if not self._verify(message, src):
             return
-        self._record_view_change_vote(message.view, str(src), message.signature)
+        self._record_view_change_vote(
+            message.view, str(src), message.signature, message.last_delivered
+        )
 
-    def _record_view_change_vote(self, new_view: int, sender: str, signature) -> None:
+    def _record_view_change_vote(
+        self, new_view: int, sender: str, signature, last_delivered: int
+    ) -> None:
         tracker = self._view_change_votes.setdefault(new_view, VoteTracker())
-        tracker.add(sender, signature)
+        if tracker.add(sender, signature):
+            self._view_change_tips.setdefault(new_view, {})[sender] = last_delivered
         if tracker.reached(self.quorum) and new_view > self.view:
+            certificate = self._certificate_from_votes(new_view)
+            self.view_certificate = certificate
             self._enter_view(new_view)
             if self.is_leader:
-                announce = NewView(view=new_view, supporters=tracker.voters())
+                announce = NewView(view=new_view, votes=certificate.votes)
                 announce.signature = self._owner.signer.sign(announce.signing_payload())
                 self._owner.broadcast(self._other_members(), announce)
+
+    def _certificate_from_votes(self, view: int) -> ViewChangeCertificate:
+        tracker = self._view_change_votes[view]
+        tips = self._view_change_tips.get(view, {})
+        votes = tuple(
+            (tips.get(sender, -1), signature)
+            for sender, signature in zip(tracker.voters(), tracker.signatures())
+        )
+        return ViewChangeCertificate(view=view, votes=votes)
 
     def _on_new_view(self, message: NewView, src: ReplicaId) -> None:
         if message.view <= self.view or not self._is_member(src):
@@ -366,7 +419,38 @@ class PbftEngine:
             return
         if not self._verify(message, src):
             return
+        # The announcement alone is not proof: the carried view-change votes
+        # must form a real quorum certificate for this view.
+        certificate = ViewChangeCertificate(view=message.view, votes=tuple(message.votes))
+        if not certificate.verify(self._registry, self._members, self.quorum):
+            return
+        self.view_certificate = certificate
         self._enter_view(message.view)
+
+    def adopt_view(
+        self, view: int, certificate: Optional[ViewChangeCertificate]
+    ) -> bool:
+        """Jump to ``view`` on transferable proof (state-transfer rejoin).
+
+        A recovering replica restarts in view 0; the peer that answered its
+        state transfer advertises the cluster's current view together with
+        the quorum certificate that elected it.  Verifying that certificate
+        lets the rejoiner follow the live leader immediately — accepting its
+        very next ``PrePrepare`` — instead of ignoring proposals until the
+        next organic view change.  Returns True when the view was adopted
+        (or already current).
+        """
+        if view < self.view:
+            return False
+        if view == self.view:
+            return True
+        if certificate is None or certificate.view != view:
+            return False
+        if not certificate.verify(self._registry, self._members, self.quorum):
+            return False
+        self.view_certificate = certificate
+        self._enter_view(view)
+        return True
 
     def _enter_view(self, new_view: int) -> None:
         self.view = new_view
@@ -377,6 +461,11 @@ class PbftEngine:
         }
         self._buffered_pre_prepares.clear()
         self._next_proposal_seq = self._next_deliver_seq
+        # Drop vote bookkeeping for views the cluster has moved past; the
+        # current view's certificate is retained in ``view_certificate``.
+        for view in [v for v in self._view_change_votes if v <= new_view]:
+            del self._view_change_votes[view]
+            self._view_change_tips.pop(view, None)
         self._application.on_view_change(new_view, self.current_leader)
 
     # -- helpers --------------------------------------------------------------------

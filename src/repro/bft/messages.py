@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.bft.quorum import checkpoint_payload
+from repro.bft.quorum import checkpoint_payload, view_change_payload
 from repro.crypto.signatures import Signature
 from repro.simnet.messages import Message
 
@@ -100,14 +100,24 @@ class ViewChange(BftMessage):
     last_delivered: int = -1
 
     def signing_payload(self) -> object:
-        return ["view-change", self.view, self.last_delivered]
+        return view_change_payload(self.view, self.last_delivered)
 
 
 @dataclass
 class NewView(BftMessage):
-    """The new leader's announcement that the view change is complete."""
+    """The new leader's announcement that the view change is complete.
 
-    supporters: Tuple[str, ...] = ()
+    ``votes`` carries the ``(last_delivered, signature)`` view-change votes
+    that elected this view (a :class:`~repro.bft.quorum.ViewChangeCertificate`
+    in wire form; the supporters are the votes' signers).  Receivers verify
+    the votes rather than trusting the announcement: a byzantine replica
+    whose turn the rotation has not reached cannot move the cluster to "its"
+    view without ``2f + 1`` real votes, and every replica that follows the
+    announcement ends up holding the same transferable certificate it can
+    later hand to rejoining peers.
+    """
+
+    votes: Tuple[Tuple[int, Signature], ...] = ()
 
     def signing_payload(self) -> object:
-        return ["new-view", self.view, list(self.supporters)]
+        return ["new-view", self.view]

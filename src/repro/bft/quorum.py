@@ -38,6 +38,56 @@ def checkpoint_payload(seq: int, digest: bytes) -> object:
     return ["checkpoint", int(seq), digest]
 
 
+def view_change_payload(view: int, last_delivered: int) -> object:
+    """Canonical payload a ``ViewChange`` vote's signature covers.
+
+    Shared by ``ViewChange.signing_payload`` and
+    :meth:`ViewChangeCertificate.verify`: each vote signs its sender's own
+    ``last_delivered``, so a certificate is a *set* of individually signed
+    votes rather than one payload signed by a quorum.
+    """
+    return ["view-change", view, last_delivered]
+
+
+@dataclass(frozen=True)
+class ViewChangeCertificate:
+    """Transferable proof that ``2f + 1`` cluster members voted for ``view``.
+
+    ``votes`` holds ``(last_delivered, signature)`` pairs — each signature
+    covers :func:`view_change_payload` for its sender's own delivery tip, so
+    verification checks every vote against its own payload and counts
+    distinct valid member signers.  The certificate travels in ``NewView``
+    announcements (a byzantine "leader" of a higher view cannot summon the
+    cluster without real votes) and in state-transfer replies (a rejoining
+    replica adopts the cluster's current view only against this proof).
+    """
+
+    view: int
+    votes: Tuple[Tuple[int, Signature], ...]
+
+    def signers(self) -> Tuple[str, ...]:
+        return tuple(signature.signer for _, signature in self.votes)
+
+    def verify(
+        self,
+        registry: KeyRegistry,
+        cluster_members: Iterable[ReplicaId],
+        required: int,
+    ) -> bool:
+        """Check ``required`` distinct members validly voted for ``view``."""
+        allowed = {str(member) for member in cluster_members}
+        valid_signers = set()
+        for last_delivered, signature in self.votes:
+            if signature is None or signature.signer not in allowed:
+                continue
+            if signature.signer in valid_signers:
+                continue
+            payload = view_change_payload(self.view, last_delivered)
+            if registry.verify(payload, signature):
+                valid_signers.add(signature.signer)
+        return len(valid_signers) >= required
+
+
 @dataclass(frozen=True)
 class CommitCertificate:
     """Proof that a cluster decided ``digest`` at sequence ``seq``."""

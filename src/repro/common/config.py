@@ -132,6 +132,45 @@ class CheckpointConfig:
 
 
 @dataclass(frozen=True)
+class FailoverConfig:
+    """Automatic failure detection and 2PC resumption (``repro.recovery`` PR 3).
+
+    ``progress_timeout_ms`` is how long a replica tolerates *pending work
+    without progress* (an in-flight consensus instance, a gap in deliveries,
+    an undecided prepare group, or a client complaint) before voting to
+    replace its leader; each further round of silence casts another vote, up
+    to ``max_suspect_rounds`` consecutive rounds (the monitor then stands
+    down until progress resumes, which bounds simulation work when a cluster
+    has genuinely lost liveness).  ``two_pc_retry_ms`` is the cadence at
+    which a leader re-drives unfinished Two-Phase-Commit work — re-sending
+    coordinator prepares for missing votes, re-sending participant votes,
+    and querying the coordinator cluster for decisions it may have certified
+    without us (``DecisionQuery``) — with at most ``two_pc_max_retries``
+    attempts per transaction.  Timers are armed lazily (only while matching
+    work is pending), so an idle or healthy deployment schedules nothing.
+    ``enabled=False`` restores the PR-1 behaviour: crashes of a leader need a
+    manual ``suspect_leader`` nudge and stranded 2PC participants stay
+    stranded.
+    """
+
+    enabled: bool = True
+    progress_timeout_ms: float = 60.0
+    max_suspect_rounds: int = 8
+    two_pc_retry_ms: float = 40.0
+    two_pc_max_retries: int = 10
+
+    def validate(self) -> None:
+        if self.progress_timeout_ms <= 0:
+            raise ConfigurationError("progress_timeout_ms must be > 0")
+        if self.max_suspect_rounds < 1:
+            raise ConfigurationError("max_suspect_rounds must be >= 1")
+        if self.two_pc_retry_ms <= 0:
+            raise ConfigurationError("two_pc_retry_ms must be > 0")
+        if self.two_pc_max_retries < 1:
+            raise ConfigurationError("two_pc_max_retries must be >= 1")
+
+
+@dataclass(frozen=True)
 class PerfConfig:
     """Hot-path performance knobs: Merkle tree archive and verify caching.
 
@@ -184,6 +223,7 @@ class SystemConfig:
     costs: CostConfig = field(default_factory=CostConfig)
     freshness: FreshnessConfig = field(default_factory=FreshnessConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    failover: FailoverConfig = field(default_factory=FailoverConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
     crypto_backend: str = "hmac"
     seed: int = 7
@@ -225,6 +265,7 @@ class SystemConfig:
         self.costs.validate()
         self.freshness.validate()
         self.checkpoint.validate()
+        self.failover.validate()
         self.perf.validate()
         return self
 

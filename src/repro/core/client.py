@@ -31,6 +31,7 @@ from repro.common.types import CommitResult, Key, ReadOnlyResult, TxnStatus, Val
 from repro.core.messages import (
     CommitReply,
     CommitRequest,
+    LeaderComplaint,
     LockReadReply,
     LockReadRequest,
     LockReleaseMessage,
@@ -157,6 +158,12 @@ class TransEdgeClient(ProcessNode):
         latency = self.now - start
         if reply is None:
             self.stats.timeouts += 1
+            # The leader went silent on us: tell the whole cluster (classic
+            # PBFT client behaviour).  Followers treat the complaint as
+            # progress-monitor evidence, so a leader that crashed while idle
+            # is still suspected and replaced automatically.
+            for member in self.topology.members(coordinator):
+                self.send(member, LeaderComplaint(partition=coordinator))
             return CommitResult(
                 txn_id=txn_id,
                 status=TxnStatus.ABORTED,
@@ -290,7 +297,7 @@ class TransEdgeClient(ProcessNode):
                     header=reply.header,
                 )
                 if verify_snapshot(
-                    snapshot, self.env.registry, self.topology, self.config, now_ms=self.now
+                    snapshot, self.verifier, self.topology, self.config, now_ms=self.now
                 ):
                     return snapshot
                 self.stats.read_only_verification_failures += 1

@@ -31,6 +31,7 @@ from repro.core.messages import (
     CommitRequest,
     CoordinatorPrepare,
     DecisionMessage,
+    DecisionQuery,
     ParticipantPrepared,
 )
 from repro.core.occ import KeyConflictIndex
@@ -83,6 +84,8 @@ class LeaderRole:
         self._participant_states: Dict[str, _ParticipantState] = {}
         self._consensus_in_flight = False
         self._seal_timer = None
+        self._twopc_timer = None
+        self._twopc_attempts: Dict[str, int] = {}
         self.sealed_batches = 0
 
     # ------------------------------------------------------------------
@@ -157,6 +160,14 @@ class LeaderRole:
         if not self._replica.is_leader:
             self._reply_abort(txn, waiting, "not the current leader of this partition")
             return
+        if self._replica.recovery.in_progress and self._replica.config.failover.enabled:
+            # Mid-state-transfer this replica's state is not authoritative;
+            # admitting work now could propose against a stale prefix.  Only
+            # refused when failover is on — with it off there is no retry
+            # machinery, and refusing would regress the PR-1 behaviour the
+            # flag exists to restore.
+            self._reply_abort(txn, waiting, "replica is recovering, retry later")
+            return
         accessed = txn.partitions(self._partitioner)
         if self._partition not in accessed:
             self._reply_abort(txn, waiting, "coordinator partition not accessed by transaction")
@@ -193,11 +204,37 @@ class LeaderRole:
         txn = message.txn
         if txn is None or not self._replica.is_leader:
             return
+        if self._replica.recovery.in_progress and self._replica.config.failover.enabled:
+            # State not authoritative yet; the coordinator's 2PC retry timer
+            # re-sends the prepare.  (Without failover there are no retries,
+            # so dropping here would strand the transaction — fall through
+            # to the PR-1 behaviour instead.)
+            return
         if txn.txn_id in self._participant_states:
-            return  # duplicate
+            # Duplicate from a retrying (or freshly elected) coordinator
+            # leader whose predecessor lost our vote: re-send it once the
+            # prepare has been written, instead of staying silent forever.
+            self._resend_participant_vote(txn.txn_id)
+            return
+        decided = self._replica.decided.get(txn.txn_id)
+        if decided is not None:
+            # Already decided and delivered here; the coordinator (or its
+            # successor) evidently missed it — hand the record straight back.
+            commit_batch, record = decided
+            self._replica.send(
+                self._leader_of(message.coordinator),
+                DecisionMessage(record=record, commit_batch=commit_batch),
+            )
+            return
+        group = self._replica.prepared_batches.group_of_txn(txn.txn_id)
+        if group is not None:
+            # Prepared under a previous leader of *this* cluster (the group
+            # is replicated state); rebuild the vote rather than re-admit.
+            self._resend_recovered_vote(txn.txn_id, group.batch_number, message.coordinator)
+            return
         # Verify the prepare really went through the coordinator cluster's consensus.
         if message.header is None or not message.header.verify(
-            self._replica.env.registry,
+            self._replica.verifier,
             self._replica.topology.members(message.coordinator),
             self._replica.config.certificate_size,
         ):
@@ -234,7 +271,7 @@ class LeaderRole:
 
     def on_participant_prepared(self, message: ParticipantPrepared, src: NodeId) -> None:
         vote = message.vote
-        if vote is None:
+        if vote is None or not self._replica.is_leader:
             return
         state = self._coordinator_states.get(vote.txn_id)
         if state is None or state.decided:
@@ -243,7 +280,7 @@ class LeaderRole:
             # A positive vote must prove the prepare went through the
             # participant cluster's consensus; otherwise treat it as negative.
             valid = vote.header is not None and vote.header.verify(
-                self._replica.env.registry,
+                self._replica.verifier,
                 self._replica.topology.members(vote.partition),
                 self._replica.config.certificate_size,
             )
@@ -285,6 +322,144 @@ class LeaderRole:
         self._replica.prepared_batches.record_decision(record)
         self._participant_states.pop(record.txn.txn_id, None)
         self._ensure_seal_scheduled()
+
+    # ------------------------------------------------------------------
+    # 2PC resumption and retry (repro.recovery PR 3)
+    # ------------------------------------------------------------------
+
+    def nudge_two_pc(self) -> None:
+        """External hint (DecisionQuery for an undecided txn) to re-drive 2PC."""
+        self._ensure_twopc_timer()
+
+    def _ensure_twopc_timer(self) -> None:
+        replica = self._replica
+        config = replica.config.failover
+        if not config.enabled or not replica.is_leader or self._twopc_timer is not None:
+            return
+        if not replica.prepared_batches.has_undecided():
+            return
+        self._twopc_timer = replica.schedule(config.two_pc_retry_ms, self._on_twopc_timer)
+
+    def _on_twopc_timer(self) -> None:
+        self._twopc_timer = None
+        replica = self._replica
+        config = replica.config.failover
+        if (
+            not config.enabled
+            or not replica.is_leader
+            or replica.crashed
+            or replica.leader_role is not self
+            or replica.recovery.in_progress
+        ):
+            return
+        retriable = False
+        for txn_id, record in list(replica.prepared_batches.pending_transactions()):
+            attempts = self._twopc_attempts.get(txn_id, 0)
+            if attempts >= config.two_pc_max_retries:
+                continue  # stranded past the budget; DecisionQuery may still land
+            self._twopc_attempts[txn_id] = attempts + 1
+            retriable = True
+            replica.counters.two_pc_retries += 1
+            if record.coordinator == self._partition:
+                self._redrive_coordinated(txn_id, record)
+            else:
+                self._redrive_participated(txn_id, record)
+        if retriable:
+            self._ensure_twopc_timer()
+
+    def _redrive_coordinated(self, txn_id: str, record: PreparedRecord) -> None:
+        """Coordinator side: re-solicit the votes we are missing.
+
+        The vote collection is leader-volatile by design; a leader elected
+        after a crash rebuilds it from the replicated prepare group and the
+        retained certified header of the prepare batch, then re-sends
+        ``CoordinatorPrepare`` to every participant without a recorded vote
+        (participants answer duplicates by re-sending their vote).
+        """
+        replica = self._replica
+        state = self._coordinator_states.get(txn_id)
+        if state is None:
+            group = replica.prepared_batches.group_of_txn(txn_id)
+            if group is None:
+                return
+            header = replica.header_at(group.batch_number)
+            if header is None:
+                return  # prepare batch pruned past retention; unresumable
+            state = _CoordinatorState(
+                txn=record.txn,
+                participants=frozenset(
+                    record.txn.partitions(self._partitioner) - {self._partition}
+                ),
+                prepare_batch=group.batch_number,
+            )
+            state.own_vote = PreparedVote(
+                txn_id=txn_id,
+                partition=self._partition,
+                vote=True,
+                prepare_batch=group.batch_number,
+                cd_vector=header.cd_vector,
+                header=header,
+            )
+            self._coordinator_states[txn_id] = state
+        if state.decided or state.own_vote is None:
+            return
+        header = state.own_vote.header
+        for participant in state.participants - set(state.votes):
+            self._replica.send(
+                self._leader_of(participant),
+                CoordinatorPrepare(
+                    txn=state.txn,
+                    coordinator=self._partition,
+                    prepare_batch=state.prepare_batch,
+                    header=header,
+                ),
+            )
+        self._maybe_decide(state)
+
+    def _redrive_participated(self, txn_id: str, record: PreparedRecord) -> None:
+        """Participant side: re-send our vote and ask anyone for the decision.
+
+        The vote covers the case of a coordinator leader that lost its vote
+        collection; the ``DecisionQuery`` broadcast covers the case of a
+        decision that was certified (it is in the coordinator cluster's log)
+        but whose broadcast died with the coordinator's leader — any replica
+        that delivered the commit record answers.
+        """
+        replica = self._replica
+        group = replica.prepared_batches.group_of_txn(txn_id)
+        if group is not None:
+            self._resend_recovered_vote(txn_id, group.batch_number, record.coordinator)
+        for member in replica.topology.members(record.coordinator):
+            replica.send(
+                member, DecisionQuery(txn_id=txn_id, partition=record.coordinator)
+            )
+
+    def _resend_participant_vote(self, txn_id: str) -> None:
+        """Answer a duplicate ``CoordinatorPrepare`` with our existing vote."""
+        state = self._participant_states.get(txn_id)
+        if state is None or state.prepare_batch == NO_BATCH:
+            return  # prepare not written yet; the vote follows delivery
+        self._resend_recovered_vote(txn_id, state.prepare_batch, state.coordinator)
+
+    def _resend_recovered_vote(
+        self, txn_id: str, prepare_batch: BatchNumber, coordinator: PartitionId
+    ) -> None:
+        """Rebuild and send the positive vote written in ``prepare_batch``."""
+        replica = self._replica
+        header = replica.header_at(prepare_batch)
+        if header is None:
+            return  # pruned past retention; the coordinator must query decisions
+        vote = PreparedVote(
+            txn_id=txn_id,
+            partition=self._partition,
+            vote=True,
+            prepare_batch=prepare_batch,
+            cd_vector=header.cd_vector,
+            header=header,
+        )
+        replica.send(
+            self._leader_of(coordinator), ParticipantPrepared(vote=vote, header=header)
+        )
 
     # ------------------------------------------------------------------
     # batch sealing
@@ -332,7 +507,7 @@ class LeaderRole:
 
     def _on_seal_timer(self) -> None:
         self._seal_timer = None
-        if not self._replica.is_leader:
+        if not self._replica.is_leader or self._replica.leader_role is not self:
             return
         if self._consensus_in_flight:
             # Delivery of the in-flight batch re-arms sealing.
@@ -342,8 +517,10 @@ class LeaderRole:
 
     def _seal_batch(self) -> None:
         replica = self._replica
-        if self._consensus_in_flight or not replica.is_leader:
+        if self._consensus_in_flight or not replica.is_leader or replica.crashed:
             return
+        if replica.leader_role is not self:
+            return  # a crash-reset replaced this role; stale timers must not seal
         batch_number = replica.log.next_seq
 
         # Re-validate admitted transactions against the current state: batches
@@ -475,10 +652,14 @@ class LeaderRole:
         # Commit records written in this batch: inform participants and clients.
         for record in batch.committed:
             self._release_write_locks(record.txn.txn_id)
+            self._twopc_attempts.pop(record.txn.txn_id, None)
             if record.coordinator == self._partition:
                 self._after_decision_written(record, seq, header)
 
         self._ensure_seal_scheduled()
+        # Prepared-but-undecided work now exists (or persists): make sure the
+        # retry timer will notice if its decisions stop arriving.
+        self._ensure_twopc_timer()
 
     def _after_coordinator_prepare_written(
         self, record: PreparedRecord, seq: BatchNumber, header: CertifiedHeader
@@ -565,17 +746,40 @@ class LeaderRole:
 
         The in-progress batch of a deposed leader is dropped (its clients will
         time out and retry); a newly elected leader starts with an empty
-        in-progress batch and resumes sealing from its delivered prefix.
-        In-flight 2PC coordination owned by the deposed leader is abandoned —
-        see DESIGN.md for the scope of this simplification.
+        in-progress batch, resumes sealing from its delivered prefix, and
+        *resumes unfinished 2PC*: the replicated prepare groups tell it which
+        distributed transactions its predecessor left undecided, and it
+        immediately re-solicits the missing votes / re-sends its own (the
+        vote collection itself is leader-volatile by design).  A demoted
+        leader drops its stale coordination state wholesale — votes sent to
+        it land on the new leader instead.
         """
         self._consensus_in_flight = False
         if self._seal_timer is not None:
             self._seal_timer.cancel()
             self._seal_timer = None
+        if self._twopc_timer is not None:
+            self._twopc_timer.cancel()
+            self._twopc_timer = None
+        self._twopc_attempts = {}
         if self._replica.node_id != new_leader:
             self._in_progress_local = []
             self._in_progress_prepared = []
             self._in_progress_index.clear()
+            self._coordinator_states.clear()
+            self._participant_states.clear()
         else:
             self._ensure_seal_scheduled()
+            self._resume_pending_two_pc()
+
+    def _resume_pending_two_pc(self) -> None:
+        """Newly elected leader: immediately re-drive every undecided 2PC txn."""
+        replica = self._replica
+        if not replica.config.failover.enabled:
+            return
+        for txn_id, record in list(replica.prepared_batches.pending_transactions()):
+            if record.coordinator == self._partition:
+                self._redrive_coordinated(txn_id, record)
+            else:
+                self._redrive_participated(txn_id, record)
+        self._ensure_twopc_timer()

@@ -104,6 +104,49 @@ class DecisionMessage(Message):
     header: Optional[CertifiedHeader] = None
 
 
+@dataclass
+class DecisionQuery(Message):
+    """Participant leader → coordinator-cluster replicas: how did ``txn_id`` end?
+
+    Sent while a prepared transaction stays undecided past the 2PC retry
+    timeout — typically because the coordinator's leader crashed between
+    certifying the decision and broadcasting it.  Decisions are replicated
+    log entries (and ride in checkpoint images), so *any* coordinator-cluster
+    replica that delivered the commit record can answer; the participant does
+    not depend on the (possibly dead) coordinator leader.
+    """
+
+    txn_id: str = ""
+    partition: PartitionId = 0
+
+
+@dataclass
+class DecisionReply(Message):
+    """Coordinator-cluster replica → participant leader: the certified record.
+
+    The receiver verifies the record exactly as it would verify a committed
+    segment entry (positive decisions carry certified headers from every
+    accessed cluster), so a single — possibly byzantine — responder suffices.
+    """
+
+    record: Optional[CommitRecord] = None
+    commit_batch: BatchNumber = NO_BATCH
+
+
+@dataclass
+class LeaderComplaint(Message):
+    """Client → cluster followers: the leader is not answering me.
+
+    Fire-and-forget nudge a client sends to every cluster member after its
+    commit request timed out.  Followers treat it as progress-monitor
+    evidence (the classic PBFT "client broadcasts after leader silence"
+    trigger), so a leader that crashed while idle — leaving no in-flight
+    consensus instance to betray it — is still suspected and replaced.
+    """
+
+    partition: PartitionId = 0
+
+
 # ---------------------------------------------------------------------------
 # Snapshot read-only transactions (TransEdge protocol, Section 4)
 # ---------------------------------------------------------------------------

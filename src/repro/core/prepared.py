@@ -115,6 +115,10 @@ class PreparedBatches:
                 if txn_id not in group.decisions:
                     yield txn_id, record
 
+    def has_undecided(self) -> bool:
+        """True while any prepared transaction still awaits its 2PC decision."""
+        return any(not group.is_ready() for group in self._groups.values())
+
     def oldest_group_number(self) -> Optional[BatchNumber]:
         if not self._groups:
             return None

@@ -35,6 +35,9 @@ from repro.core.messages import (
     CommitRequest,
     CoordinatorPrepare,
     DecisionMessage,
+    DecisionQuery,
+    DecisionReply,
+    LeaderComplaint,
     LockReadReply,
     LockReadRequest,
     LockReleaseMessage,
@@ -84,6 +87,139 @@ class ReplicaCounters:
     state_transfers_rejected: int = 0
     recoveries_started: int = 0
     recoveries_completed: int = 0
+    views_adopted: int = 0
+    view_changes: int = 0
+    leader_suspicions: int = 0
+    two_pc_retries: int = 0
+    decision_queries_served: int = 0
+    decisions_resolved_remotely: int = 0
+
+
+class ViewProgressMonitor:
+    """Detects a dead or stalled leader and votes it out automatically.
+
+    Each replica arms a single lazy timer whenever there is *evidence of
+    pending work*: a started-but-undecided consensus instance (the engine's
+    :meth:`~repro.bft.engine.PbftEngine.has_pending_work`), a
+    prepared-but-undecided 2PC group, or a client complaint that the leader
+    stopped answering.  When the timer fires without any delivery progress
+    since it was armed, the replica casts a view-change vote
+    (``suspect_leader``) and re-arms; votes spread through the cluster (and
+    prepare/commit traffic spreads the evidence), so ``2f + 1`` suspicions
+    accumulate and the view rotates without any operator nudge.  Progress
+    resets the round counter; ``max_suspect_rounds`` silent rounds make the
+    monitor stand down until progress resumes, which keeps the simulation
+    finite when a cluster has genuinely lost liveness (e.g. more than ``f``
+    members crashed).  A healthy or idle replica schedules nothing.
+    """
+
+    def __init__(self, replica: "PartitionReplica") -> None:
+        self._replica = replica
+        self._config = replica.config.failover
+        self._timer = None
+        # Snapshot taken when the timer was (last) armed: the stall test is
+        # "a full timeout elapsed with no delivery progress since arming",
+        # never "since the last event" — comparing against a baseline that
+        # every delivery refreshes would misread a briefly-quiet but healthy
+        # cluster as stalled.
+        self._armed_baseline = self._snapshot()
+        self._suspect_rounds = 0
+        self._gave_up = False
+        self._complainants: set = set()
+
+    def note_complaint(self, complainant) -> None:
+        """A client reported the leader unresponsive (``LeaderComplaint``).
+
+        Complainants are deduplicated (the simulated network stamps the true
+        sender, so one node flooding complaints counts once per window).  A
+        complaint is also fresh external evidence: it revives a monitor that
+        stood down during an earlier stall (otherwise a leader crash on an
+        idle, previously-stalled cluster would never be detected).  Each
+        revival is driven by an actual client message, so a finite workload
+        still yields a finite number of monitoring rounds.  Residual risk,
+        documented in ROADMAP: complaints are not corroborated against a
+        forwarded request, so a byzantine *client* can churn an otherwise
+        idle cluster's leadership (liveness noise only — view changes are
+        safe, and any real traffic resets the stall test).
+        """
+        self._complainants.add(complainant)
+        if self._gave_up:
+            self._gave_up = False
+            self._suspect_rounds = 0
+        self.poke()
+
+    def note_view_change(self) -> None:
+        """The cluster rotated: pending complaints are considered answered.
+
+        A single complaint (even a spurious one from a lost request against a
+        healthy leader) buys at most one rotation; if the client still cannot
+        commit it will complain again, re-arming the monitor.
+        """
+        self._complainants.clear()
+
+    def poke(self) -> None:
+        """Re-evaluate after any event that could create or resolve evidence."""
+        if not self._config.enabled or self._replica.crashed:
+            return
+        if self._replica.progress_monitor is not self:
+            return  # replaced by a crash-reset; stale timers must not act
+        if self._timer is not None:
+            return
+        if self._gave_up:
+            if self._snapshot() == self._armed_baseline:
+                return  # still stalled; stay stood-down until progress
+            self._gave_up = False
+            self._suspect_rounds = 0
+            self._complainants.clear()
+        if not self._has_evidence():
+            return
+        self._arm()
+
+    def _arm(self) -> None:
+        self._armed_baseline = self._snapshot()
+        self._timer = self._replica.schedule(
+            self._config.progress_timeout_ms, self._fire
+        )
+
+    def _snapshot(self) -> Tuple[int, int]:
+        engine = self._replica.engine
+        return (engine.last_delivered_seq, engine.decided_count)
+
+    def _has_evidence(self) -> bool:
+        replica = self._replica
+        if self._complainants:
+            return True
+        if replica.engine.has_pending_work():
+            return True
+        return replica.prepared_batches.has_undecided()
+
+    def _fire(self) -> None:
+        self._timer = None
+        replica = self._replica
+        if replica.crashed or not self._config.enabled:
+            return
+        if replica.progress_monitor is not self:
+            return  # replaced by a crash-reset; stale timers must not act
+        if self._snapshot() != self._armed_baseline:
+            # The cluster delivered something during the window: healthy.
+            self._suspect_rounds = 0
+            self._complainants.clear()
+            if self._has_evidence():
+                self._arm()
+            return
+        if not self._has_evidence():
+            return
+        self._suspect_rounds += 1
+        if self._suspect_rounds > self._config.max_suspect_rounds:
+            self._gave_up = True
+            return
+        # A replica mid-recovery cannot judge the leader (it is the one
+        # behind); the current leader cannot vote against itself — its
+        # pending 2PC work is re-driven by the leader role's retry timer.
+        if not replica.recovery.in_progress and not replica.is_leader:
+            replica.counters.leader_suspicions += 1
+            replica.engine.suspect_leader()
+        self._arm()
 
 
 class PartitionReplica(SimNode):
@@ -114,12 +250,20 @@ class PartitionReplica(SimNode):
         self.prepared_index = KeyConflictIndex(self.partition, partitioner)
 
         self.headers: List[CertifiedHeader] = []
-        # LCEs of self.headers, kept parallel so the round-2 header lookup is
-        # a bisect (LCEs are non-decreasing across batches).
+        # LCEs and batch numbers of self.headers, kept parallel so both the
+        # round-2 header lookup and header_at() are bisects (LCEs are
+        # non-decreasing and numbers strictly increasing across batches).
         self._header_lces: List[BatchNumber] = []
+        self._header_numbers: List[BatchNumber] = []
         self.last_header: Optional[CertifiedHeader] = None
         self._expected_cache: Dict[bytes, Dict[Key, Value]] = {}
         self._deferred_snapshots: List[Tuple[SnapshotRequest, NodeId]] = []
+        # Durable 2PC outcomes: every commit/abort record this replica has
+        # delivered, keyed by transaction id (pruned with the checkpoint
+        # retention window; recent entries also ride in checkpoint images).
+        # Any replica holding the record can answer a ``DecisionQuery`` from
+        # a participant stranded by a coordinator crash.
+        self.decided: Dict[str, Tuple[BatchNumber, CommitRecord]] = {}
 
         self.engine = PbftEngine(
             owner=self,
@@ -133,6 +277,7 @@ class PartitionReplica(SimNode):
         self.checkpoints = CheckpointManager(self)
         self.checkpoints.bootstrap(initial_data or {})
         self.recovery = RecoveryCoordinator(self)
+        self.progress_monitor = ViewProgressMonitor(self)
 
         self.register_handler(BftMessage, self._on_bft_message)
         self.register_handler(CheckpointVote, self._on_checkpoint_vote)
@@ -147,6 +292,9 @@ class PartitionReplica(SimNode):
         self.register_handler(CoordinatorPrepare, self._on_coordinator_prepare)
         self.register_handler(ParticipantPrepared, self._on_participant_prepared)
         self.register_handler(DecisionMessage, self._on_decision)
+        self.register_handler(DecisionQuery, self._on_decision_query)
+        self.register_handler(DecisionReply, self._on_decision_reply)
+        self.register_handler(LeaderComplaint, self._on_leader_complaint)
 
     # ------------------------------------------------------------------
     # convenience
@@ -213,7 +361,10 @@ class PartitionReplica(SimNode):
         if isinstance(message, CommitRequest) and message.txn is not None:
             ops = len(message.txn.reads) + len(message.txn.writes)
             return costs.message_handling_ms + ops * costs.conflict_check_ms
-        if isinstance(message, (CoordinatorPrepare, ParticipantPrepared, DecisionMessage)):
+        if isinstance(
+            message,
+            (CoordinatorPrepare, ParticipantPrepared, DecisionMessage, DecisionReply),
+        ):
             return (
                 costs.message_handling_ms
                 + self.config.certificate_size * costs.signature_verify_ms
@@ -337,7 +488,7 @@ class PartitionReplica(SimNode):
                 if vote.header.partition != partition:
                     return False
                 if not vote.header.verify(
-                    self.env.registry,
+                    self.verifier,
                     self.topology.members(partition),
                     self.config.certificate_size,
                 ):
@@ -373,6 +524,7 @@ class PartitionReplica(SimNode):
         self.checkpoints.on_batch_delivered(seq)
         self._serve_deferred_snapshots()
         self.leader_role.on_batch_delivered(seq, batch, header)
+        self.progress_monitor.poke()
 
     def _apply_batch(
         self, seq: int, batch: Batch, certificate: CommitCertificate
@@ -390,11 +542,14 @@ class PartitionReplica(SimNode):
             self.store.apply(updates, batch=seq)
         self.merkle.apply(updates, batch=seq)
 
-        # Track the new prepare group and retire committed ones.
+        # Track the new prepare group and retire committed ones.  Retired
+        # decisions stay queryable in ``self.decided`` (DecisionQuery) until
+        # the checkpoint retention window passes them by.
         self.prepared_batches.add_group(seq, list(batch.prepared))
         for record in batch.prepared:
             self.prepared_index.add(record.txn)
         for record in batch.committed:
+            self.decided[record.txn.txn_id] = (seq, record)
             group = self.prepared_batches.group_of_txn(record.txn.txn_id)
             if group is not None:
                 for txn_id in group.records:
@@ -404,6 +559,7 @@ class PartitionReplica(SimNode):
         header = batch.certified_header(certificate)
         self.headers.append(header)
         self._header_lces.append(header.lce)
+        self._header_numbers.append(header.number)
         self.last_header = header
 
         self.counters.batches_delivered += 1
@@ -420,8 +576,10 @@ class PartitionReplica(SimNode):
         return header
 
     def on_view_change(self, new_view: int, new_leader: ReplicaId) -> None:
+        self.counters.view_changes += 1
         self.topology.set_leader(self.partition, new_leader)
         self.leader_role.on_view_change(new_view, new_leader)
+        self.progress_monitor.note_view_change()
 
     # ------------------------------------------------------------------
     # crash recovery (see repro.recovery)
@@ -446,9 +604,11 @@ class PartitionReplica(SimNode):
         self.prepared_index = KeyConflictIndex(self.partition, self.partitioner)
         self.headers = []
         self._header_lces = []
+        self._header_numbers = []
         self.last_header = None
         self._expected_cache = {}
         self._deferred_snapshots = []
+        self.decided = {}
         self.engine = PbftEngine(
             owner=self,
             partition=self.partition,
@@ -462,6 +622,9 @@ class PartitionReplica(SimNode):
         self.checkpoints.adopt_genesis(genesis)
         if not preserve_recovery:
             self.recovery = RecoveryCoordinator(self)
+        # A fresh engine means fresh progress bookkeeping; the old monitor's
+        # timers notice the swap (stale callbacks check identity) and die.
+        self.progress_monitor = ViewProgressMonitor(self)
 
     def begin_recovery(self) -> None:
         """Start fetching the partition state from cluster peers."""
@@ -480,6 +643,8 @@ class PartitionReplica(SimNode):
             self.prepared_batches.add_group(number, list(records))
             for record in records:
                 self.prepared_index.add(record.txn)
+        for commit_batch, record in image.decisions:
+            self.decided[record.txn.txn_id] = (commit_batch, record)
         if image.header is not None:
             from repro.recovery.transfer import StateTransferError
 
@@ -489,6 +654,7 @@ class PartitionReplica(SimNode):
                 )
             self.headers = [image.header]
             self._header_lces = [image.header.lce]
+            self._header_numbers = [image.header.number]
             self.last_header = image.header
         self.engine.install_checkpoint(image.seq)
         if certificate is not None:
@@ -514,6 +680,10 @@ class PartitionReplica(SimNode):
     def _on_bft_message(self, message: Message, src: NodeId) -> None:
         assert isinstance(message, BftMessage)
         self.engine.handle(message, src)
+        # Consensus traffic both creates and resolves progress evidence
+        # (a vote for an unseen instance arms the monitor; a delivery or a
+        # view change resets it).
+        self.progress_monitor.poke()
 
     def _on_checkpoint_vote(self, message: Message, src: NodeId) -> None:
         assert isinstance(message, CheckpointVote)
@@ -545,6 +715,11 @@ class PartitionReplica(SimNode):
                 image=image,
                 certificate=certificate,
                 entries=self.log.entries_from(start),
+                # Current view plus the quorum certificate that elected it, so
+                # the rejoiner can follow the live leader immediately.
+                view=self.engine.view,
+                view_certificate=self.engine.view_certificate,
+                responder_tip=self.log.last_seq,
             ),
         )
 
@@ -644,9 +819,30 @@ class PartitionReplica(SimNode):
         return self.headers[index]
 
     def prune_headers_below(self, retain_from: BatchNumber) -> None:
-        """Checkpoint GC: drop certified headers (and their LCE index) below the window."""
+        """Checkpoint GC: drop certified headers (and their parallel indexes) below the window."""
         self.headers = [h for h in self.headers if h.number >= retain_from]
         self._header_lces = [h.lce for h in self.headers]
+        self._header_numbers = [h.number for h in self.headers]
+
+    def prune_decisions_below(self, retain_from: BatchNumber) -> None:
+        """Checkpoint GC: forget 2PC decisions committed below the window."""
+        self.decided = {
+            txn_id: (commit_batch, record)
+            for txn_id, (commit_batch, record) in self.decided.items()
+            if commit_batch >= retain_from
+        }
+
+    def header_at(self, number: BatchNumber) -> Optional[CertifiedHeader]:
+        """The retained certified header of batch ``number`` (None if pruned).
+
+        Headers are appended in batch order, so this is a bisect over the
+        parallel number index; the leader role uses it to rebuild 2PC votes
+        (the vote's proof is the header of the batch that wrote the prepare).
+        """
+        index = bisect.bisect_left(self._header_numbers, number)
+        if index < len(self.headers) and self._header_numbers[index] == number:
+            return self.headers[index]
+        return None
 
     def _serve_deferred_snapshots(self) -> None:
         if not self._deferred_snapshots:
@@ -734,3 +930,48 @@ class PartitionReplica(SimNode):
     def _on_decision(self, message: Message, src: NodeId) -> None:
         assert isinstance(message, DecisionMessage)
         self.leader_role.on_decision(message, src)
+        self.progress_monitor.poke()
+
+    # ------------------------------------------------------------------
+    # decision resolution and leader-failure evidence (repro.recovery PR 3)
+    # ------------------------------------------------------------------
+
+    def _on_decision_query(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, DecisionQuery)
+        if message.partition != self.partition:
+            return
+        entry = self.decided.get(message.txn_id)
+        if entry is None:
+            # Not decided here (yet).  If this replica is the cluster's
+            # current leader and still coordinates the transaction, the query
+            # doubles as a nudge to re-drive the vote collection.
+            if self.is_leader:
+                self.leader_role.nudge_two_pc()
+            return
+        commit_batch, record = entry
+        self.counters.decision_queries_served += 1
+        self.send(src, DecisionReply(record=record, commit_batch=commit_batch))
+
+    def _on_decision_reply(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, DecisionReply)
+        record = message.record
+        if record is None or not self.is_leader:
+            return
+        group = self.prepared_batches.group_of_txn(record.txn.txn_id)
+        if group is None or record.txn.txn_id in group.decisions:
+            return  # never prepared here, or already resolved
+        # The responder is a single (possibly byzantine) replica: accept the
+        # record only on the same proof a committed-segment entry would need.
+        if not self._validate_commit_record(record):
+            return
+        self.counters.decisions_resolved_remotely += 1
+        self.leader_role.on_decision(
+            DecisionMessage(record=record, commit_batch=message.commit_batch), src
+        )
+        self.progress_monitor.poke()
+
+    def _on_leader_complaint(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, LeaderComplaint)
+        if message.partition != self.partition or self.is_leader:
+            return
+        self.progress_monitor.note_complaint(src)

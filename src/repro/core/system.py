@@ -67,6 +67,14 @@ class SystemCounters:
     state_transfers_rejected: int = 0
     recoveries_started: int = 0
     recoveries_completed: int = 0
+    views_adopted: int = 0
+    view_changes: int = 0
+    leader_suspicions: int = 0
+    two_pc_retries: int = 0
+    decision_queries_served: int = 0
+    decisions_resolved_remotely: int = 0
+    verify_cache_hits: int = 0
+    verify_cache_misses: int = 0
 
 
 class TransEdgeSystem:
@@ -121,13 +129,20 @@ class TransEdgeSystem:
     # construction helpers
     # ------------------------------------------------------------------
 
-    def create_client(self, name: str) -> TransEdgeClient:
-        """Create a client attached to this deployment's network."""
+    def create_client(self, name: str, **client_kwargs) -> TransEdgeClient:
+        """Create a client attached to this deployment's network.
+
+        ``client_kwargs`` pass through to :class:`TransEdgeClient` (e.g.
+        ``commit_timeout_ms`` — fault experiments shorten it so a client
+        stuck on a crashed leader complains, and thereby triggers the
+        automatic view change, sooner).
+        """
         client = TransEdgeClient(
             name=name,
             env=self.env,
             topology=self.topology,
             partitioner=self.partitioner,
+            **client_kwargs,
         )
         self.clients.append(client)
         return client
@@ -149,9 +164,12 @@ class TransEdgeSystem:
     def crash_replica(self, replica_id: ReplicaId) -> PartitionReplica:
         """Crash ``replica_id``: it stops processing and its traffic is dropped.
 
-        Crashing the current leader of a cluster additionally requires a view
-        change (e.g. ``suspect_leader`` on the survivors) for that cluster to
-        make progress, exactly as in the real protocol.
+        Crashing the current leader of a cluster is detected automatically:
+        survivors' progress monitors (armed by in-flight instances, undecided
+        2PC groups or client complaints) vote the dead leader out and the
+        cluster rotates to the next view without operator action (set
+        ``FailoverConfig.enabled=False`` to require a manual
+        ``suspect_leader`` nudge instead).
         """
         replica = self.replicas[replica_id]
         if not replica.crashed:
@@ -172,6 +190,31 @@ class TransEdgeSystem:
         replica.reset_for_recovery()
         replica.begin_recovery()
         return replica
+
+    def stranded_prepared_transactions(self) -> int:
+        """Distinct distributed transactions still prepared-but-undecided.
+
+        After a drained run this should be zero: a coordinator crash at any
+        2PC phase is resolved by the automatic view change plus decision
+        replication (``DecisionQuery``), so no participant stays wedged in
+        ``prepared``.  Counted per transaction (not per replica) so the value
+        reads as "transactions whose fate is unknown somewhere".
+        """
+        stranded = set()
+        for replica in self.replicas.values():
+            if replica.crashed:
+                continue  # moot until it rejoins (state transfer resolves it)
+            for txn_id, _record in replica.prepared_batches.pending_transactions():
+                stranded.add(txn_id)
+        return len(stranded)
+
+    def verify_cache_stats(self) -> Dict[str, "tuple[int, int]"]:
+        """Per-node signature verify-cache ``(hits, misses)``, replicas and clients."""
+        nodes = list(self.replicas.values()) + list(self.clients)
+        return {
+            str(node.node_id): (node.verifier.cache_hits, node.verifier.cache_misses)
+            for node in nodes
+        }
 
     def max_log_length(self) -> int:
         """Longest SMR log across all replicas (bounded by checkpointing)."""
@@ -232,6 +275,14 @@ class TransEdgeSystem:
             total.state_transfers_rejected += counters.state_transfers_rejected
             total.recoveries_started += counters.recoveries_started
             total.recoveries_completed += counters.recoveries_completed
+            total.views_adopted += counters.views_adopted
+            total.view_changes += counters.view_changes
+            total.leader_suspicions += counters.leader_suspicions
+            total.two_pc_retries += counters.two_pc_retries
+            total.decision_queries_served += counters.decision_queries_served
+            total.decisions_resolved_remotely += counters.decisions_resolved_remotely
+            total.verify_cache_hits += replica.verifier.cache_hits
+            total.verify_cache_misses += replica.verifier.cache_misses
         return total
 
     def committed_read_write(self) -> int:

@@ -22,9 +22,11 @@ from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_k
 from repro.crypto.signatures import (
     HmacSigner,
     KeyRegistry,
+    NodeVerifier,
     RsaSigner,
     Signature,
     Signer,
+    VerifyCache,
     build_registry,
     make_signer,
 )
@@ -35,6 +37,7 @@ __all__ = [
     "HistoricalTreeView",
     "HmacSigner",
     "KeyRegistry",
+    "NodeVerifier",
     "MerkleProof",
     "MerkleStore",
     "MerkleTree",
@@ -46,6 +49,7 @@ __all__ = [
     "RsaSigner",
     "Signature",
     "Signer",
+    "VerifyCache",
     "build_registry",
     "combine_digests",
     "digest_of",

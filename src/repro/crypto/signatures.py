@@ -24,7 +24,7 @@ import hmac
 import random
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.common.errors import SignatureError
 from repro.crypto import rsa
@@ -107,6 +107,55 @@ class HmacSigner(Signer):
         return self._secret
 
 
+class VerifyCache:
+    """One LRU memo of signature-verification verdicts.
+
+    Keys are ``(signer, scheme, payload digest, signature bytes)``; see
+    :class:`KeyRegistry` for why memoization on that key is sound.  Each
+    simulated node owns its *own* cache (sized by
+    ``PerfConfig.verify_cache_size``) so that simulated memory and hit rates
+    are modeled per replica rather than pooled deployment-wide; the registry
+    keeps one more for callers that verify outside any node (offline
+    auditors, unit tests).  ``size=0`` disables the cache.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._entries: "OrderedDict[Tuple[str, str, Digest, bytes], bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._size > 0
+
+    def lookup(self, key: Tuple[str, str, Digest, bytes]) -> Optional[bool]:
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return cached
+
+    def store(self, key: Tuple[str, str, Digest, bytes], valid: bool) -> None:
+        self._entries[key] = valid
+        if len(self._entries) > self._size:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class KeyRegistry:
     """Directory of verification material for every node in the deployment.
 
@@ -114,7 +163,7 @@ class KeyRegistry:
     populated once during system setup, before any byzantine behaviour can
     occur, and is consulted by verifiers.  It never holds RSA private keys.
 
-    Verification results are memoized in an LRU cache keyed on
+    Verification results are memoized in a :class:`VerifyCache` keyed on
     ``(signer, scheme, payload digest, signature bytes)``: the signatures a
     BFT quorum exchanges are verified by every one of the ``3f + 1`` cluster
     members and certificates are re-verified per response, but the expensive
@@ -128,24 +177,43 @@ class KeyRegistry:
     in, never a value carried inside a network message (a byzantine sender
     could alias it to another payload and poison the cache).
     ``verify_cache_size=0`` disables caching.
+
+    Verification is usually performed *through a node*: each
+    :class:`~repro.simnet.node.SimNode` owns a :class:`NodeVerifier` bound to
+    this registry with a private cache, so per-node memory and hit rates are
+    honest.  Calling :meth:`verify` on the registry directly uses the
+    registry's own cache instead (offline verification, tests).
     """
 
     def __init__(self, verify_cache_size: int = 4096) -> None:
         self._materials: Dict[str, object] = {}
         self._schemes: Dict[str, str] = {}
-        self._verify_cache: "OrderedDict[Tuple[str, str, Digest, bytes], bool]" = OrderedDict()
-        self._verify_cache_size = verify_cache_size
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self._cache = VerifyCache(verify_cache_size)
+        self._attached_caches: List[VerifyCache] = []
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache.misses
+
+    def attach_cache(self, cache: VerifyCache) -> None:
+        """Track a per-node cache so key rotation can invalidate it too."""
+        self._attached_caches.append(cache)
 
     def register(self, signer: Signer) -> None:
         """Record the verification material for ``signer``.
 
-        Re-registering an identity (key rotation) drops the verify cache:
-        verdicts computed under the replaced material are stale.
+        Re-registering an identity (key rotation) drops every verify cache
+        attached to this registry: verdicts computed under the replaced
+        material are stale.
         """
         if signer.identity in self._materials:
-            self._verify_cache.clear()
+            self._cache.clear()
+            for cache in self._attached_caches:
+                cache.clear()
         self._materials[signer.identity] = signer.verification_material()
         self._schemes[signer.identity] = signer.scheme
 
@@ -160,15 +228,17 @@ class KeyRegistry:
         payload: Encodable,
         signature: Signature,
         payload_digest: Optional[Digest] = None,
+        cache: Optional[VerifyCache] = None,
     ) -> bool:
         """Return True when ``signature`` is a valid signature of ``payload``.
 
         ``payload_digest``, when given, must be ``digest_of(payload)``
         computed by the caller from this very ``payload`` object (see the
         class docstring); it is only used as the memoization key, never as
-        the verified bytes.
+        the verified bytes.  ``cache`` selects whose memo records the verdict
+        (a node's private cache); the registry's own cache is the default.
         """
-        return self._verify_encoded(payload, signature, payload_digest, None)
+        return self._verify_encoded(payload, signature, payload_digest, None, cache)
 
     def _verify_encoded(
         self,
@@ -176,6 +246,7 @@ class KeyRegistry:
         signature: Signature,
         payload_digest: Optional[Digest],
         message: Optional[bytes],
+        cache: Optional[VerifyCache] = None,
     ) -> bool:
         """Shared verify core; ``message`` carries pre-encoded payload bytes
         (from :meth:`verify_quorum`) so the payload is canonicalised at most
@@ -184,7 +255,9 @@ class KeyRegistry:
         scheme = self._schemes.get(signature.signer)
         if material is None or scheme != signature.scheme:
             return False
-        if self._verify_cache_size == 0:
+        if cache is None:
+            cache = self._cache
+        if not cache.enabled:
             if message is None:
                 message = stable_encode(payload)
             return self._check(material, scheme, message, signature)
@@ -194,18 +267,13 @@ class KeyRegistry:
                 message = stable_encode(payload)
             payload_digest = sha256(message)
         cache_key = (signature.signer, scheme, payload_digest, signature.value)
-        cached = self._verify_cache.get(cache_key)
+        cached = cache.lookup(cache_key)
         if cached is not None:
-            self._verify_cache.move_to_end(cache_key)
-            self.cache_hits += 1
             return cached
-        self.cache_misses += 1
         if message is None:
             message = stable_encode(payload)
         valid = self._check(material, scheme, message, signature)
-        self._verify_cache[cache_key] = valid
-        if len(self._verify_cache) > self._verify_cache_size:
-            self._verify_cache.popitem(last=False)
+        cache.store(cache_key, valid)
         return valid
 
     def _check(
@@ -221,11 +289,8 @@ class KeyRegistry:
         return False
 
     def cache_hit_rate(self) -> float:
-        """Fraction of verifications answered from the cache (0.0 when unused)."""
-        total = self.cache_hits + self.cache_misses
-        if total == 0:
-            return 0.0
-        return self.cache_hits / total
+        """Fraction of verifications answered from the registry's own cache."""
+        return self._cache.hit_rate()
 
     def require_valid(self, payload: Encodable, signature: Signature) -> None:
         """Raise :class:`SignatureError` unless the signature verifies."""
@@ -240,6 +305,7 @@ class KeyRegistry:
         signatures: Iterable[Signature],
         required: int,
         allowed_signers: Optional[Iterable[str]] = None,
+        cache: Optional[VerifyCache] = None,
     ) -> bool:
         """Verify that at least ``required`` distinct valid signers signed ``payload``.
 
@@ -249,19 +315,80 @@ class KeyRegistry:
         cares whether enough honest-looking signatures are present.
         """
         allowed = set(allowed_signers) if allowed_signers is not None else None
+        if cache is None:
+            cache = self._cache
         # One canonical encoding covers the whole quorum: every per-signature
         # check (hit or miss) reuses these bytes and their digest.
         message = stable_encode(payload)
-        payload_digest = sha256(message) if self._verify_cache_size > 0 else None
+        payload_digest = sha256(message) if cache.enabled else None
         valid_signers = set()
         for signature in signatures:
             if allowed is not None and signature.signer not in allowed:
                 continue
             if signature.signer in valid_signers:
                 continue
-            if self._verify_encoded(payload, signature, payload_digest, message):
+            if self._verify_encoded(payload, signature, payload_digest, message, cache):
                 valid_signers.add(signature.signer)
         return len(valid_signers) >= required
+
+
+class NodeVerifier:
+    """One node's view of the PKI: the shared registry plus a private cache.
+
+    Drop-in for :class:`KeyRegistry` everywhere verification happens (it
+    exposes the same ``verify`` / ``verify_quorum`` / ``require_valid``
+    surface), but memoizes verdicts in a cache owned by the node, so each
+    simulated replica pays for — and benefits from — exactly its own
+    verification history.  Certificates and headers accept either object.
+    """
+
+    def __init__(self, registry: KeyRegistry, cache_size: int) -> None:
+        self._registry = registry
+        self.cache = VerifyCache(cache_size)
+        registry.attach_cache(self.cache)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses
+
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate()
+
+    def knows(self, identity: str) -> bool:
+        return self._registry.knows(identity)
+
+    def verify(
+        self,
+        payload: Encodable,
+        signature: Signature,
+        payload_digest: Optional[Digest] = None,
+    ) -> bool:
+        return self._registry.verify(payload, signature, payload_digest, cache=self.cache)
+
+    def verify_quorum(
+        self,
+        payload: Encodable,
+        signatures: Iterable[Signature],
+        required: int,
+        allowed_signers: Optional[Iterable[str]] = None,
+    ) -> bool:
+        return self._registry.verify_quorum(
+            payload,
+            signatures,
+            required,
+            allowed_signers=allowed_signers,
+            cache=self.cache,
+        )
+
+    def require_valid(self, payload: Encodable, signature: Signature) -> None:
+        if not self.verify(payload, signature):
+            raise SignatureError(
+                f"invalid {signature.scheme} signature from {signature.signer}"
+            )
 
 
 def make_signer(

@@ -87,6 +87,7 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._operations: Dict[str, OperationMetrics] = {}
         self._events: Dict[str, int] = {}
+        self._verify_caches: Dict[str, "tuple[int, int]"] = {}
         self._start_ms: Optional[float] = None
         self._end_ms: Optional[float] = None
 
@@ -131,6 +132,25 @@ class MetricsCollector:
 
     def events(self) -> Dict[str, int]:
         return dict(self._events)
+
+    def record_verify_cache(self, node: str, hits: int, misses: int) -> None:
+        """Record one node's signature verify-cache counters.
+
+        Caches are per node (``PerfConfig.verify_cache_size`` sizes each), so
+        the collector keeps them per node too; re-recording a node overwrites
+        its entry (counters are cumulative on the node).
+        """
+        self._verify_caches[node] = (hits, misses)
+
+    def verify_cache_stats(self) -> Dict[str, "tuple[int, int]"]:
+        """Per-node verify-cache ``(hits, misses)`` recorded so far."""
+        return dict(self._verify_caches)
+
+    def verify_cache_totals(self) -> "tuple[int, int]":
+        """Deployment-wide ``(hits, misses)`` summed over recorded nodes."""
+        hits = sum(h for h, _ in self._verify_caches.values())
+        misses = sum(m for _, m in self._verify_caches.values())
+        return hits, misses
 
     def mark_start(self, now_ms: float) -> None:
         if self._start_ms is None or now_ms < self._start_ms:

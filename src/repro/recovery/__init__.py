@@ -17,7 +17,18 @@ BFT answer to both problems, layered on the existing building blocks:
 * :class:`~repro.recovery.transfer.RecoveryCoordinator` — the state-transfer
   protocol by which a restarted or lagging replica fetches the latest stable
   checkpoint plus the log suffix from its peers, verifies both (checkpoint
-  certificate, per-entry commit certificates, Merkle roots) and rejoins.
+  certificate, per-entry commit certificates, Merkle roots) and rejoins —
+  *in the cluster's current view*: replies advertise the responder's
+  ``(view, view-change quorum certificate)`` and the rejoiner adopts it
+  after verification, so it follows the live leader immediately.
+
+Around this package, the recovery overhaul (PR 3) adds automatic
+failure handling in the core layer: a per-replica progress monitor
+(:class:`~repro.core.replica.ViewProgressMonitor`) votes out a dead leader
+without operator action, 2PC decisions are durable replicated state served
+to stranded participants on ``DecisionQuery``, and a newly elected leader
+resumes its predecessor's unfinished vote collections from the replicated
+prepare groups.
 
 Crash faults themselves are injected at the transport level through
 :meth:`repro.simnet.faults.FaultInjector.crash` and orchestrated by

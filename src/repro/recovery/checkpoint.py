@@ -137,7 +137,7 @@ class CheckpointManager:
             return
         if message.signature is None or message.signature.signer != str(src):
             return
-        if not self._replica.env.registry.verify(
+        if not self._replica.verifier.verify(
             message.signing_payload(), message.signature
         ):
             return
@@ -191,5 +191,6 @@ class CheckpointManager:
         retain_from = image.seq - self.config.retention_batches
         replica.counters.versions_pruned += replica.store.prune(retain_from)
         replica.prune_headers_below(retain_from)
+        replica.prune_decisions_below(retain_from)
         replica.merkle.prune_archive(retain_from)
         replica.engine.compact_below(image.seq + 1)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.bft.log import LogEntry
+from repro.bft.quorum import ViewChangeCertificate
 from repro.common.ids import NO_BATCH, BatchNumber, PartitionId
 from repro.recovery.checkpoint import CheckpointCertificate
 from repro.recovery.snapshot import SnapshotImage
@@ -39,9 +40,20 @@ class StateTransferReply(Message):
     exists, the uncertified genesis image of the preloaded data).
     ``entries`` is the contiguous log suffix starting right above the image
     (or above ``have_seq`` when no image is needed).
+
+    ``view``/``view_certificate`` advertise the responder's current view and
+    the quorum certificate that elected it, so the rejoiner follows the live
+    leader immediately (``PbftEngine.adopt_view``) instead of staying in a
+    stale view until the next organic view change.  ``responder_tip`` is the
+    highest sequence number the responder itself has certified: recovery only
+    *completes* once the rejoiner's log has caught up to a responder's tip,
+    so a reply from a peer that is itself behind cannot falsely complete it.
     """
 
     partition: PartitionId = 0
     image: Optional[SnapshotImage] = None
     certificate: Optional[CheckpointCertificate] = None
     entries: Tuple[LogEntry, ...] = ()
+    view: int = 0
+    view_certificate: Optional[ViewChangeCertificate] = None
+    responder_tip: BatchNumber = NO_BATCH

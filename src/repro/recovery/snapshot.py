@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.common.ids import NO_BATCH, BatchNumber, PartitionId
 from repro.common.types import Key, Value
-from repro.core.batch import CertifiedHeader, PreparedRecord
+from repro.core.batch import CertifiedHeader, CommitRecord, PreparedRecord
 from repro.crypto.hashing import Digest, digest_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
@@ -35,12 +35,17 @@ class SnapshotImage:
 
     ``items`` holds ``(key, version, value)`` triples sorted by key;
     ``prepared`` holds ``(batch_number, records)`` groups for every prepare
-    group still undecided at the checkpoint.  Coordinator-side 2PC decisions
-    are deliberately *not* part of the image: they are leader-volatile state
-    (followers never record them), so including them would make honest
-    replicas' digests diverge.  ``header`` is the certified header of batch
-    ``seq`` and is bound to the image through its Merkle root rather than the
-    digest, since it carries its own consensus certificate.
+    group still undecided at the checkpoint.  ``decisions`` holds the
+    ``(commit_batch, record)`` 2PC commit/abort records decided within the
+    retention window below ``seq`` — these *are* replicated state (every
+    replica applies the same committed segments), so they digest identically
+    on honest replicas and survive a checkpoint-truncated log; a restored
+    replica can keep answering ``DecisionQuery`` for them.  (What stays out
+    of the image is the coordinator's *vote collection*, which really is
+    leader-volatile; a new leader re-solicits votes instead.)  ``header`` is
+    the certified header of batch ``seq`` and is bound to the image through
+    its Merkle root rather than the digest, since it carries its own
+    consensus certificate.
     """
 
     partition: PartitionId
@@ -48,6 +53,7 @@ class SnapshotImage:
     items: Tuple[Tuple[Key, BatchNumber, Value], ...]
     prepared: Tuple[Tuple[BatchNumber, Tuple[PreparedRecord, ...]], ...] = ()
     header: Optional[CertifiedHeader] = None
+    decisions: Tuple[Tuple[BatchNumber, CommitRecord], ...] = ()
 
     @cached_property
     def _digest(self) -> Digest:
@@ -61,6 +67,10 @@ class SnapshotImage:
                 "prepared": [
                     [int(number), [record.payload() for record in records]]
                     for number, records in self.prepared
+                ],
+                "decisions": [
+                    [int(number), record.payload()]
+                    for number, record in self.decisions
                 ],
             }
         )
@@ -93,6 +103,16 @@ class SnapshotImage:
             group = replica.prepared_batches.group(number)
             records = tuple(group.records[txn_id] for txn_id in sorted(group.records))
             prepared.append((number, records))
+        # Decisions within the retention window below the checkpoint.  The
+        # filter is a pure function of ``seq`` (never of GC timing, which can
+        # differ between replicas mid-agreement), so honest replicas' image
+        # digests stay identical; GC prunes strictly below this floor.
+        floor = seq - replica.config.checkpoint.retention_batches
+        decisions = tuple(
+            (commit_batch, record)
+            for txn_id, (commit_batch, record) in sorted(replica.decided.items())
+            if commit_batch > floor
+        )
         header = replica.last_header
         if header is not None and header.number != seq:
             header = next((h for h in replica.headers if h.number == seq), header)
@@ -102,6 +122,7 @@ class SnapshotImage:
             items=items,
             prepared=tuple(prepared),
             header=header,
+            decisions=decisions,
         )
 
     @classmethod

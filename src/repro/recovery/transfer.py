@@ -80,14 +80,33 @@ class RecoveryCoordinator:
             # extends our log is still worth applying: the completing reply
             # may have come from a peer that was itself behind.
             return
+        held_before = replica.log.last_seq
         try:
             self._install(message)
         except StateTransferError:
             replica.counters.state_transfers_rejected += 1
             return
-        if self.in_progress:
+        if self.in_progress and self._completes(message, held_before):
             self.in_progress = False
             replica.counters.recoveries_completed += 1
+
+    def _completes(self, reply: StateTransferReply, held_before) -> bool:
+        """Did this reply genuinely finish the recovery session?
+
+        A reply from a peer that is itself *behind* the recoverer installs
+        nothing, and must not count as completion — otherwise a lagging
+        replica "recovers" to its own stale state the moment any stale peer
+        answers.  Completion requires the install to have extended the log up
+        to the responder's advertised certified tip, or — when nothing new
+        was installed — the recoverer's tip to already match the responder's
+        (an up-to-date peer confirming there is nothing to fetch).  Anything
+        else leaves the session in progress for the retry broadcast.
+        """
+        tip = self._replica.log.last_seq
+        if tip < reply.responder_tip:
+            return False  # the responder certified more than it could send us
+        extended = tip > held_before
+        return extended or tip == reply.responder_tip
 
     def _extends(self, reply: StateTransferReply) -> bool:
         """Does this reply carry anything above what the replica already holds?"""
@@ -101,6 +120,7 @@ class RecoveryCoordinator:
     def _install(self, reply: StateTransferReply) -> None:
         replica = self._replica
         image = reply.image
+        self._verify_view(reply)
         mutated = False
         # A freshly reset replica holds nothing at all — even the genesis
         # image (seq == last_seq == NO_BATCH) is news to it.
@@ -128,6 +148,31 @@ class RecoveryCoordinator:
         if replica.log.last_seq < 0:
             raise StateTransferError("reply contained no usable state")
         replica.engine.install_checkpoint(replica.log.last_seq)
+        if reply.view > replica.engine.view:
+            # Verified in _verify_view: follow the cluster's live leader now,
+            # so the very next PrePrepare of the current view is accepted.
+            if replica.engine.adopt_view(reply.view, reply.view_certificate):
+                replica.counters.views_adopted += 1
+
+    def _verify_view(self, reply: StateTransferReply) -> None:
+        """Check the advertised ``(view, certificate)`` before touching state.
+
+        A byzantine responder must not be able to park the rejoiner in a
+        bogus future view (it would ignore the real leader) — or smuggle a
+        stale view past the session by pairing good entries with a bad
+        certificate.  A reply claiming a newer view without a valid quorum
+        certificate is discarded wholesale.
+        """
+        replica = self._replica
+        if reply.view <= replica.engine.view:
+            return  # nothing to adopt; an older/equal view needs no proof
+        certificate = reply.view_certificate
+        if certificate is None or certificate.view != reply.view:
+            raise StateTransferError("advertised view without a matching certificate")
+        if not certificate.verify(
+            replica.verifier, replica.cluster_members, replica.engine.quorum
+        ):
+            raise StateTransferError("view certificate signatures invalid")
 
     def _verify_image(self, reply: StateTransferReply) -> None:
         replica = self._replica
@@ -151,7 +196,7 @@ class RecoveryCoordinator:
         ):
             raise StateTransferError("checkpoint certificate does not cover the image")
         if not certificate.verify(
-            replica.env.registry,
+            replica.verifier,
             replica.cluster_members,
             replica.config.certificate_size,
         ):
@@ -160,7 +205,7 @@ class RecoveryCoordinator:
         if header is None or header.number != image.seq:
             raise StateTransferError("image header missing or at the wrong batch")
         if not header.verify(
-            replica.env.registry,
+            replica.verifier,
             replica.cluster_members,
             replica.config.certificate_size,
         ):
@@ -177,7 +222,7 @@ class RecoveryCoordinator:
         if certificate.seq != entry.seq or certificate.digest != batch.digest():
             raise StateTransferError(f"certificate for entry {entry.seq} mismatched")
         if not certificate.verify(
-            replica.env.registry,
+            replica.verifier,
             replica.cluster_members,
             replica.config.certificate_size,
         ):

@@ -49,6 +49,8 @@ class _InstalledFault:
     rule: FaultRule
     action: Callable[[Message], Optional[Message]]
     applied: int = 0
+    #: Optional side-effect hook (see :meth:`FaultInjector.observe`).
+    observer: Optional[Callable[[NodeId, NodeId, Message], None]] = None
 
 
 class FaultInjector:
@@ -76,6 +78,29 @@ class FaultInjector:
             return mutate(copy.deepcopy(message))
 
         return self._install(rule, action)
+
+    def observe(
+        self, rule: FaultRule, callback: Callable[[NodeId, NodeId, Message], None]
+    ) -> _InstalledFault:
+        """Watch matching traffic without altering it.
+
+        ``callback(src, dst, message)`` runs at send time for every matching
+        message, which lets tests trigger a fault at an exact protocol point
+        — e.g. crash a coordinator's leader the moment the final
+        ``ParticipantPrepared`` vote is on the wire.  Note that a callback
+        which installs a crash affects the *observed message too* (it has not
+        been delivered yet): crashing the destination here models "the
+        message never arrived".
+        """
+
+        def action(message: Message) -> Optional[Message]:
+            # The observer's note of src/dst is bound per message in _filter.
+            return message
+
+        fault = _InstalledFault(rule=rule, action=action)
+        fault.observer = callback
+        self._faults.append(fault)
+        return fault
 
     def isolate(self, node: NodeId) -> List[_InstalledFault]:
         """Drop all traffic to and from ``node`` (crash/partition emulation)."""
@@ -122,10 +147,14 @@ class FaultInjector:
 
     def _filter(self, src: NodeId, dst: NodeId, message: Message) -> Optional[Message]:
         current: Optional[Message] = message
+        # Plain index iteration on purpose: an observer callback may install
+        # new faults (e.g. a crash) that must already apply to this message.
         for fault in self._faults:
             if current is None:
                 return None
             if fault.rule.matches(src, dst, current, self._rng):
                 fault.applied += 1
+                if fault.observer is not None:
+                    fault.observer(src, dst, current)
                 current = fault.action(current)
         return current

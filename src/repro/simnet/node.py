@@ -16,7 +16,7 @@ from typing import Callable, Dict, Optional, Type
 from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
 from repro.common.ids import NodeId
-from repro.crypto.signatures import KeyRegistry, Signer, make_signer
+from repro.crypto.signatures import KeyRegistry, NodeVerifier, Signer, make_signer
 from repro.simnet.messages import Message
 from repro.simnet.network import Network
 from repro.simnet.simulator import Simulator
@@ -73,6 +73,12 @@ class SimNode:
         self.node_id = node_id
         self.env = env
         self.signer = env.new_signer(str(node_id))
+        #: Per-node signature verification: the shared PKI registry behind a
+        #: cache private to this node, so verify-memo memory and hit rates
+        #: are modeled per replica (``PerfConfig.verify_cache_size``).
+        self.verifier = NodeVerifier(
+            env.registry, env.config.perf.verify_cache_size
+        )
         self._handlers: Dict[Type[Message], MessageHandler] = {}
         self._busy_until = 0.0
         self.messages_handled = 0

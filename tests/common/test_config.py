@@ -116,6 +116,19 @@ class TestNestedConfigs:
         with pytest.raises(ConfigurationError):
             PerfConfig(verify_cache_size=-1).validate()
 
+    def test_failover_rejects_bad_bounds(self):
+        from repro.common.config import FailoverConfig
+
+        with pytest.raises(ConfigurationError):
+            FailoverConfig(progress_timeout_ms=0).validate()
+        with pytest.raises(ConfigurationError):
+            FailoverConfig(max_suspect_rounds=0).validate()
+        with pytest.raises(ConfigurationError):
+            FailoverConfig(two_pc_retry_ms=0).validate()
+        with pytest.raises(ConfigurationError):
+            FailoverConfig(two_pc_max_retries=0).validate()
+        FailoverConfig().validate()  # defaults are sane
+
     def test_perf_rejects_no_archive_and_no_fallback(self):
         # This combination would refuse every round-2 snapshot read.
         with pytest.raises(ConfigurationError):

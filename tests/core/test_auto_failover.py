@@ -1,0 +1,150 @@
+"""Automatic leader-crash detection: no manual ``suspect_leader`` anywhere.
+
+PR 1's third documented simplification: a crashed *leader* only recovered
+after the test body nudged the survivors into a view change.  These tests
+crash leaders mid-workload and assert the cluster rotates by itself — via
+the progress monitor (in-flight instances, undecided 2PC groups) and via
+client complaints (a leader that crashed while idle leaves no in-flight
+evidence) — and that the machinery stays silent on healthy clusters.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import (
+    BatchConfig,
+    CheckpointConfig,
+    FailoverConfig,
+    LatencyConfig,
+    SystemConfig,
+)
+from repro.core.system import TransEdgeSystem
+
+
+def make_system(**overrides):
+    defaults = dict(
+        num_partitions=2,
+        fault_tolerance=1,
+        initial_keys=64,
+        batch=BatchConfig(max_size=4, timeout_ms=2.0),
+        latency=LatencyConfig(jitter_fraction=0.0),
+        checkpoint=CheckpointConfig(
+            enabled=True, interval_batches=5, retention_batches=5
+        ),
+    )
+    defaults.update(overrides)
+    return TransEdgeSystem(SystemConfig(**defaults))
+
+
+def spawn_writes(system, client, count, keys, results):
+    def body():
+        for i in range(count):
+            result = yield from client.read_write_txn(
+                [], {keys[i % len(keys)]: f"w{i}".encode()}
+            )
+            results.append(result)
+
+    client.spawn(body())
+
+
+class TestLeaderCrashAutoRecovery:
+    def test_leader_crash_mid_batch_converges_without_manual_trigger(self):
+        system = make_system()
+        client = system.create_client("w", commit_timeout_ms=1_000.0)
+        keys = system.keys_of_partition(0)[:8]
+        results = []
+        old_leader = system.topology.leader(0)
+
+        spawn_writes(system, client, 20, keys, results)
+        # Crash the leader shortly into the workload — mid-batch, with
+        # requests in flight.  NOTE: no suspect_leader() anywhere below.
+        system.env.simulator.schedule(3.0, lambda: system.crash_replica(old_leader))
+        system.run_until_idle()
+
+        # Every submitted transaction terminated (committed via the new
+        # leader, or timeout-aborted if it died with the old one) ...
+        assert len(results) == 20
+        assert sum(r.committed for r in results) >= 15
+        # ... because the survivors rotated views on their own.
+        assert system.topology.leader(0) != old_leader
+        counters = system.counters()
+        assert counters.leader_suspicions > 0
+        assert counters.view_changes > 0
+
+        # The recovered ex-leader demotes itself cleanly: it rejoins in the
+        # current view as a follower and participates in new consensus.
+        system.restart_replica(old_leader)
+        system.run_until_idle()
+        ex_leader = system.replicas[old_leader]
+        live_leader = system.replicas[system.topology.leader(0)]
+        assert ex_leader.counters.recoveries_completed == 1
+        assert ex_leader.engine.view == live_leader.engine.view > 0
+        assert not ex_leader.is_leader
+
+        before = ex_leader.counters.batches_delivered
+        more = []
+        spawn_writes(system, client, 5, keys, more)
+        system.run_until_idle()
+        assert all(r.committed for r in more)
+        assert ex_leader.counters.batches_delivered > before
+        assert ex_leader.log.last_seq == live_leader.log.last_seq
+        assert ex_leader.merkle.root == live_leader.merkle.root
+
+    def test_idle_leader_crash_detected_through_client_complaints(self):
+        # Crash the leader while the cluster is idle: there is no in-flight
+        # instance to betray it, so detection must come from the client's
+        # complaint after its commit times out.
+        system = make_system()
+        client = system.create_client("w", commit_timeout_ms=200.0)
+        keys = system.keys_of_partition(0)[:4]
+        old_leader = system.topology.leader(0)
+        system.crash_replica(old_leader)
+
+        results = []
+        spawn_writes(system, client, 6, keys, results)
+        system.run_until_idle()
+        assert len(results) == 6  # all terminated
+        assert system.topology.leader(0) != old_leader
+        # The first attempt(s) timed out against the dead leader; once the
+        # complaint-driven view change landed, the rest committed.
+        assert any(r.committed for r in results)
+        assert sum(not r.committed for r in results) >= 1
+
+    def test_healthy_cluster_never_suspects(self):
+        system = make_system()
+        client = system.create_client("w")
+        keys = system.keys_of_partition(0)[:8]
+        results = []
+        spawn_writes(system, client, 30, keys, results)
+        system.run_until_idle()
+        assert all(r.committed for r in results)
+        counters = system.counters()
+        assert counters.leader_suspicions == 0
+        assert counters.view_changes == 0
+
+    def test_failover_disabled_restores_manual_behaviour(self):
+        system = make_system(failover=FailoverConfig(enabled=False))
+        client = system.create_client("w", commit_timeout_ms=200.0)
+        keys = system.keys_of_partition(0)[:4]
+        old_leader = system.topology.leader(0)
+        system.crash_replica(old_leader)
+        results = []
+        spawn_writes(system, client, 3, keys, results)
+        system.run_until_idle()
+        # All attempts time out; nobody rotates the view automatically.
+        assert len(results) == 3
+        assert not any(r.committed for r in results)
+        assert system.topology.leader(0) == old_leader
+        assert system.counters().view_changes == 0
+
+    def test_follower_crash_does_not_trigger_view_change(self):
+        system = make_system()
+        client = system.create_client("w")
+        keys = system.keys_of_partition(0)[:8]
+        follower = system.topology.members(0)[2]
+        results = []
+        spawn_writes(system, client, 15, keys, results)
+        system.env.simulator.schedule(3.0, lambda: system.crash_replica(follower))
+        system.run_until_idle()
+        # A dead follower does not impede progress, so no suspicion forms.
+        assert all(r.committed for r in results)
+        assert system.counters().view_changes == 0

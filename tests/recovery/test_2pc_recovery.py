@@ -1,0 +1,267 @@
+"""Coordinator/participant crashes at every 2PC phase converge automatically.
+
+PR 1's second documented simplification: coordinator-side 2PC decisions were
+leader-volatile, so a coordinator crash between the participants' prepared
+quorum and the decision broadcast stranded participants in ``prepared``
+forever.  These tests crash a cluster leader at each phase of the protocol —
+with **no manual view-change trigger in the test body** — and assert the
+system converges: no transaction stays prepared-but-undecided anywhere, the
+crashed replica rejoins the current view, and the transaction's fate is
+atomic across partitions.
+
+Phases covered (the fault matrix of ISSUE 3):
+
+* ``at-prepare-send`` — the coordinator's leader dies the moment its
+  ``CoordinatorPrepare`` goes on the wire (participants may never see it);
+* ``before-vote-arrives`` — it dies just before the final
+  ``ParticipantPrepared`` vote would reach it (no quorum recorded);
+* ``at-decision`` — it dies right after recording the decision, which at
+  that point exists only in its volatile vote collection;
+* ``after-decision-sealed`` — the decision is certified in the replicated
+  log but the ``DecisionMessage`` broadcast is lost with the leader, so the
+  participants must resolve through ``DecisionQuery``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BatchConfig, CheckpointConfig, LatencyConfig, SystemConfig
+from repro.common.ids import ClientId
+from repro.core.messages import CoordinatorPrepare, DecisionMessage, ParticipantPrepared
+from repro.core.system import TransEdgeSystem
+from repro.simnet.faults import FaultRule
+from repro.simnet.latency import client_home_partition
+
+
+def make_system():
+    config = SystemConfig(
+        num_partitions=2,
+        fault_tolerance=1,
+        initial_keys=64,
+        batch=BatchConfig(max_size=4, timeout_ms=2.0),
+        latency=LatencyConfig(jitter_fraction=0.0),
+        checkpoint=CheckpointConfig(
+            enabled=True, interval_batches=5, retention_batches=5
+        ),
+    )
+    return TransEdgeSystem(config)
+
+
+def run_distributed_txn(system, client_name="w"):
+    """One cross-partition transaction; returns (results, coordinator partition)."""
+    client = system.create_client(client_name, commit_timeout_ms=1_000.0)
+    coordinator = client_home_partition(ClientId(client_name), 2)
+    participant = 1 - coordinator
+    k_coord = system.keys_of_partition(coordinator)[0]
+    k_part = system.keys_of_partition(participant)[0]
+    results = []
+
+    def body():
+        result = yield from client.read_write_txn(
+            [], {k_coord: b"dv-coord", k_part: b"dv-part"}
+        )
+        results.append(result)
+
+    client.spawn(body())
+    return results, coordinator, participant, (k_coord, k_part)
+
+
+def assert_converged(system, coordinator, participant, keys):
+    """No stranded prepared txns and an atomic outcome across partitions."""
+    assert system.stranded_prepared_transactions() == 0
+    k_coord, k_part = keys
+    v_coord = system.replicas[system.topology.leader(coordinator)].store.latest(k_coord)
+    v_part = system.replicas[system.topology.leader(participant)].store.latest(k_part)
+    wrote_coord = v_coord is not None and v_coord.value == b"dv-coord"
+    wrote_part = v_part is not None and v_part.value == b"dv-part"
+    assert wrote_coord == wrote_part, "2PC atomicity violated across partitions"
+    return wrote_coord
+
+
+def rejoin_and_verify(system, victim):
+    """Restart the crashed leader; it must recover into the current view."""
+    system.restart_replica(victim)
+    system.run_until_idle()
+    recovered = system.replicas[victim]
+    live_leader = system.replicas[system.topology.leader(victim.partition)]
+    assert recovered.counters.recoveries_completed == 1
+    assert recovered.engine.view == live_leader.engine.view
+    assert recovered.log.last_seq == live_leader.log.last_seq
+
+
+class TestCoordinatorCrashMatrix:
+    def test_crash_at_prepare_send(self):
+        system = make_system()
+        results, coordinator, participant, keys = run_distributed_txn(system)
+        coord_leader = system.topology.leader(coordinator)
+        state = {"crashed": False}
+
+        def crash_on_prepare(src, dst, message):
+            if not state["crashed"]:
+                state["crashed"] = True
+                system.crash_replica(coord_leader)
+
+        system.fault_injector.observe(
+            FaultRule(src=coord_leader, message_type=CoordinatorPrepare),
+            crash_on_prepare,
+        )
+        system.run_until_idle()
+        assert state["crashed"]
+        assert len(results) == 1  # the client's transaction terminated
+        assert_converged(system, coordinator, participant, keys)
+        rejoin_and_verify(system, coord_leader)
+        assert_converged(system, coordinator, participant, keys)
+
+    def test_crash_before_final_vote_arrives(self):
+        system = make_system()
+        results, coordinator, participant, keys = run_distributed_txn(system)
+        coord_leader = system.topology.leader(coordinator)
+        state = {"crashed": False}
+
+        def crash_on_vote(src, dst, message):
+            vote = message.vote
+            if not state["crashed"] and vote is not None and vote.vote:
+                # Crashing the destination drops this in-flight vote too:
+                # the quorum is never recorded anywhere.
+                state["crashed"] = True
+                system.crash_replica(coord_leader)
+
+        system.fault_injector.observe(
+            FaultRule(dst=coord_leader, message_type=ParticipantPrepared),
+            crash_on_vote,
+        )
+        system.run_until_idle()
+        assert state["crashed"]
+        assert len(results) == 1
+        assert_converged(system, coordinator, participant, keys)
+        rejoin_and_verify(system, coord_leader)
+
+    def test_crash_between_prepared_quorum_and_decision_broadcast(self):
+        """The acceptance scenario: the decision exists only in the crashed
+        leader's volatile vote collection — the new leader must re-collect
+        the votes and drive the transaction to a certified decision."""
+        system = make_system()
+        results, coordinator, participant, keys = run_distributed_txn(system)
+        coord_leader = system.topology.leader(coordinator)
+        leader_replica = system.replicas[coord_leader]
+        state = {"crashed": False}
+        original = leader_replica.prepared_batches.record_decision
+
+        def record_then_crash(record):
+            original(record)
+            if not state["crashed"] and record.coordinator == coordinator:
+                state["crashed"] = True
+                system.crash_replica(coord_leader)
+
+        leader_replica.prepared_batches.record_decision = record_then_crash
+        system.run_until_idle()
+        assert state["crashed"]
+        assert len(results) == 1
+        committed = assert_converged(system, coordinator, participant, keys)
+        # The participants' votes were all positive; the resumed 2PC must
+        # reach the same positive outcome, not abort.
+        assert committed
+        counters = system.counters()
+        assert counters.view_changes > 0  # nobody called suspect_leader here
+        rejoin_and_verify(system, coord_leader)
+
+    def test_crash_after_decision_sealed_but_broadcast_lost(self):
+        """The decision is a replicated log entry on the coordinator cluster,
+        but every ``DecisionMessage`` dies with the leader: participants must
+        fetch the certified record from the survivors (``DecisionQuery``)."""
+        system = make_system()
+        results, coordinator, participant, keys = run_distributed_txn(system)
+        coord_leader = system.topology.leader(coordinator)
+        leader_replica = system.replicas[coord_leader]
+        # Suppress the decision broadcast, then crash the leader once the
+        # decision batch has been delivered cluster-wide.
+        system.fault_injector.drop(
+            FaultRule(src=coord_leader, message_type=DecisionMessage)
+        )
+        state = {"crashed": False}
+        original = leader_replica._apply_batch
+
+        def apply_then_crash(seq, batch, certificate):
+            header = original(seq, batch, certificate)
+            if not state["crashed"] and any(
+                record.coordinator == coordinator for record in batch.committed
+            ):
+                state["crashed"] = True
+                system.crash_replica(coord_leader)
+            return header
+
+        leader_replica._apply_batch = apply_then_crash
+        system.run_until_idle()
+        assert state["crashed"]
+        assert len(results) == 1
+        committed = assert_converged(system, coordinator, participant, keys)
+        assert committed
+        counters = system.counters()
+        # Resolution came from the replicated decision, not a re-vote.
+        assert counters.decision_queries_served > 0
+        assert counters.decisions_resolved_remotely > 0
+        rejoin_and_verify(system, coord_leader)
+
+
+class TestParticipantCrash:
+    def test_participant_leader_crash_after_vote(self):
+        """The participant's leader dies after voting: its cluster rotates,
+        and the new participant leader learns the decision and seals it."""
+        system = make_system()
+        results, coordinator, participant, keys = run_distributed_txn(system)
+        part_leader = system.topology.leader(participant)
+        state = {"crashed": False}
+
+        def crash_on_vote(src, dst, message):
+            vote = message.vote
+            if not state["crashed"] and vote is not None and vote.vote:
+                state["crashed"] = True
+                system.crash_replica(part_leader)
+
+        system.fault_injector.observe(
+            FaultRule(src=part_leader, message_type=ParticipantPrepared),
+            crash_on_vote,
+        )
+        system.run_until_idle()
+        assert state["crashed"]
+        assert len(results) == 1
+        assert_converged(system, coordinator, participant, keys)
+        rejoin_and_verify(system, part_leader)
+
+
+class TestDecisionDurability:
+    def test_decisions_survive_in_checkpoint_images(self):
+        """Commit records ride in checkpoint images, so a replica restored
+        from an image (its log truncated below the decision) still answers
+        ``DecisionQuery`` for recent transactions."""
+        system = make_system()
+        results, coordinator, participant, keys = run_distributed_txn(system)
+        system.run_until_idle()
+        assert len(results) == 1 and results[0].committed
+        txn_id = results[0].txn_id
+
+        # Push enough batches to stabilise a checkpoint past the decision.
+        client = system.create_client("filler")
+        fill_keys = system.keys_of_partition(coordinator)[:8]
+
+        def body():
+            for i in range(30):
+                result = yield from client.read_write_txn(
+                    [], {fill_keys[i % len(fill_keys)]: f"f{i}".encode()}
+                )
+                assert result.committed
+
+        client.spawn(body())
+        system.run_until_idle()
+
+        victim = system.topology.members(coordinator)[3]
+        system.crash_replica(victim)
+        system.restart_replica(victim)
+        system.run_until_idle()
+        recovered = system.replicas[victim]
+        assert recovered.counters.recoveries_completed == 1
+        if recovered.log.first_seq > 0:  # restored from an image, not replay
+            donor = system.replicas[system.topology.leader(coordinator)]
+            if txn_id in donor.decided:
+                assert txn_id in recovered.decided

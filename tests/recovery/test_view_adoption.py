@@ -1,0 +1,206 @@
+"""View adoption on rejoin: a recovered replica follows the *current* leader.
+
+PR 1 shipped with a documented simplification: a replica rejoining through
+state transfer stayed in view 0 until the next organic view change, ignoring
+every proposal of the live leader.  These tests pin the fix: state-transfer
+replies advertise the responder's ``(view, quorum certificate)``, the
+rejoiner verifies and adopts it, and the very next ``PrePrepare`` of the
+current view is accepted.  They also pin the recovery-completion rule: a
+reply from a peer that is itself *behind* the recoverer must not complete
+the session.
+"""
+
+from __future__ import annotations
+
+from repro.bft.quorum import ViewChangeCertificate
+from repro.common.config import BatchConfig, CheckpointConfig, LatencyConfig, SystemConfig
+from repro.core.system import TransEdgeSystem
+from repro.crypto.signatures import HmacSigner
+from repro.recovery.messages import StateTransferReply
+
+
+def make_system(interval=5, retention=5, initial_keys=64):
+    config = SystemConfig(
+        num_partitions=2,
+        fault_tolerance=1,
+        initial_keys=initial_keys,
+        batch=BatchConfig(max_size=4, timeout_ms=2.0),
+        latency=LatencyConfig(jitter_fraction=0.0),
+        checkpoint=CheckpointConfig(
+            enabled=True, interval_batches=interval, retention_batches=retention
+        ),
+    )
+    return TransEdgeSystem(config)
+
+
+def run_local_writes(system, count, tag="w", partition=0):
+    client = system.create_client(f"writer-{tag}")
+    keys = system.keys_of_partition(partition)[:8]
+
+    def body():
+        for i in range(count):
+            result = yield from client.read_write_txn(
+                [], {keys[i % len(keys)]: f"{tag}-{i}".encode()}
+            )
+            assert result.committed, result.abort_reason
+
+    client.spawn(body())
+    system.run_until_idle()
+
+
+def rotate_view(system, partition=0):
+    """Force one view change among the live members of ``partition``.
+
+    Every live member votes (a crashed follower cannot), which reaches the
+    ``2f + 1`` quorum even when the cluster is already one member short.
+    """
+    old_leader = system.topology.leader(partition)
+    for replica in system.cluster_replicas(partition):
+        if not replica.crashed:
+            replica.engine.suspect_leader()
+    system.run_until_idle()
+    assert system.topology.leader(partition) != old_leader
+
+
+class TestViewAdoptionOnRejoin:
+    def test_rejoiner_adopts_current_view_and_accepts_next_preprepare(self):
+        system = make_system()
+        victim = system.topology.members(0)[3]  # follower in every view here
+        run_local_writes(system, 10, tag="before")
+
+        system.crash_replica(victim)
+        rotate_view(system)  # the cluster moves to view 1 while victim is down
+        run_local_writes(system, 10, tag="during")
+        live_leader = system.replicas[system.topology.leader(0)]
+        assert live_leader.engine.view == 1
+
+        system.restart_replica(victim)
+        system.run_until_idle()
+        recovered = system.replicas[victim]
+        assert recovered.counters.recoveries_completed == 1
+        # The fix: the rejoiner is in the cluster's current view immediately,
+        # with the transferable certificate that elected it.
+        assert recovered.engine.view == live_leader.engine.view == 1
+        assert recovered.counters.views_adopted == 1
+        assert recovered.engine.view_certificate is not None
+        assert recovered.engine.view_certificate.verify(
+            recovered.verifier, recovered.cluster_members, recovered.engine.quorum
+        )
+
+        # ... so it participates in the very next consensus instance.
+        delivered_before = recovered.counters.batches_delivered
+        run_local_writes(system, 4, tag="after")
+        assert recovered.counters.batches_delivered > delivered_before
+        assert recovered.log.last_seq == live_leader.log.last_seq
+        assert recovered.merkle.root == live_leader.merkle.root
+
+    def test_forged_view_certificate_is_rejected_wholesale(self):
+        system = make_system()
+        victim = system.topology.members(0)[3]
+        run_local_writes(system, 10, tag="before")
+        system.crash_replica(victim)
+        run_local_writes(system, 5, tag="during")
+        system.restart_replica(victim)
+        system.run_until_idle()
+        recovered = system.replicas[victim]
+        assert recovered.counters.recoveries_completed == 1
+        assert recovered.engine.view == 0
+
+        # A byzantine responder advertises a bogus future view: signatures
+        # from identities outside the cluster (or over the wrong payload)
+        # must not move the rejoiner, and the whole reply is discarded.
+        outsider = HmacSigner("not-a-member")
+        system.env.registry.register(outsider)
+        forged = ViewChangeCertificate(
+            view=7,
+            votes=tuple(
+                (0, outsider.sign(["view-change", 7, 0])) for _ in range(3)
+            ),
+        )
+        rejected_before = recovered.counters.state_transfers_rejected
+        recovered.recovery.in_progress = True  # reopen the session
+        recovered.recovery.on_reply(
+            StateTransferReply(
+                partition=0,
+                entries=recovered.log.entries_from(recovered.log.next_seq),
+                view=7,
+                view_certificate=forged,
+                responder_tip=recovered.log.last_seq,
+            ),
+            src=system.topology.members(0)[1],
+        )
+        assert recovered.counters.state_transfers_rejected == rejected_before + 1
+        assert recovered.engine.view == 0
+        recovered.recovery.in_progress = False
+
+    def test_adopt_view_requires_quorum_of_real_members(self):
+        system = make_system()
+        replica = system.replicas[system.topology.members(0)[1]]
+        signer = HmacSigner(str(system.topology.members(0)[2]))
+        # Two votes (below the 2f+1=3 quorum) are not enough.
+        thin = ViewChangeCertificate(
+            view=3,
+            votes=(
+                (0, replica.signer.sign(["view-change", 3, 0])),
+                (0, signer.sign(["view-change", 3, 0])),
+            ),
+        )
+        assert not replica.engine.adopt_view(3, thin)
+        assert replica.engine.view == 0
+        assert not replica.engine.adopt_view(3, None)
+        # Adopting the current view is a no-op success.
+        assert replica.engine.adopt_view(0, None)
+
+
+class TestRecoveryCompletionRule:
+    def test_behind_peer_reply_does_not_complete_recovery(self):
+        system = make_system()
+        run_local_writes(system, 10, tag="before")
+        replica = system.replicas[system.topology.members(0)[1]]
+        tip = replica.log.last_seq
+        assert tip > 0
+
+        replica.recovery.in_progress = True
+        replica.counters.recoveries_started += 1
+        # A peer that is *behind* us answers with nothing we can use: its
+        # advertised tip is below ours, so the session must stay open.
+        replica.recovery.on_reply(
+            StateTransferReply(partition=0, entries=(), responder_tip=tip - 3),
+            src=system.topology.members(0)[2],
+        )
+        assert replica.recovery.in_progress
+        assert replica.counters.recoveries_completed == 0
+
+        # An up-to-date peer confirming our exact tip does complete it.
+        replica.recovery.on_reply(
+            StateTransferReply(partition=0, entries=(), responder_tip=tip),
+            src=system.topology.members(0)[3],
+        )
+        assert not replica.recovery.in_progress
+        assert replica.counters.recoveries_completed == 1
+
+    def test_partial_reply_below_responder_tip_keeps_session_open(self):
+        system = make_system(interval=1000)  # keep the full log (no truncation)
+        run_local_writes(system, 10, tag="before")
+        donor = system.replicas[system.topology.leader(0)]
+        tip = donor.log.last_seq
+        replica = system.replicas[system.topology.members(0)[1]]
+        replica.reset_for_recovery()
+        replica.recovery.in_progress = True
+
+        # Entries stop short of the advertised tip (e.g. the responder GC'd
+        # nothing but the transfer was truncated): install what verifies,
+        # but do not declare victory.
+        genesis = donor.checkpoints.snapshots.genesis
+        replica.recovery.on_reply(
+            StateTransferReply(
+                partition=0,
+                image=genesis,
+                entries=donor.log.entries_from(0)[: tip],  # misses the last one
+                responder_tip=tip,
+            ),
+            src=donor.node_id,
+        )
+        assert replica.log.last_seq == tip - 1
+        assert replica.recovery.in_progress
+        assert replica.counters.recoveries_completed == 0
