@@ -1,0 +1,43 @@
+"""Edge tier: proxy-served reads beat far-core reads; byzantine proxies are caught.
+
+Not a figure of the paper — this benchmark exercises the ``repro.edge``
+subsystem: untrusted edge proxies cache verified snapshot reads between
+clients and the core clusters.  Under the near-edge/far-core latency
+profile, reads served from a proxy's cache must be faster on average than
+reads served by the core; the caches must actually hit; and each
+byzantine-proxy behaviour (tampered value, tampered proof, stale header)
+must end with the proxy blacklisted, zero accepted-but-invalid reads.
+"""
+
+from conftest import record_result, run_once
+
+from repro.bench.experiments import fig_edge
+
+
+def test_fig_edge_proxy_tier(benchmark):
+    figure = run_once(benchmark, fig_edge)
+    record_result("fig_edge", figure)
+
+    hit_rates = figure.series_by_name("proxy cache hit rate (%)")
+    assert hit_rates.points, "no cache hit rates recorded"
+    assert all(rate > 0 for rate in hit_rates.points.values())
+
+    edge_latency = figure.series_by_name("proxy-served mean latency (ms)")
+    core_latency = figure.series_by_name("core-served mean latency (ms)")
+    compared = 0
+    for proxies, edge_ms in edge_latency.points.items():
+        core_ms = core_latency.points.get(proxies)
+        if core_ms is None:
+            continue
+        compared += 1
+        assert edge_ms < core_ms, (
+            f"proxy-served mean {edge_ms} ms not below core-served {core_ms} ms "
+            f"at {proxies} proxies"
+        )
+    assert compared > 0
+
+    blacklisted = figure.series_by_name("byzantine scenario: proxy blacklisted (1=yes)")
+    invalid = figure.series_by_name("byzantine scenario: accepted-but-invalid reads")
+    assert len(blacklisted.points) == 3
+    assert all(flag == 1 for flag in blacklisted.points.values())
+    assert all(count == 0 for count in invalid.points.values())

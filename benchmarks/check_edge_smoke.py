@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI gate for the edge read-proxy tier (the `edge-smoke` job).
+
+Reads the JSON written by ``python -m repro.bench.run fig_edge --json ...``
+and asserts the tier's headline invariants:
+
+* nonzero proxy cache hit rate at every proxy count;
+* proxy-served reads are faster on average than core-served reads at every
+  point where both were measured (the near-edge/far-core latency win);
+* every byzantine-proxy scenario (tampered value, tampered proof, stale
+  header) ended with the proxy blacklisted;
+* zero accepted-but-invalid reads anywhere — a byzantine proxy can only be
+  caught, never believed.
+
+Usage::
+
+    python benchmarks/check_edge_smoke.py BENCH_edge.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    try:
+        result = document["experiments"]["fig_edge"]["result"]
+    except KeyError:
+        print("JSON does not contain a fig_edge experiment result", file=sys.stderr)
+        return 2
+
+    series = {entry["name"]: dict(entry["points"]) for entry in result["series"]}
+    failures = []
+
+    hit_rates = series.get("proxy cache hit rate (%)", {})
+    if not hit_rates:
+        failures.append("no proxy cache hit rate points recorded")
+    for proxies, rate in sorted(hit_rates.items()):
+        if rate <= 0:
+            failures.append(f"cache hit rate at {proxies} proxies = {rate}% (expected > 0)")
+
+    edge_latency = series.get("proxy-served mean latency (ms)", {})
+    core_latency = series.get("core-served mean latency (ms)", {})
+    compared = 0
+    for proxies, edge_ms in sorted(edge_latency.items()):
+        core_ms = core_latency.get(proxies)
+        if core_ms is None:
+            continue
+        compared += 1
+        if edge_ms >= core_ms:
+            failures.append(
+                f"at {proxies} proxies: proxy-served mean {edge_ms} ms is not "
+                f"below core-served mean {core_ms} ms"
+            )
+    if compared == 0:
+        failures.append("no point measured both proxy-served and core-served latency")
+
+    blacklisted = series.get("byzantine scenario: proxy blacklisted (1=yes)", {})
+    invalid = series.get("byzantine scenario: accepted-but-invalid reads", {})
+    if len(blacklisted) < 3:
+        failures.append(
+            f"only {len(blacklisted)} byzantine scenarios ran (expected 3)"
+        )
+    for scenario, flag in sorted(blacklisted.items()):
+        if flag != 1:
+            failures.append(f"byzantine scenario #{scenario}: proxy was not blacklisted")
+    for scenario, count in sorted(invalid.items()):
+        if count != 0:
+            failures.append(
+                f"byzantine scenario #{scenario}: {count} accepted-but-invalid reads"
+            )
+
+    if failures:
+        print("edge smoke check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        "edge smoke check passed: "
+        f"hit rates {sorted(hit_rates.values())}%, "
+        f"{compared} latency comparisons, "
+        f"{len(blacklisted)} byzantine scenarios contained"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

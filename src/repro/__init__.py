@@ -29,6 +29,7 @@ from repro.common.config import (
     BatchConfig,
     CheckpointConfig,
     CostConfig,
+    EdgeConfig,
     FailoverConfig,
     FreshnessConfig,
     LatencyConfig,
@@ -50,6 +51,7 @@ __all__ = [
     "CheckpointConfig",
     "CommitResult",
     "CostConfig",
+    "EdgeConfig",
     "FailoverConfig",
     "FreshnessConfig",
     "LatencyConfig",

@@ -98,6 +98,7 @@ def execute_workload(
                     result.latency_ms,
                     rounds=result.rounds,
                     round2_latency_ms=result.round2_latency_ms,
+                    served_by_edge=result.served_by_edge,
                 )
             else:
                 result = yield from client.read_write_txn(list(spec.read_keys), dict(spec.writes))
@@ -179,6 +180,7 @@ def execute_concurrent_workloads(
                         result.latency_ms,
                         rounds=result.rounds,
                         round2_latency_ms=result.round2_latency_ms,
+                        served_by_edge=result.served_by_edge,
                     )
                 else:
                     result = yield from client.read_write_txn(

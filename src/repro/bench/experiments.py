@@ -20,14 +20,23 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.baselines.protocols import protocol_by_name
 from repro.bench.drivers import execute_concurrent_workloads, execute_workload
 from repro.bench.scale import scaled
-from repro.common.config import BatchConfig, CheckpointConfig, LatencyConfig, SystemConfig
+from repro.common.config import (
+    BatchConfig,
+    CheckpointConfig,
+    EdgeConfig,
+    FreshnessConfig,
+    LatencyConfig,
+    SystemConfig,
+)
 from repro.common.types import TxnKind
 from repro.core.system import TransEdgeSystem
 from repro.crypto.archive import MerkleTreeArchive
 from repro.crypto.merkle import MerkleStore, MerkleTree
+from repro.edge.byzantine import BEHAVIOURS, install_byzantine
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.tables import FigureResult, TableResult
 from repro.storage.mvstore import MultiVersionStore
+from repro.verification.history import ExecutionHistory, version_order_from_system
 from repro.workload.generator import WorkloadGenerator, WorkloadProfile
 
 #: Batch sizes swept by the paper's throughput experiments (Figures 9-15).
@@ -733,6 +742,226 @@ def fig16_crash_recovery(txns_per_point: Optional[int] = None) -> FigureResult:
 
 
 # ---------------------------------------------------------------------------
+# Edge — the untrusted edge read-proxy tier (repro.edge)
+# ---------------------------------------------------------------------------
+
+
+def edge_latency_config() -> LatencyConfig:
+    """A genuinely geo-distributed profile: clients far from every core
+    cluster but one short hop from a same-region edge proxy — the setting in
+    which TransEdge's verified edge caching pays off."""
+    return LatencyConfig(
+        intra_cluster_ms=0.3,
+        inter_cluster_ms=2.0,
+        client_to_cluster_ms=6.0,
+        client_to_edge_ms=0.25,
+        jitter_fraction=0.1,
+    )
+
+
+def _edge_system(
+    num_proxies: int,
+    num_partitions: int = 3,
+    initial_keys: int = 300,
+    **config_kwargs,
+) -> TransEdgeSystem:
+    edge = EdgeConfig(enabled=num_proxies > 0, num_proxies=max(1, num_proxies))
+    config = SystemConfig(
+        num_partitions=num_partitions,
+        fault_tolerance=1,
+        batch=BatchConfig(max_size=50, timeout_ms=5.0),
+        latency=edge_latency_config(),
+        initial_keys=initial_keys,
+        value_size=64,
+        edge=edge,
+        **config_kwargs,
+    )
+    return TransEdgeSystem(config)
+
+
+def _edge_byzantine_scenario(behaviour_name: str, reads: int) -> Dict[str, float]:
+    """One byzantine-proxy containment run; returns the numbers CI gates on.
+
+    A single proxy serves a client re-reading a fixed key set while a writer
+    keeps committing to the same keys.  The proxy misbehaves per
+    ``behaviour_name`` (tampered value / tampered proof / stale header); the
+    client must catch it through verification, blacklist it, and finish the
+    run on correct, fully verified core-served snapshots.
+    ``accepted_invalid`` counts results that passed client verification yet
+    contradict the committed history — the number that must be zero for the
+    "a byzantine proxy can only be caught, never believed" claim.
+    """
+    config = SystemConfig(
+        num_partitions=2,
+        fault_tolerance=1,
+        batch=BatchConfig(max_size=10, timeout_ms=2.0),
+        latency=edge_latency_config(),
+        initial_keys=80,
+        value_size=64,
+        freshness=FreshnessConfig(client_staleness_bound_ms=40.0),
+        edge=EdgeConfig(enabled=True, num_proxies=1),
+    )
+    from repro.simnet.proc import Sleep
+
+    system = TransEdgeSystem(config)
+    behaviour = install_byzantine(system.proxies[0], behaviour_name)
+    history = ExecutionHistory(system.initial_data)
+    reader = system.create_client("edge-reader")
+    writer = system.create_client("edge-writer")
+    read_keys = sorted(system.keys_of_partition(0)[:2] + system.keys_of_partition(1)[:2])
+    # The writer touches both partitions so every honest header stays within
+    # the freshness bound — only the byzantine replay can go stale.
+    write_keys = [system.keys_of_partition(0)[0], system.keys_of_partition(1)[0]]
+    results = []
+
+    def reader_body():
+        # Warm-up: let the writer commit to both partitions first, so every
+        # honest header is younger than the staleness bound when reads begin
+        # (the bound would otherwise flag genesis-era headers of a cluster
+        # that has not sealed a batch since bootstrap).
+        yield Sleep(60.0)
+        for _ in range(reads):
+            yield Sleep(5.0)
+            result = yield from reader.read_only_txn(read_keys)
+            results.append(result)
+            if result.verified:
+                history.record_read_only(result.txn_id, result.values, result.versions)
+
+    def writer_body():
+        counter = itertools.count()
+        for _ in range(reads * 2):
+            yield Sleep(2.5)
+            stamp = next(counter)
+            writes = {
+                key: f"edge-w{stamp}-{position}".encode().ljust(32, b"x")
+                for position, key in enumerate(write_keys)
+            }
+            outcome = yield from writer.read_write_txn([], writes)
+            if outcome.committed:
+                history.record_commit(outcome.txn_id, {}, writes)
+
+    reader.spawn(reader_body())
+    writer.spawn(writer_body())
+    system.run_until_idle()
+
+    from repro.common.errors import VerificationError
+
+    accepted_invalid = 0
+    try:
+        history.check_read_only_values()
+        history.check_serializable(version_order_from_system(system))
+    except VerificationError:  # an accepted (verified=True) result was wrong
+        accepted_invalid = 1
+    return {
+        "reads": len(results),
+        "blacklisted": float(len(reader.edge_router.blacklisted())),
+        "verification_failures": float(reader.stats.edge_verification_failures),
+        "edge_served": float(reader.stats.edge_reads_served),
+        "accepted_invalid": float(accepted_invalid),
+        "mutations": float(
+            getattr(behaviour, "mutations", 0) or getattr(behaviour, "replays", 0)
+        ),
+    }
+
+
+def fig_edge(txns_per_point: Optional[int] = None) -> FigureResult:
+    """Edge read-proxy tier: latency win, cache efficacy, byzantine containment.
+
+    Not a figure of the paper: this exercises the ``repro.edge`` subsystem.
+    Three parts:
+
+    1. a proxy-count sweep under a read-heavy mixed workload with the
+       near-edge/far-core latency profile — proxy-served reads must come out
+       faster on average than core-served reads (0 proxies is the no-edge
+       baseline);
+    2. a read-fraction sweep at a fixed proxy count — cache hit rate as the
+       write rate (header churn) varies;
+    3. one containment run per byzantine-proxy behaviour (tampered value,
+       tampered proof, stale header) — each must end with the proxy
+       blacklisted and zero accepted-but-invalid reads.
+    """
+    txns = scaled(txns_per_point or 150)
+    figure = FigureResult(
+        figure_id="Edge",
+        title="Edge proxy tier: read latency, cache hit rate, byzantine containment",
+        x_label="edge proxies (part 1) / read fraction % (part 2) / scenario (part 3)",
+        y_label="latency (ms) / percent / flag",
+    )
+    edge_latency = figure.add_series("proxy-served mean latency (ms)")
+    core_latency = figure.add_series("core-served mean latency (ms)")
+    hit_rate_series = figure.add_series("proxy cache hit rate (%)")
+
+    for num_proxies in (0, 1, 2, 4):
+        system = _edge_system(num_proxies)
+        # Zipfian reads: edge caches live off skewed popularity, and a skewed
+        # working set is what makes the per-proxy caches warm within the run.
+        generator = make_generator(
+            system, read_only_fraction=0.9, distribution="zipfian"
+        )
+        specs = generator.mixed_stream(txns)
+        result = execute_workload(system, specs, concurrency=8, num_clients=4)
+        edge_mean, core_mean, edge_count, core_count = result.metrics.edge_latency_split(
+            "read-only"
+        )
+        if edge_count:
+            edge_latency.add(num_proxies, round(edge_mean, 3))
+        if core_count:
+            core_latency.add(num_proxies, round(core_mean, 3))
+        counters = result.counters
+        for proxy_name, (cache_hits, cache_misses) in system.edge_cache_stats().items():
+            result.metrics.record_edge_cache(proxy_name, cache_hits, cache_misses)
+        hits, misses = result.metrics.edge_cache_totals()
+        lookups = hits + misses
+        if num_proxies > 0:
+            hit_rate_series.add(
+                num_proxies, round(100.0 * hits / max(1, lookups), 2)
+            )
+            figure.notes.append(
+                f"{num_proxies} proxies: {edge_count} proxy-served / {core_count} "
+                f"core-served reads, cache {hits}/{lookups} hits, "
+                f"{counters.edge_core_fetches} core fetches, "
+                f"{counters.headers_announced} headers announced"
+            )
+
+    fraction_hits = figure.add_series("cache hit rate vs read fraction (%)")
+    for read_fraction in (0.6, 0.9, 1.0):
+        system = _edge_system(2)
+        generator = make_generator(
+            system, read_only_fraction=read_fraction, distribution="zipfian"
+        )
+        specs = generator.mixed_stream(txns)
+        result = execute_workload(system, specs, concurrency=8, num_clients=4)
+        for proxy_name, (cache_hits, cache_misses) in system.edge_cache_stats().items():
+            result.metrics.record_edge_cache(proxy_name, cache_hits, cache_misses)
+        hits, misses = result.metrics.edge_cache_totals()
+        fraction_hits.add(
+            round(100 * read_fraction),
+            round(100.0 * hits / max(1, hits + misses), 2),
+        )
+
+    blacklisted = figure.add_series("byzantine scenario: proxy blacklisted (1=yes)")
+    invalid = figure.add_series("byzantine scenario: accepted-but-invalid reads")
+    byz_reads = scaled(txns_per_point or 30, minimum=20)
+    for position, behaviour_name in enumerate(sorted(BEHAVIOURS)):
+        outcome = _edge_byzantine_scenario(behaviour_name, reads=byz_reads)
+        blacklisted.add(position, 1.0 if outcome["blacklisted"] else 0.0)
+        invalid.add(position, outcome["accepted_invalid"])
+        figure.notes.append(
+            f"byzantine {behaviour_name}: {outcome['reads']:.0f} reads, "
+            f"{outcome['edge_served']:.0f} edge-served before detection, "
+            f"{outcome['verification_failures']:.0f} verification failures, "
+            f"blacklisted={outcome['blacklisted']:.0f}, "
+            f"accepted_invalid={outcome['accepted_invalid']:.0f}"
+        )
+    figure.notes.append(
+        f"{txns} mixed txns per part-1/2 point (90% read-only in part 1); "
+        "near-edge/far-core latency profile "
+        "(client→edge 0.25 ms, client→core 6 ms one-way)"
+    )
+    return figure
+
+
+# ---------------------------------------------------------------------------
 # Perf — hot-path wall-clock baseline (BENCH_perf.json)
 # ---------------------------------------------------------------------------
 
@@ -935,6 +1164,7 @@ EXPERIMENTS = {
     "fig14": fig14_mix_throughput,
     "fig15": fig15_fault_tolerance,
     "fig16": fig16_crash_recovery,
+    "fig_edge": fig_edge,
     "perf": perf_snapshot_hotpaths,
     "table1": table1_read_only_interference,
     "ablation-untracked": ablation_untracked_dependencies,

@@ -11,6 +11,7 @@ scaled so that the full benchmark suite completes quickly on one machine.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -23,11 +24,17 @@ class LatencyConfig:
 
     ``inter_cluster_extra_ms`` models the "additional latency between
     clusters" knob the paper sweeps in Figures 8, 12 and 13.
+
+    ``client_to_edge_ms`` is the near-edge link: a client talking to an edge
+    proxy placed in its own region.  It is deliberately much smaller than
+    ``client_to_cluster_ms`` so that the edge-tier experiments can model
+    clients that are close to a proxy but far from every core cluster.
     """
 
     intra_cluster_ms: float = 0.5
     inter_cluster_ms: float = 2.0
     client_to_cluster_ms: float = 1.0
+    client_to_edge_ms: float = 0.2
     inter_cluster_extra_ms: float = 0.0
     jitter_fraction: float = 0.05
 
@@ -36,6 +43,7 @@ class LatencyConfig:
             "intra_cluster_ms",
             "inter_cluster_ms",
             "client_to_cluster_ms",
+            "client_to_edge_ms",
             "inter_cluster_extra_ms",
         ):
             if getattr(self, name) < 0:
@@ -59,11 +67,36 @@ class CostConfig:
     hash_ms: float = 0.001
     read_op_ms: float = 0.002
     write_op_ms: float = 0.003
-    merkle_proof_ms: float = 0.004
+    #: Cost of producing one Merkle proof *per tree level*; the total charge
+    #: is O(log K) in the partition size (see :meth:`merkle_proof_cost_ms`).
+    #: The default reproduces the old flat 0.004 ms charge at K = 1000 keys
+    #: (a 10-level tree).
+    merkle_proof_per_level_ms: float = 0.0004
     conflict_check_ms: float = 0.002
     batch_base_ms: float = 0.05
     message_handling_ms: float = 0.01
     client_think_ms: float = 0.0
+
+    def merkle_proof_cost_ms(self, tree_keys: int) -> float:
+        """Cost of one membership proof over a tree of ``tree_keys`` leaves.
+
+        A proof walks one root path, so its cost scales with the tree depth
+        ``ceil(log2 K)`` — the state-size-aware replacement for the old flat
+        per-proof charge, which made simulated service time insensitive to
+        the partition size.
+        """
+        levels = max(1, math.ceil(math.log2(tree_keys))) if tree_keys > 1 else 1
+        return self.merkle_proof_per_level_ms * levels
+
+    def tree_rebuild_cost_ms(self, tree_keys: int) -> float:
+        """Cost of rebuilding a full Merkle tree over ``tree_keys`` leaves.
+
+        Hashing every leaf plus the internal nodes is ~2K hashes; this is the
+        O(K) charge a round-2 snapshot request pays when the archive cannot
+        answer and the replica falls back to a rebuild, so simulated
+        throughput reflects the archive fast path as well as wall-clock does.
+        """
+        return self.hash_ms * 2 * max(1, tree_keys)
 
     def validate(self) -> None:
         for name, value in self.__dict__.items():
@@ -189,12 +222,19 @@ class PerfConfig:
     through the :class:`~repro.crypto.signatures.KeyRegistry`, so a quorum of
     identical votes is canonicalised and verified once, not ``3f + 1`` times
     (0 disables the cache).
+
+    ``archive_compaction`` merges adjacent archive deltas at checkpoint time
+    for batches that no round-2 snapshot request can ever name (only the
+    earliest header of each LCE run is reachable through the dependency
+    lookup), which extends the retained window at equal memory; see
+    :meth:`~repro.crypto.archive.MerkleTreeArchive.compact`.
     """
 
     archive_enabled: bool = True
     archive_max_batches: int = 512
     snapshot_rebuild_fallback: bool = True
     verify_cache_size: int = 4096
+    archive_compaction: bool = True
 
     def validate(self) -> None:
         if self.archive_max_batches < 1:
@@ -209,11 +249,74 @@ class PerfConfig:
 
 
 @dataclass(frozen=True)
+class EdgeConfig:
+    """Untrusted edge read-proxy tier (``repro.edge``).
+
+    When ``enabled``, the deployment spawns ``num_proxies`` edge proxies that
+    sit between clients and the core partition clusters.  Each proxy caches
+    recent certified batch headers plus ``(key, value, version, proof)``
+    entries per partition and serves snapshot read-only requests locally when
+    its cache can satisfy the CD-vector consistency check, falling back to
+    the core cluster on misses.  Proxies are *untrusted*: clients re-verify
+    every proof and header exactly as they do for core replicas, so a
+    byzantine or stale proxy can only be caught (and blacklisted), never
+    believed.  ``enabled=False`` (the default) spawns nothing and leaves the
+    client read path byte-for-byte unchanged.
+
+    * ``cache_capacity`` — cached entries per partition per proxy (LRU).
+    * ``cache_ttl_ms`` — entries older than this are refreshed from the core
+      (``None`` disables the time bound).
+    * ``max_header_lag_batches`` — a cached partition context whose header
+      trails the newest announced header by more than this many batches is
+      refreshed, bounding edge staleness in batches.
+    * ``announce_interval_batches`` — core leaders announce every Nth
+      certified header to the proxies.
+    * ``routing`` — how clients pick a proxy: ``"nearest"`` prefers a proxy
+      in the client's own region, ``"round-robin"`` spreads load evenly.
+    * ``read_timeout_ms`` — how long a client waits for a proxy before
+      falling back to the core cluster.
+    * ``fetch_timeout_ms`` — how long a proxy waits for a core replica when
+      filling a cache miss.
+    """
+
+    enabled: bool = False
+    num_proxies: int = 2
+    cache_capacity: int = 256
+    cache_ttl_ms: Optional[float] = None
+    max_header_lag_batches: int = 8
+    announce_interval_batches: int = 1
+    routing: str = "nearest"
+    read_timeout_ms: float = 20_000.0
+    fetch_timeout_ms: float = 20_000.0
+
+    def validate(self) -> None:
+        if self.num_proxies < 1:
+            raise ConfigurationError("edge num_proxies must be >= 1")
+        if self.cache_capacity < 1:
+            raise ConfigurationError("edge cache_capacity must be >= 1")
+        if self.cache_ttl_ms is not None and self.cache_ttl_ms <= 0:
+            raise ConfigurationError("edge cache_ttl_ms must be > 0 when set")
+        if self.max_header_lag_batches < 0:
+            raise ConfigurationError("edge max_header_lag_batches must be >= 0")
+        if self.announce_interval_batches < 1:
+            raise ConfigurationError("edge announce_interval_batches must be >= 1")
+        if self.routing not in ("nearest", "round-robin"):
+            raise ConfigurationError(
+                f"unknown edge routing policy {self.routing!r}; "
+                "expected 'nearest' or 'round-robin'"
+            )
+        if self.read_timeout_ms <= 0 or self.fetch_timeout_ms <= 0:
+            raise ConfigurationError("edge timeouts must be > 0")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level description of a simulated TransEdge deployment.
 
     ``perf`` collects the hot-path optimisation knobs (Merkle tree archive
     for snapshot reads, signature verify cache); see :class:`PerfConfig`.
+    ``edge`` describes the optional untrusted edge read-proxy tier; see
+    :class:`EdgeConfig`.
     """
 
     num_partitions: int = 5
@@ -225,6 +328,7 @@ class SystemConfig:
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     failover: FailoverConfig = field(default_factory=FailoverConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
+    edge: EdgeConfig = field(default_factory=EdgeConfig)
     crypto_backend: str = "hmac"
     seed: int = 7
     initial_keys: int = 1_000
@@ -267,6 +371,7 @@ class SystemConfig:
         self.checkpoint.validate()
         self.failover.validate()
         self.perf.validate()
+        self.edge.validate()
         return self
 
     def with_updates(self, **changes: object) -> "SystemConfig":

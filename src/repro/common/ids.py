@@ -43,8 +43,18 @@ class ClientId:
         return f"client:{self.name}"
 
 
+@dataclass(frozen=True, order=True)
+class EdgeProxyId:
+    """Address of one untrusted edge read-proxy node (``repro.edge``)."""
+
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"edge:{self.index}"
+
+
 #: Anything that can send or receive messages on the simulated network.
-NodeId = Union[ReplicaId, ClientId]
+NodeId = Union[ReplicaId, ClientId, EdgeProxyId]
 
 
 class TxnIdGenerator:

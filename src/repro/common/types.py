@@ -138,6 +138,8 @@ class ReadOnlyResult:
     many protocol rounds were needed (1 or 2); ``latency_ms`` is simulated
     end-to-end latency and ``round2_latency_ms`` the part contributed by the
     second round, matching the split reported in Figure 5 of the paper.
+    ``served_by_edge`` is True when round 1 was answered by an edge proxy's
+    verified cache instead of the core clusters (``repro.edge``).
     """
 
     txn_id: str
@@ -147,6 +149,7 @@ class ReadOnlyResult:
     latency_ms: float
     round2_latency_ms: float = 0.0
     verified: bool = True
+    served_by_edge: bool = False
 
     def value_of(self, key: Key) -> Optional[Value]:
         return self.values.get(key)

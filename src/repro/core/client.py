@@ -26,7 +26,15 @@ from dataclasses import dataclass
 from typing import Dict, Generator, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.common.ids import NO_BATCH, BatchNumber, ClientId, PartitionId, ReplicaId, TxnIdGenerator
+from repro.common.ids import (
+    NO_BATCH,
+    BatchNumber,
+    ClientId,
+    EdgeProxyId,
+    PartitionId,
+    ReplicaId,
+    TxnIdGenerator,
+)
 from repro.common.types import CommitResult, Key, ReadOnlyResult, TxnStatus, Value
 from repro.core.messages import (
     CommitReply,
@@ -50,7 +58,10 @@ from repro.core.readonly import (
 )
 from repro.core.topology import ClusterTopology
 from repro.core.transaction import TxnPayload
+from repro.edge.messages import EdgeReadReply, EdgeReadRequest
+from repro.edge.routing import EdgeRouter
 from repro.simnet.latency import client_home_partition
+from repro.simnet.messages import RequestMessage
 from repro.simnet.node import SimEnvironment
 from repro.simnet.proc import Call, Gather, ProcessNode, Sleep
 from repro.storage.partitioner import HashPartitioner
@@ -65,11 +76,25 @@ class ClientStats:
     timeouts: int = 0
     read_only_completed: int = 0
     read_only_second_rounds: int = 0
+    read_only_extra_repair_rounds: int = 0
     read_only_verification_failures: int = 0
+    edge_reads_attempted: int = 0
+    edge_reads_served: int = 0
+    edge_relays: int = 0
+    edge_fallbacks: int = 0
+    edge_verification_failures: int = 0
+    proxies_blacklisted: int = 0
+    leader_failovers: int = 0
 
 
 class TransEdgeClient(ProcessNode):
     """A client process attached to the simulated edge network."""
+
+    #: Bound on snapshot dependency-repair rounds per read-only transaction.
+    #: One round suffices except when a repair snapshot races a distributed
+    #: commit whose other-partition half landed in a later batch; see
+    #: ``read_only_txn``.
+    MAX_REPAIR_ROUNDS = 3
 
     def __init__(
         self,
@@ -79,6 +104,7 @@ class TransEdgeClient(ProcessNode):
         partitioner: HashPartitioner,
         request_timeout_ms: float = 60_000.0,
         commit_timeout_ms: float = 120_000.0,
+        edge_proxies: Sequence[EdgeProxyId] = (),
     ) -> None:
         super().__init__(ClientId(name), env)
         self.name = name
@@ -92,6 +118,21 @@ class TransEdgeClient(ProcessNode):
         self._txn_ids = TxnIdGenerator(name)
         self._request_timeout_ms = request_timeout_ms
         self._commit_timeout_ms = commit_timeout_ms
+        #: Edge read-proxy routing (None when the edge tier is disabled).
+        self.edge_router: Optional[EdgeRouter] = None
+        if edge_proxies and self.config.edge.enabled:
+            self.edge_router = EdgeRouter(
+                edge_proxies,
+                home_partition=self.home_partition,
+                num_partitions=self.config.num_partitions,
+                policy=self.config.edge.routing,
+            )
+        # Proactive leader failover: requests in flight towards a partition's
+        # leader, re-sent to the successor the moment a view change lands in
+        # the topology (instead of waiting out the request timeout).
+        self._pending_leader_requests: Dict[str, Tuple[PartitionId, RequestMessage]] = {}
+        if self.config.failover.enabled:
+            topology.subscribe_leader_changes(self._on_leader_change)
 
     # ------------------------------------------------------------------
     # routing helpers
@@ -99,6 +140,45 @@ class TransEdgeClient(ProcessNode):
 
     def _leader_of(self, partition: PartitionId) -> ReplicaId:
         return self.topology.leader(partition)
+
+    def _leader_call(
+        self,
+        partition: PartitionId,
+        request: RequestMessage,
+        timeout_ms: Optional[float] = None,
+    ) -> Call:
+        """A :class:`Call` to ``partition``'s leader, tracked for failover."""
+        if self.config.failover.enabled:
+            if len(self._pending_leader_requests) > 64:
+                # Lazy GC: answered requests leave no wait behind.
+                self._pending_leader_requests = {
+                    request_id: entry
+                    for request_id, entry in self._pending_leader_requests.items()
+                    if request_id in self._waits_by_request
+                }
+            self._pending_leader_requests[request.request_id] = (partition, request)
+        return Call(self._leader_of(partition), request, timeout_ms=timeout_ms)
+
+    def _on_leader_change(self, partition: PartitionId, leader: ReplicaId) -> None:
+        """The cluster rotated: re-send pending requests to the new leader.
+
+        Replies correlate by request id, so the first answer — old leader or
+        new — resumes the waiting workflow and later duplicates are ignored.
+        The new leader answers re-sent commit requests from its replicated
+        decision records (see ``LeaderRole._answer_duplicate_commit_request``)
+        rather than re-admitting them.
+        """
+        finished = [
+            request_id
+            for request_id in self._pending_leader_requests
+            if request_id not in self._waits_by_request
+        ]
+        for request_id in finished:
+            del self._pending_leader_requests[request_id]
+        for request_id, (target, request) in list(self._pending_leader_requests.items()):
+            if target == partition:
+                self.stats.leader_failovers += 1
+                self.send(leader, request)
 
     def _coordinator_for(self, partitions: Iterable[PartitionId]) -> PartitionId:
         """Pick the coordinator cluster: the home partition when accessed, else the smallest."""
@@ -127,10 +207,7 @@ class TransEdgeClient(ProcessNode):
         if read_keys:
             grouped = self.partitioner.group_keys(read_keys)
             calls = [
-                Call(
-                    self._leader_of(partition),
-                    ReadRequest(keys=tuple(sorted(keys))),
-                )
+                self._leader_call(partition, ReadRequest(keys=tuple(sorted(keys))))
                 for partition, keys in sorted(grouped.items())
             ]
             replies = yield Gather(calls, timeout_ms=self._request_timeout_ms)
@@ -150,10 +227,8 @@ class TransEdgeClient(ProcessNode):
 
         txn = TxnPayload(txn_id=txn_id, reads=reads, writes=dict(writes), client=self.name)
         coordinator = self._coordinator_for(txn.partitions(self.partitioner))
-        reply = yield Call(
-            self._leader_of(coordinator),
-            CommitRequest(txn=txn),
-            timeout_ms=self._commit_timeout_ms,
+        reply = yield self._leader_call(
+            coordinator, CommitRequest(txn=txn), timeout_ms=self._commit_timeout_ms
         )
         latency = self.now - start
         if reply is None:
@@ -190,17 +265,94 @@ class TransEdgeClient(ProcessNode):
     def read_only_txn(
         self, keys: Sequence[Key]
     ) -> Generator[object, object, ReadOnlyResult]:
-        """Run one snapshot read-only transaction (at most two rounds)."""
+        """Run one snapshot read-only transaction (at most two rounds).
+
+        With an edge tier configured, round 1 is tried against a nearby edge
+        proxy first; the proxy's sections are verified exactly like core
+        replies (proofs, certified headers, freshness), so a byzantine or
+        stale proxy is caught, blacklisted and transparently replaced by a
+        direct core round 1.  Dependency-repair rounds always go to the core
+        (only core replicas hold the archived historical trees).
+        """
         txn_id = self.next_txn_id()
         start = self.now
         grouped = self.partitioner.group_keys(keys)
-        ordered_partitions = sorted(grouped)
 
-        # Round 1: one request to a single node of each accessed partition.
+        snapshots: Optional[Dict[PartitionId, PartitionSnapshot]] = None
+        served_by_edge = False
+        verified = True
+        stale_suspicion: Optional[Tuple[EdgeProxyId, PartitionId, BatchNumber]] = None
+        if self.edge_router is not None:
+            proxy = self.edge_router.pick()
+            if proxy is not None:
+                self.stats.edge_reads_attempted += 1
+                edge_outcome, stale_suspicion = yield from self._edge_round1(
+                    proxy, grouped
+                )
+                if edge_outcome is None:
+                    self.stats.edge_fallbacks += 1
+                else:
+                    snapshots, served_by_edge = edge_outcome
+                    # "Served by edge" means the proxy answered from its own
+                    # verified cache; a proxy that had to fetch from the core
+                    # merely relayed a core-served read.
+                    if served_by_edge:
+                        self.stats.edge_reads_served += 1
+                    else:
+                        self.stats.edge_relays += 1
+        if snapshots is None:
+            snapshots, verified = yield from self._direct_round1(grouped)
+            if stale_suspicion is not None:
+                self._judge_stale_suspicion(stale_suspicion, snapshots)
+
+        round1_end = self.now
+        rounds = 1
+        # Dependency repair runs to a fixpoint: a repair snapshot (the
+        # earliest with LCE >= the dependency) can itself carry commits whose
+        # counterpart on another partition landed in a *later* batch there,
+        # creating a fresh unsatisfied dependency the first check could not
+        # see.  Re-checking after each repair closes that race; LCEs only
+        # move forward, so the loop converges (almost always in one round —
+        # the cap guards the degenerate case and fails safe as unverified).
+        required = find_unsatisfied_dependencies(snapshots)
+        while required and rounds <= self.MAX_REPAIR_ROUNDS:
+            rounds += 1
+            if rounds == 2:
+                self.stats.read_only_second_rounds += 1
+            else:
+                self.stats.read_only_extra_repair_rounds += 1
+            repaired = yield from self._dependency_repair_round(
+                grouped, snapshots, required
+            )
+            verified = verified and repaired
+            if not repaired:
+                break
+            required = find_unsatisfied_dependencies(snapshots)
+        if required:
+            verified = False
+
+        end = self.now
+        values, versions = assemble_result(snapshots, list(keys))
+        self.stats.read_only_completed += 1
+        return ReadOnlyResult(
+            txn_id=txn_id,
+            values=values,
+            versions=versions,
+            rounds=rounds,
+            latency_ms=end - start,
+            round2_latency_ms=(end - round1_end) if rounds == 2 else 0.0,
+            verified=verified,
+            served_by_edge=served_by_edge,
+        )
+
+    def _direct_round1(
+        self, grouped: Mapping[PartitionId, Sequence[Key]]
+    ) -> Generator[object, object, Tuple[Dict[PartitionId, PartitionSnapshot], bool]]:
+        """Round 1 against the core: one request per accessed partition."""
+        ordered_partitions = sorted(grouped)
         calls = [
-            Call(
-                self._leader_of(partition),
-                ReadOnlyRequest(keys=tuple(sorted(grouped[partition]))),
+            self._leader_call(
+                partition, ReadOnlyRequest(keys=tuple(sorted(grouped[partition])))
             )
             for partition in ordered_partitions
         ]
@@ -218,51 +370,133 @@ class TransEdgeClient(ProcessNode):
                     partition=partition, keys=tuple(sorted(grouped[partition]))
                 )
             snapshots[partition] = snapshot
+        return snapshots, verified
 
-        round1_end = self.now
-        rounds = 1
-        required = find_unsatisfied_dependencies(snapshots)
-        if required:
-            rounds = 2
-            round2_calls = []
-            round2_partitions = sorted(required)
-            for partition in round2_partitions:
-                round2_calls.append(
-                    Call(
-                        self._leader_of(partition),
-                        SnapshotRequest(
-                            keys=tuple(sorted(grouped[partition])),
-                            required_prepare_batch=required[partition],
-                        ),
-                    )
-                )
-            round2_replies = yield Gather(round2_calls, timeout_ms=self._request_timeout_ms)
-            for partition, reply in zip(round2_partitions, round2_replies):
-                snapshot = yield from self._verified_snapshot(
-                    partition,
-                    tuple(sorted(grouped[partition])),
-                    reply,
-                    is_round_two=True,
-                    required=required[partition],
-                )
-                if snapshot is None:
-                    verified = False
-                else:
-                    snapshots[partition] = snapshot
-            self.stats.read_only_second_rounds += 1
+    def _edge_round1(
+        self, proxy: EdgeProxyId, grouped: Mapping[PartitionId, Sequence[Key]]
+    ) -> Generator[
+        object,
+        object,
+        Tuple[
+            Optional[Tuple[Dict[PartitionId, PartitionSnapshot], bool]],
+            Optional[Tuple[EdgeProxyId, PartitionId, BatchNumber]],
+        ],
+    ]:
+        """Round 1 against an edge proxy.
 
-        end = self.now
-        values, versions = assemble_result(snapshots, list(keys))
-        self.stats.read_only_completed += 1
-        return ReadOnlyResult(
-            txn_id=txn_id,
-            values=values,
-            versions=versions,
-            rounds=rounds,
-            latency_ms=end - start,
-            round2_latency_ms=(end - round1_end) if rounds == 2 else 0.0,
-            verified=verified,
+        Returns ``(outcome, stale_suspicion)``.  ``outcome`` is None to fall
+        back to the core, else the verified snapshots plus whether every
+        partition came from the proxy's cache (a cache-served read) rather
+        than being relayed.  Every section is re-verified here — the proxy is
+        untrusted, so a bad proof or forged header blacklists it, and a
+        section omitting a *requested* key is never believed (values carry
+        membership proofs; absence carries none, so a withheld key falls
+        back to the core for the authoritative answer).  A section that is
+        authentic but fails only the freshness bound is not immediate proof
+        of misbehaviour — an idle partition's newest header ages past any
+        bound — so it is returned as a *suspicion* the caller settles against
+        the direct read's header (see :meth:`_judge_stale_suspicion`).
+        """
+        all_keys = tuple(sorted(key for keys in grouped.values() for key in keys))
+        reply = yield Call(
+            proxy,
+            EdgeReadRequest(keys=all_keys),
+            timeout_ms=self.config.edge.read_timeout_ms,
         )
+        if reply is None or not isinstance(reply, EdgeReadReply):
+            return None, None
+        snapshots: Dict[PartitionId, PartitionSnapshot] = {}
+        for partition in sorted(grouped):
+            keys = tuple(sorted(grouped[partition]))
+            section = reply.sections.get(partition)
+            if section is None or any(key not in section.values for key in keys):
+                # Incomplete: a fabricated absence cannot be proven wrong
+                # (there are no non-membership proofs), so it is simply
+                # never accepted — the direct read answers instead.
+                return None, None
+            snapshot = PartitionSnapshot(
+                partition=partition,
+                keys=keys,
+                values=dict(section.values),
+                versions=dict(section.versions),
+                proofs=dict(section.proofs),
+                header=section.header,
+            )
+            if not verify_snapshot(
+                snapshot, self.verifier, self.topology, self.config, now_ms=self.now
+            ):
+                self.stats.edge_verification_failures += 1
+                if verify_snapshot(
+                    snapshot, self.verifier, self.topology, self.config
+                ):
+                    # Authentic but stale: withhold judgement until the
+                    # direct read reveals whether fresher state existed.
+                    return None, (proxy, partition, snapshot.batch_number)
+                self._blacklist_proxy(proxy)
+                return None, None
+            snapshots[partition] = snapshot
+        from_cache = set(grouped) <= set(reply.from_cache)
+        return (snapshots, from_cache), None
+
+    def _blacklist_proxy(self, proxy: EdgeProxyId) -> None:
+        self.edge_router.blacklist(proxy)
+        self.stats.proxies_blacklisted = len(self.edge_router.blacklisted())
+
+    def _judge_stale_suspicion(
+        self,
+        suspicion: Tuple[EdgeProxyId, PartitionId, BatchNumber],
+        snapshots: Mapping[PartitionId, PartitionSnapshot],
+    ) -> None:
+        """Settle a freshness-bound failure: byzantine replay or idle cluster?
+
+        The proxy is obliged to track the core within
+        ``EdgeConfig.max_header_lag_batches``; if the direct read shows the
+        core's snapshot materially ahead of what the proxy served, the proxy
+        was hiding fresh state (the stale-replay attack) and is blacklisted.
+        If the core serves (about) the same batch, the staleness was the
+        cluster's own idleness and the proxy stays in rotation.
+        """
+        proxy, partition, served_batch = suspicion
+        direct = snapshots.get(partition)
+        if direct is None or direct.header is None:
+            return  # no authoritative comparison; leave the proxy alone
+        if direct.batch_number > served_batch + self.config.edge.max_header_lag_batches:
+            self._blacklist_proxy(proxy)
+
+    def _dependency_repair_round(
+        self,
+        grouped: Mapping[PartitionId, Sequence[Key]],
+        snapshots: Dict[PartitionId, PartitionSnapshot],
+        required: Mapping[PartitionId, BatchNumber],
+    ) -> Generator[object, object, bool]:
+        """Round 2: ask lagging partitions for the dependency-naming snapshot."""
+        round2_calls = []
+        round2_partitions = sorted(required)
+        for partition in round2_partitions:
+            round2_calls.append(
+                self._leader_call(
+                    partition,
+                    SnapshotRequest(
+                        keys=tuple(sorted(grouped[partition])),
+                        required_prepare_batch=required[partition],
+                    ),
+                )
+            )
+        round2_replies = yield Gather(round2_calls, timeout_ms=self._request_timeout_ms)
+        verified = True
+        for partition, reply in zip(round2_partitions, round2_replies):
+            snapshot = yield from self._verified_snapshot(
+                partition,
+                tuple(sorted(grouped[partition])),
+                reply,
+                is_round_two=True,
+                required=required[partition],
+            )
+            if snapshot is None:
+                verified = False
+            else:
+                snapshots[partition] = snapshot
+        return verified
 
     def _verified_snapshot(
         self,
@@ -329,7 +563,7 @@ class TransEdgeClient(ProcessNode):
         start = self.now
         grouped = self.partitioner.group_keys(keys)
         calls = [
-            Call(self._leader_of(partition), ReadRequest(keys=tuple(sorted(partition_keys))))
+            self._leader_call(partition, ReadRequest(keys=tuple(sorted(partition_keys))))
             for partition, partition_keys in sorted(grouped.items())
         ]
         replies = yield Gather(calls, timeout_ms=self._request_timeout_ms)
@@ -349,10 +583,8 @@ class TransEdgeClient(ProcessNode):
             client=self.name,
         )
         coordinator = self._coordinator_for(txn.partitions(self.partitioner))
-        reply = yield Call(
-            self._leader_of(coordinator),
-            CommitRequest(txn=txn),
-            timeout_ms=self._commit_timeout_ms,
+        reply = yield self._leader_call(
+            coordinator, CommitRequest(txn=txn), timeout_ms=self._commit_timeout_ms
         )
         end = self.now
         committed = reply is not None and reply.status is TxnStatus.COMMITTED

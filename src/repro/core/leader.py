@@ -168,6 +168,8 @@ class LeaderRole:
             # flag exists to restore.
             self._reply_abort(txn, waiting, "replica is recovering, retry later")
             return
+        if self._answer_duplicate_commit_request(txn, waiting):
+            return
         accessed = txn.partitions(self._partitioner)
         if self._partition not in accessed:
             self._reply_abort(txn, waiting, "coordinator partition not accessed by transaction")
@@ -195,6 +197,63 @@ class LeaderRole:
                 PreparedRecord(txn=txn, coordinator=self._partition)
             )
         self._ensure_seal_scheduled()
+
+    def _answer_duplicate_commit_request(
+        self, txn: TxnPayload, waiting: _WaitingClient
+    ) -> bool:
+        """Handle a commit request for a transaction this cluster already knows.
+
+        Clients proactively re-send their pending requests to a freshly
+        elected leader when they observe a view change (instead of waiting
+        out the commit timeout), so a leader must expect duplicates: of
+        transactions already decided (answer from the replicated record), of
+        transactions in flight here (just re-point the reply), and of
+        transactions the deposed leader prepared but never finished (adopt
+        the waiting client and let the 2PC resumption machinery answer when
+        the decision lands).  Returns True when the request was absorbed.
+        """
+        replica = self._replica
+        txn_id = txn.txn_id
+        decided = replica.decided.get(txn_id)
+        if decided is not None:
+            commit_batch, record = decided
+            status = TxnStatus.COMMITTED if record.decision else TxnStatus.ABORTED
+            replica.send(
+                waiting.client,
+                CommitReply(
+                    request_id=waiting.request_id,
+                    txn_id=txn_id,
+                    status=status,
+                    commit_batch=commit_batch if record.decision else NO_BATCH,
+                    abort_reason="" if record.decision else "a participant voted to abort",
+                ),
+            )
+            return True
+        local_batch = replica.local_decided.get(txn_id)
+        if local_batch is not None:
+            replica.send(
+                waiting.client,
+                CommitReply(
+                    request_id=waiting.request_id,
+                    txn_id=txn_id,
+                    status=TxnStatus.COMMITTED,
+                    commit_batch=local_batch,
+                ),
+            )
+            return True
+        if txn_id in self._waiting_clients:
+            # Already admitted here and still in flight: answer the newest
+            # request id when the outcome is known.
+            self._waiting_clients[txn_id] = waiting
+            return True
+        group = replica.prepared_batches.group_of_txn(txn_id)
+        if group is not None and group.records[txn_id].coordinator == self._partition:
+            # Prepared by a predecessor leader of this same cluster and still
+            # undecided: adopt the client and re-drive the vote collection.
+            self._waiting_clients[txn_id] = waiting
+            self.nudge_two_pc()
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # 2PC: participant side

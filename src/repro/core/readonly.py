@@ -11,6 +11,15 @@ third round is never needed.
 This module holds the pure (network-free) parts of that protocol so they can
 be unit- and property-tested in isolation; :mod:`repro.core.client` wires
 them to the simulated network.
+
+Note on round counts: Theorem 4.6 argues one repair round suffices, but the
+repair snapshot — the earliest whose LCE satisfies the dependency — also
+carries every *other* commit up to that LCE (the ordering constraint commits
+groups in order), and such a commit's counterpart on a third partition can
+have landed in a batch later than that partition's round-1 snapshot.  The
+client therefore re-runs this check after each repair and loops to a
+fixpoint (``TransEdgeClient.MAX_REPAIR_ROUNDS`` bounds the degenerate case),
+which is what actually guarantees the returned snapshot is a consistent cut.
 """
 
 from __future__ import annotations

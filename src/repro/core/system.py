@@ -15,11 +15,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.common.config import SystemConfig
-from repro.common.ids import PartitionId, ReplicaId
+from repro.common.ids import EdgeProxyId, PartitionId, ReplicaId
 from repro.common.types import Key, Value
 from repro.core.client import TransEdgeClient
 from repro.core.replica import PartitionReplica
 from repro.core.topology import ClusterTopology
+from repro.edge.proxy import EdgeProxy
 from repro.simnet.faults import FaultInjector
 from repro.simnet.latency import LatencyModel
 from repro.simnet.node import SimEnvironment
@@ -75,6 +76,15 @@ class SystemCounters:
     decisions_resolved_remotely: int = 0
     verify_cache_hits: int = 0
     verify_cache_misses: int = 0
+    archive_records_compacted: int = 0
+    headers_announced: int = 0
+    # Edge read-proxy tier (summed over the deployment's proxies).
+    edge_reads_served: int = 0
+    edge_cache_hits: int = 0
+    edge_cache_misses: int = 0
+    edge_core_fetches: int = 0
+    edge_refresh_rounds: int = 0
+    edge_announcements_received: int = 0
 
 
 class TransEdgeSystem:
@@ -115,6 +125,23 @@ class TransEdgeSystem:
                     initial_data=partition_data,
                 )
 
+        # Edge read-proxy tier (repro.edge): untrusted proxies between the
+        # clients and the core clusters, spawned only when configured.
+        self.proxies: List[EdgeProxy] = []
+        if self.config.edge.enabled:
+            for index in range(self.config.edge.num_proxies):
+                self.proxies.append(
+                    EdgeProxy(
+                        EdgeProxyId(index),
+                        self.env,
+                        self.topology,
+                        self.partitioner,
+                    )
+                )
+            announce_targets = tuple(proxy.node_id for proxy in self.proxies)
+            for replica in self.replicas.values():
+                replica.edge_announce_targets = announce_targets
+
         self.clients: List[TransEdgeClient] = []
         self.fault_injector = FaultInjector(self.env.network, seed=self.config.seed + 2)
 
@@ -137,6 +164,8 @@ class TransEdgeSystem:
         stuck on a crashed leader complains, and thereby triggers the
         automatic view change, sooner).
         """
+        if self.proxies and "edge_proxies" not in client_kwargs:
+            client_kwargs["edge_proxies"] = tuple(p.node_id for p in self.proxies)
         client = TransEdgeClient(
             name=name,
             env=self.env,
@@ -146,6 +175,10 @@ class TransEdgeSystem:
         )
         self.clients.append(client)
         return client
+
+    def proxy(self, index: int) -> EdgeProxy:
+        """The edge proxy with the given index (edge tier must be enabled)."""
+        return self.proxies[index]
 
     def leader_replica(self, partition: PartitionId) -> PartitionReplica:
         return self.replicas[self.topology.leader(partition)]
@@ -281,9 +314,25 @@ class TransEdgeSystem:
             total.two_pc_retries += counters.two_pc_retries
             total.decision_queries_served += counters.decision_queries_served
             total.decisions_resolved_remotely += counters.decisions_resolved_remotely
+            total.archive_records_compacted += counters.archive_records_compacted
+            total.headers_announced += counters.headers_announced
             total.verify_cache_hits += replica.verifier.cache_hits
             total.verify_cache_misses += replica.verifier.cache_misses
+        for proxy in self.proxies:
+            total.edge_reads_served += proxy.counters.reads_served
+            total.edge_cache_hits += proxy.counters.cache_hits
+            total.edge_cache_misses += proxy.counters.cache_misses
+            total.edge_core_fetches += proxy.counters.core_fetches
+            total.edge_refresh_rounds += proxy.counters.refresh_rounds
+            total.edge_announcements_received += proxy.counters.announcements_received
         return total
+
+    def edge_cache_stats(self) -> Dict[str, "tuple[int, int]"]:
+        """Per-proxy edge-cache ``(hits, misses)`` (empty without an edge tier)."""
+        return {
+            str(proxy.node_id): (proxy.counters.cache_hits, proxy.counters.cache_misses)
+            for proxy in self.proxies
+        }
 
     def committed_read_write(self) -> int:
         """Distinct committed read-write transactions (local + distributed).

@@ -8,11 +8,14 @@ updated when a cluster goes through a view change.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.common.ids import PartitionId, ReplicaId
+
+#: Callback invoked when a cluster's leader changes: ``(partition, leader)``.
+LeaderChangeListener = Callable[[PartitionId, ReplicaId], None]
 
 
 class ClusterTopology:
@@ -23,6 +26,7 @@ class ClusterTopology:
         self._config = config
         self._members: Dict[PartitionId, Tuple[ReplicaId, ...]] = {}
         self._leaders: Dict[PartitionId, ReplicaId] = {}
+        self._leader_listeners: List[LeaderChangeListener] = []
         for partition in range(config.num_partitions):
             members = tuple(
                 ReplicaId(partition, index) for index in range(config.cluster_size)
@@ -50,7 +54,20 @@ class ClusterTopology:
         self._check_partition(partition)
         if leader not in self._members[partition]:
             raise ConfigurationError(f"{leader} is not a member of partition {partition}")
+        if self._leaders[partition] == leader:
+            return
         self._leaders[partition] = leader
+        for listener in list(self._leader_listeners):
+            listener(partition, leader)
+
+    def subscribe_leader_changes(self, listener: LeaderChangeListener) -> None:
+        """Register a callback for leader changes (clients fail over with it).
+
+        The topology is the deployment's trusted directory, so this models a
+        directory-push: a client learns of the rotation as soon as the
+        cluster records it instead of discovering it by timeout.
+        """
+        self._leader_listeners.append(listener)
 
     def followers(self, partition: PartitionId) -> Tuple[ReplicaId, ...]:
         """Cluster members other than the current leader."""

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Collection, Dict, List, Optional, Sequence, Union
 
 from repro.common.errors import ProofError
 from repro.common.ids import NO_BATCH, BatchNumber
@@ -120,11 +120,19 @@ class _Record:
     Exactly one of ``delta``/``tree`` is set.  A delta record is relative to
     the next-newer record (or the live tree); a tree record is self-contained
     and terminates delta resolution for every older record.
+
+    ``swallowed_min`` is set by :meth:`MerkleTreeArchive.compact`: it is the
+    smallest batch number whose state was merged into this record and can no
+    longer be reproduced exactly.  ``tree_at(b)`` answers from this record
+    only for ``b < swallowed_min`` — beyond it the record's state would be
+    silently wrong for ``b``, so the archive refuses instead (the replica
+    falls back to a rebuild).
     """
 
     batch: BatchNumber
     delta: Optional[ReverseDelta] = None
     tree: Optional[MerkleTree] = None
+    swallowed_min: Optional[BatchNumber] = None
 
 
 class MerkleTreeArchive:
@@ -153,6 +161,7 @@ class MerkleTreeArchive:
         self._generation = 0
         self.deltas_recorded = 0
         self.trees_retired = 0
+        self.records_compacted = 0
 
     # -- queries -------------------------------------------------------------
 
@@ -188,6 +197,10 @@ class MerkleTreeArchive:
         if position < 0:
             return None
         target = self._records[position]
+        if target.swallowed_min is not None and batch >= target.swallowed_min:
+            # A compacted-away batch: the record's state is older than the
+            # requested one and would verify against the wrong root.
+            return None
         if target.tree is not None:
             return target.tree
         deltas: List[ReverseDelta] = [target.delta]
@@ -200,6 +213,22 @@ class MerkleTreeArchive:
         return HistoricalTreeView(
             current_tree, deltas, stale_check=lambda: self._generation != generation
         )
+
+    def covers(self, batch: BatchNumber) -> bool:
+        """True when :meth:`tree_at` would answer for ``batch``.
+
+        Cheap (two bisect-level checks, no view construction) so the
+        processing-cost model can ask it per request.
+        """
+        if self._invalid:
+            return False
+        if batch >= self._current_batch:
+            return True
+        position = bisect.bisect_right(self._batches, batch) - 1
+        if position < 0:
+            return False
+        record = self._records[position]
+        return record.swallowed_min is None or batch < record.swallowed_min
 
     def prove_at(
         self, key: Key, batch: BatchNumber, current_tree: MerkleTree
@@ -276,3 +305,57 @@ class MerkleTreeArchive:
         del self._records[:cut]
         del self._batches[:cut]
         return cut
+
+    # -- compaction (checkpoint-time, see PerfConfig.archive_compaction) ------
+
+    def compact(self, keep: Collection[BatchNumber]) -> int:
+        """Merge records whose exact state no request can name any more.
+
+        ``keep`` is the set of batch numbers that must stay exactly
+        answerable — for a partition replica, the earliest header of every
+        LCE run plus the retention floor, since
+        ``_earliest_header_with_lce`` can never return any other header.  A
+        record outside ``keep`` is merged into its next-older neighbour:
+        consecutive reverse deltas overlap heavily near the tree root, so the
+        union is smaller than the parts, which is what lets an equal memory
+        budget retain a longer window.  Merged-away batches are remembered
+        via ``swallowed_min`` so :meth:`tree_at` refuses (rather than
+        mis-answers) for them.  Returns the number of records merged away.
+        """
+        if len(self._records) < 2:
+            return 0
+        keep_set = set(keep)
+        merged: List[_Record] = [self._records[0]]
+        removed = 0
+        for record in self._records[1:]:
+            target = merged[-1]
+            mergeable = (
+                record.batch not in keep_set
+                # Never merge a retired full tree away: it terminates delta
+                # resolution for every older record.
+                and record.tree is None
+            )
+            if not mergeable:
+                merged.append(record)
+                continue
+            if target.tree is not None:
+                # The older neighbour is self-contained; the newer delta is
+                # simply dropped (older chains stop at the tree anyway).
+                pass
+            else:
+                # Reverse deltas are consulted oldest-first, so the merged
+                # delta keeps the older record's cells where both define one.
+                target.delta = [
+                    {**newer_cells, **older_cells}
+                    for older_cells, newer_cells in zip(target.delta, record.delta)
+                ]
+            if target.swallowed_min is None:
+                target.swallowed_min = record.batch
+            removed += 1
+        if not removed:
+            return 0
+        self._generation += 1  # views over dropped records must not linger
+        self._records = merged
+        self._batches = [record.batch for record in merged]
+        self.records_compacted += removed
+        return removed

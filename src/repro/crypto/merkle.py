@@ -348,11 +348,23 @@ class MerkleStore:
             raise ProofError("store has no Merkle tree archive")
         return self._archive.prove_at(key, batch, self._tree)
 
+    def archive_covers(self, batch: BatchNumber) -> bool:
+        """True when :meth:`tree_at` can answer for ``batch`` from the archive."""
+        if self._archive is None:
+            return False
+        return self._archive.covers(batch)
+
     def prune_archive(self, upto: BatchNumber) -> int:
         """Retention hook: drop archived states below ``upto`` (checkpoint GC)."""
         if self._archive is None:
             return 0
         return self._archive.prune(upto)
+
+    def compact_archive(self, keep) -> int:
+        """Checkpoint hook: merge archive deltas for batches outside ``keep``."""
+        if self._archive is None:
+            return 0
+        return self._archive.compact(keep)
 
     def preview_root(self, updates: Mapping[Key, Value]) -> Digest:
         """Root the store would have after ``updates``, without applying them."""

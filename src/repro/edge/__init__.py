@@ -1,0 +1,52 @@
+"""``repro.edge`` — the untrusted edge read-proxy tier.
+
+TransEdge's setting is reads across untrusted edge nodes; this package adds
+that tier to the reproduction.  Edge proxies sit between clients and the
+core partition clusters, cache recent certified batch headers plus verified
+``(key, value, version, proof)`` entries, and serve snapshot read-only
+requests from the near edge when the CD-vector consistency check allows —
+falling back to the core for misses and dependency repair.  Proxies add no
+trust: clients re-verify every proof and header, and a proxy caught lying
+(or replaying stale state) is blacklisted and bypassed.
+
+Enable with ``SystemConfig(edge=EdgeConfig(enabled=True, ...))``; the
+default (disabled) leaves the deployment byte-for-byte unchanged.
+"""
+
+from repro.edge.cache import CacheEntry, EdgeCache, EdgeCacheStats
+from repro.edge.byzantine import (
+    BEHAVIOURS,
+    StaleHeaderBehaviour,
+    TamperedProofBehaviour,
+    TamperedValueBehaviour,
+    install_byzantine,
+    make_behaviour,
+)
+from repro.edge.messages import (
+    EdgeReadReply,
+    EdgeReadRequest,
+    HeaderAnnouncement,
+    PartitionSection,
+)
+from repro.edge.proxy import EdgeProxy, ProxyBehaviour, ProxyCounters
+from repro.edge.routing import EdgeRouter
+
+__all__ = [
+    "BEHAVIOURS",
+    "CacheEntry",
+    "EdgeCache",
+    "EdgeCacheStats",
+    "EdgeProxy",
+    "EdgeReadReply",
+    "EdgeReadRequest",
+    "EdgeRouter",
+    "HeaderAnnouncement",
+    "PartitionSection",
+    "ProxyBehaviour",
+    "ProxyCounters",
+    "StaleHeaderBehaviour",
+    "TamperedProofBehaviour",
+    "TamperedValueBehaviour",
+    "install_byzantine",
+    "make_behaviour",
+]

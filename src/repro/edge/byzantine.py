@@ -1,0 +1,157 @@
+"""Byzantine edge-proxy behaviours.
+
+Each behaviour plugs into :class:`~repro.edge.proxy.EdgeProxy` and corrupts
+the reply in one specific way a hostile proxy operator could attempt:
+
+* :class:`TamperedValueBehaviour` — return a modified value while keeping
+  the original proof (e.g. serving doctored content);
+* :class:`TamperedProofBehaviour` — return the true value but a corrupted
+  proof (e.g. a proxy that lost its proof store and fabricates one);
+* :class:`StaleHeaderBehaviour` — pin the first snapshot it ever served and
+  replay it forever (e.g. a proxy hiding new writes behind old, genuinely
+  certified state — a *freshness* attack, every signature checks out).
+
+All three are caught client-side: the first two fail proof/header
+verification outright; the stale replay fails the client's freshness bound
+(``FreshnessConfig.client_staleness_bound_ms``), which is exactly the knob
+the paper's Section 4.4.2 adds for this attack.  On any failure the client
+blacklists the proxy and re-reads from the core, so the attacks cost
+latency, never correctness.
+
+Mutations operate on copies — a byzantine proxy still keeps an intact cache,
+which makes the attack maximally sneaky (only the wire data lies).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict
+
+from repro.common.ids import PartitionId
+from repro.crypto.merkle import MerkleProof, ProofStep
+from repro.edge.messages import EdgeReadRequest, PartitionSection
+from repro.edge.proxy import EdgeProxy, ProxyBehaviour
+
+
+def _flip_first_byte(value: bytes) -> bytes:
+    if not value:
+        return b"\x01"
+    return bytes([value[0] ^ 0xFF]) + value[1:]
+
+
+class TamperedValueBehaviour(ProxyBehaviour):
+    """Serve a corrupted value under the genuine proof and header."""
+
+    name = "tampered-value"
+
+    def __init__(self) -> None:
+        self.mutations = 0
+
+    def mutate(
+        self,
+        proxy: EdgeProxy,
+        request: EdgeReadRequest,
+        sections: Dict[PartitionId, PartitionSection],
+    ) -> Dict[PartitionId, PartitionSection]:
+        mutated = copy.deepcopy(sections)
+        for section in mutated.values():
+            for key in sorted(section.values):
+                section.values[key] = _flip_first_byte(section.values[key])
+                self.mutations += 1
+                break  # one corrupted key per section is enough to be caught
+        return mutated
+
+
+class TamperedProofBehaviour(ProxyBehaviour):
+    """Serve the true value but a fabricated Merkle proof."""
+
+    name = "tampered-proof"
+
+    def __init__(self) -> None:
+        self.mutations = 0
+
+    def mutate(
+        self,
+        proxy: EdgeProxy,
+        request: EdgeReadRequest,
+        sections: Dict[PartitionId, PartitionSection],
+    ) -> Dict[PartitionId, PartitionSection]:
+        mutated = copy.deepcopy(sections)
+        for section in mutated.values():
+            for key in sorted(section.proofs):
+                proof = section.proofs[key]
+                if not proof.steps:
+                    continue
+                first = proof.steps[0]
+                corrupted = ProofStep(
+                    sibling=_flip_first_byte(first.sibling),
+                    sibling_is_left=first.sibling_is_left,
+                )
+                section.proofs[key] = MerkleProof(
+                    key=proof.key, steps=(corrupted,) + proof.steps[1:]
+                )
+                self.mutations += 1
+                break
+        return mutated
+
+
+class StaleHeaderBehaviour(ProxyBehaviour):
+    """Replay the first (genuinely certified) snapshot forever.
+
+    Signatures and proofs all verify — the lie is purely about *time*, so
+    only the client's freshness bound catches it.  The pin is per partition
+    and per key set, so workloads that re-read a fixed key set observe a
+    frozen database while the core moves on.
+    """
+
+    name = "stale-header"
+
+    def __init__(self) -> None:
+        self.replays = 0
+        self._pinned: Dict[PartitionId, PartitionSection] = {}
+
+    def mutate(
+        self,
+        proxy: EdgeProxy,
+        request: EdgeReadRequest,
+        sections: Dict[PartitionId, PartitionSection],
+    ) -> Dict[PartitionId, PartitionSection]:
+        result: Dict[PartitionId, PartitionSection] = {}
+        for partition, section in sections.items():
+            pinned = self._pinned.get(partition)
+            usable = pinned is not None and all(
+                key in pinned.values for key in section.values
+            )
+            if usable:
+                self.replays += 1
+                result[partition] = pinned
+            else:
+                self._pinned[partition] = copy.deepcopy(section)
+                result[partition] = section
+        return result
+
+
+BEHAVIOURS = {
+    behaviour.name: behaviour
+    for behaviour in (
+        TamperedValueBehaviour,
+        TamperedProofBehaviour,
+        StaleHeaderBehaviour,
+    )
+}
+
+
+def make_behaviour(name: str) -> ProxyBehaviour:
+    """Instantiate a byzantine behaviour by name (see :data:`BEHAVIOURS`)."""
+    try:
+        return BEHAVIOURS[name]()
+    except KeyError:
+        known = ", ".join(sorted(BEHAVIOURS))
+        raise ValueError(f"unknown byzantine proxy behaviour {name!r}; expected one of {known}")
+
+
+def install_byzantine(proxy: EdgeProxy, name: str) -> ProxyBehaviour:
+    """Make ``proxy`` byzantine in place and return the installed behaviour."""
+    behaviour = make_behaviour(name)
+    proxy.behaviour = behaviour
+    return behaviour

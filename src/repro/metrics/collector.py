@@ -67,6 +67,14 @@ class OperationMetrics:
     abort_reasons: Dict[str, int] = field(default_factory=dict)
     round2_latencies_ms: List[float] = field(default_factory=list)
     second_rounds: int = 0
+    #: Read-only latency split by serving tier (repro.edge): reads whose
+    #: round 1 came from an edge proxy vs. directly from the core clusters.
+    edge_latencies_ms: List[float] = field(default_factory=list)
+    core_latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def edge_served(self) -> int:
+        return len(self.edge_latencies_ms)
 
     @property
     def total(self) -> int:
@@ -88,6 +96,7 @@ class MetricsCollector:
         self._operations: Dict[str, OperationMetrics] = {}
         self._events: Dict[str, int] = {}
         self._verify_caches: Dict[str, "tuple[int, int]"] = {}
+        self._edge_caches: Dict[str, "tuple[int, int]"] = {}
         self._start_ms: Optional[float] = None
         self._end_ms: Optional[float] = None
 
@@ -109,11 +118,20 @@ class MetricsCollector:
         metrics.abort_reasons[label] = metrics.abort_reasons.get(label, 0) + 1
 
     def record_read_only(
-        self, name: str, latency_ms: float, rounds: int, round2_latency_ms: float = 0.0
+        self,
+        name: str,
+        latency_ms: float,
+        rounds: int,
+        round2_latency_ms: float = 0.0,
+        served_by_edge: bool = False,
     ) -> None:
         metrics = self.operation(name)
         metrics.committed += 1
         metrics.latencies_ms.append(latency_ms)
+        if served_by_edge:
+            metrics.edge_latencies_ms.append(latency_ms)
+        else:
+            metrics.core_latencies_ms.append(latency_ms)
         if rounds >= 2:
             metrics.second_rounds += 1
             metrics.round2_latencies_ms.append(round2_latency_ms)
@@ -150,6 +168,20 @@ class MetricsCollector:
         """Deployment-wide ``(hits, misses)`` summed over recorded nodes."""
         hits = sum(h for h, _ in self._verify_caches.values())
         misses = sum(m for _, m in self._verify_caches.values())
+        return hits, misses
+
+    def record_edge_cache(self, proxy: str, hits: int, misses: int) -> None:
+        """Record one edge proxy's cache counters (cumulative; overwrites)."""
+        self._edge_caches[proxy] = (hits, misses)
+
+    def edge_cache_stats(self) -> Dict[str, "tuple[int, int]"]:
+        """Per-proxy edge-cache ``(hits, misses)`` recorded so far."""
+        return dict(self._edge_caches)
+
+    def edge_cache_totals(self) -> "tuple[int, int]":
+        """Deployment-wide edge-cache ``(hits, misses)``."""
+        hits = sum(h for h, _ in self._edge_caches.values())
+        misses = sum(m for _, m in self._edge_caches.values())
         return hits, misses
 
     def mark_start(self, now_ms: float) -> None:
@@ -200,3 +232,17 @@ class MetricsCollector:
             return 0.0
         mean_round2 = sum(metrics.round2_latencies_ms) / len(metrics.round2_latencies_ms)
         return mean_round2 * (metrics.second_rounds / metrics.committed)
+
+    def edge_latency_split(self, name: str) -> "tuple[float, float, int, int]":
+        """``(edge_mean_ms, core_mean_ms, edge_count, core_count)`` for ``name``.
+
+        The per-tier means of read-only latency: reads served by an edge
+        proxy's verified cache versus reads that went to the core clusters
+        (the comparison the ``fig_edge`` experiment reports).
+        """
+        metrics = self.operation(name)
+        edge = metrics.edge_latencies_ms
+        core = metrics.core_latencies_ms
+        edge_mean = sum(edge) / len(edge) if edge else 0.0
+        core_mean = sum(core) / len(core) if core else 0.0
+        return edge_mean, core_mean, len(edge), len(core)

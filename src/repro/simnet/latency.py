@@ -8,7 +8,12 @@ The GEDM setting of the paper has three qualitatively different link types:
   configurable "additional latency" that the paper sweeps to emulate
   geo-distribution (Figures 8, 12, 13);
 * links between a client and a cluster — the client is placed next to one
-  "home" partition and pays the wide-area cost to reach the others.
+  "home" partition and pays the wide-area cost to reach the others;
+* links between a client and an *edge proxy* (``repro.edge``) — a proxy in
+  the client's own region is one short hop away
+  (``LatencyConfig.client_to_edge_ms``), which is what makes edge-served
+  reads cheaper than a round trip to the far core; a proxy itself pays the
+  client-to-cluster (wide-area) cost to reach core replicas.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import random
 from typing import Optional, Protocol
 
 from repro.common.config import LatencyConfig
-from repro.common.ids import ClientId, NodeId, PartitionId, ReplicaId
+from repro.common.ids import ClientId, EdgeProxyId, NodeId, PartitionId, ReplicaId
 
 
 class LatencyModel(Protocol):
@@ -31,6 +36,16 @@ class LatencyModel(Protocol):
 def client_home_partition(client: ClientId, num_partitions: int) -> PartitionId:
     """Deterministically place a client next to one partition's cluster."""
     return sum(client.name.encode("utf-8")) % max(1, num_partitions)
+
+
+def proxy_region(proxy: EdgeProxyId, num_partitions: int) -> PartitionId:
+    """Deterministically place an edge proxy in one partition's region.
+
+    Proxies are dealt round-robin over the regions, so any proxy count covers
+    the deployment and clients can find a same-region proxy whenever
+    ``num_proxies >= num_partitions`` (and often sooner).
+    """
+    return proxy.index % max(1, num_partitions)
 
 
 class EdgeLatencyModel:
@@ -49,10 +64,12 @@ class EdgeLatencyModel:
     def _partition_of(self, node: NodeId) -> PartitionId:
         if isinstance(node, ReplicaId):
             return node.partition
+        if isinstance(node, EdgeProxyId):
+            return proxy_region(node, self._num_partitions)
         return client_home_partition(node, self._num_partitions)
 
     def _is_client(self, node: NodeId) -> bool:
-        return isinstance(node, ClientId)
+        return isinstance(node, (ClientId, EdgeProxyId))
 
     def delay_ms(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
         src_partition = self._partition_of(src)
@@ -61,6 +78,17 @@ class EdgeLatencyModel:
         crosses_wan = not same_partition
         config = self._config
 
+        # Client <-> edge proxy: the near-edge link.  A same-region proxy is
+        # one short hop away; a proxy in another region still costs the WAN.
+        endpoints = {type(src), type(dst)}
+        if endpoints == {ClientId, EdgeProxyId}:
+            base = config.client_to_edge_ms
+            if crosses_wan:
+                base += config.inter_cluster_ms + config.inter_cluster_extra_ms
+            return self._jitter(base, rng)
+
+        # Clients and proxies pay the client-to-cluster cost towards the
+        # core; a proxy is "a client of the core" as far as links go.
         if self._is_client(src) or self._is_client(dst):
             base = config.client_to_cluster_ms
             if crosses_wan:

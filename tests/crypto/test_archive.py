@@ -305,12 +305,37 @@ class TestReplicaFastPath:
         # GC pruned the archive in lockstep with headers and version chains.
         assert archive.oldest_batch is not None
         assert archive.oldest_batch >= min(h.number for h in replica.headers) - 1
+        # Checkpoint-time compaction may fold batches that no round-2 request
+        # can name; every *requestable* header (the earliest of each LCE run,
+        # the only ones `_earliest_header_with_lce` can return) must remain
+        # exactly answerable from the archive.
+        requestable = replica.requestable_header_batches()
         for header in replica.headers:
             if header.number < max(0, retain_from):
+                continue
+            if header.number not in requestable:
                 continue
             view = replica.merkle.tree_at(header.number)
             assert view is not None
             assert view.root == header.merkle_root
+
+    def test_archive_compaction_never_mis_answers_swallowed_batches(self):
+        """A compacted-away batch returns None (rebuild fallback), never the
+        neighbouring batch's tree — that would fail client verification."""
+        system = self._make_system()
+        self._commit_writes(system, 30)
+        replica = system.leader_replica(0)
+        assert replica.counters.archive_records_compacted > 0
+        requestable = replica.requestable_header_batches()
+        swallowed_seen = 0
+        for header in replica.headers:
+            view = replica.merkle.tree_at(header.number)
+            if view is None:
+                swallowed_seen += 1
+                assert header.number not in requestable
+            else:
+                assert view.root == header.merkle_root
+        assert swallowed_seen > 0
 
     def test_archive_miss_without_fallback_refuses_instead_of_substituting(self):
         """Serving any snapshot other than the earliest satisfying one is
@@ -365,3 +390,99 @@ class TestReplicaFastPath:
         probes.add(max(replica._header_lces) + 1)
         for required in sorted(probes):
             assert replica._earliest_header_with_lce(required) is linear(required)
+
+
+class TestCompaction:
+    """Checkpoint-time delta compaction (PerfConfig.archive_compaction)."""
+
+    def _mirror_with_batches(self, batches: int = 8) -> _Mirror:
+        mirror = _Mirror(make_items(16))
+        rng = random.Random(5)
+        keys = sorted(mirror.items)
+        for batch in range(1, batches + 1):
+            updates = {rng.choice(keys): f"b{batch}-{i}".encode() for i in range(3)}
+            mirror.apply(updates, batch)
+        return mirror
+
+    def test_kept_batches_stay_byte_identical(self):
+        mirror = self._mirror_with_batches(8)
+        keep = {0, 3, 6}
+        removed = mirror.merkle.compact_archive(keep)
+        assert removed > 0
+        for batch in sorted(keep):
+            mirror.assert_batch_matches(batch)
+        # The live tree and the newest state are unaffected.
+        mirror.assert_batch_matches(8)
+
+    def test_swallowed_batches_refuse_instead_of_mis_answering(self):
+        mirror = self._mirror_with_batches(8)
+        roots_before = {b: mirror.merkle.tree_at(b).root for b in range(0, 8)}
+        mirror.merkle.compact_archive({0, 3, 6})
+        archive = mirror.merkle.archive
+        for batch in (1, 2, 4, 5):
+            assert mirror.merkle.tree_at(batch) is None
+            assert not archive.covers(batch)
+        for batch in (0, 3, 6):
+            assert archive.covers(batch)
+            assert mirror.merkle.tree_at(batch).root == roots_before[batch]
+
+    def test_compaction_reduces_stored_cells(self):
+        mirror = self._mirror_with_batches(12)
+        archive = mirror.merkle.archive
+
+        def cell_count():
+            return sum(
+                sum(len(level) for level in record.delta)
+                for record in archive._records
+                if record.delta is not None
+            )
+
+        before = cell_count()
+        removed = mirror.merkle.compact_archive({0, 6})
+        assert removed > 0
+        # Adjacent deltas overlap near the tree root; merging dedupes cells.
+        assert cell_count() < before
+
+    def test_retired_trees_are_never_merged_away(self):
+        mirror = _Mirror(make_items(8))
+        mirror.apply({"key-001": b"a"}, 1)
+        # Inserting a brand-new key forces a rebuild: the superseded tree is
+        # retired wholesale and must survive compaction (it terminates delta
+        # resolution for every older record).
+        mirror.apply({"key-new": b"n"}, 2)
+        mirror.apply({"key-002": b"c"}, 3)
+        mirror.apply({"key-003": b"d"}, 4)
+        removed = mirror.merkle.compact_archive(set())
+        archive = mirror.merkle.archive
+        assert any(record.tree is not None for record in archive._records)
+        # Records at and before the retired tree still answer correctly.
+        mirror.assert_batch_matches(0)
+        mirror.assert_batch_matches(1)
+
+    def test_compact_on_replica_is_counted(self):
+        # End-to-end: stabilised checkpoints compact and count the merges.
+        from repro.common.config import BatchConfig, CheckpointConfig, LatencyConfig, SystemConfig
+        from repro.core.system import TransEdgeSystem
+
+        system = TransEdgeSystem(
+            SystemConfig(
+                num_partitions=2,
+                fault_tolerance=1,
+                initial_keys=64,
+                batch=BatchConfig(max_size=4, timeout_ms=2.0),
+                latency=LatencyConfig(jitter_fraction=0.0),
+                checkpoint=CheckpointConfig(enabled=True, interval_batches=6, retention_batches=12),
+            )
+        )
+        client = system.create_client("w")
+        keys = system.keys_of_partition(0)[:6]
+
+        def body():
+            for i in range(40):
+                yield from client.read_write_txn([], {keys[i % 6]: f"v{i}".encode()})
+
+        client.spawn(body())
+        system.run_until_idle()
+        counters = system.counters()
+        assert counters.checkpoints_stable > 0
+        assert counters.archive_records_compacted > 0

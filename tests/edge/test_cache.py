@@ -1,0 +1,136 @@
+"""Unit tests for the edge proxy's verified cache (:mod:`repro.edge.cache`).
+
+The cache is a pure data structure, so these tests drive it with stub
+headers/proofs; end-to-end behaviour (real proofs, real headers) is covered
+by ``test_proxy_reads.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edge.cache import EdgeCache
+
+
+@dataclass(frozen=True)
+class StubHeader:
+    """Just enough of a CertifiedHeader for the cache: a batch number."""
+
+    number: int
+
+
+def admit(cache: EdgeCache, partition: int, batch: int, keys, now_ms: float = 0.0) -> None:
+    header = StubHeader(batch)
+    values = {key: f"v-{key}@{batch}".encode() for key in keys}
+    versions = {key: batch for key in keys}
+    proofs = {key: f"proof-{key}@{batch}" for key in keys}
+    cache.admit(partition, header, values, versions, proofs, now_ms=now_ms)
+
+
+class TestLookup:
+    def test_miss_on_empty_cache(self):
+        cache = EdgeCache(capacity_per_partition=4)
+        assert cache.lookup(0, ["a"], now_ms=0.0) is None
+        assert cache.stats.misses == 1
+
+    def test_hit_returns_complete_section(self):
+        cache = EdgeCache(capacity_per_partition=4)
+        admit(cache, 0, 3, ["a", "b"])
+        section = cache.lookup(0, ["a", "b"], now_ms=1.0)
+        assert section is not None
+        assert section.partition == 0
+        assert section.header.number == 3
+        assert section.values["a"] == b"v-a@3"
+        assert section.versions["b"] == 3
+        assert cache.stats.hits == 1
+
+    def test_partial_coverage_is_a_miss(self):
+        cache = EdgeCache(capacity_per_partition=4)
+        admit(cache, 0, 3, ["a"])
+        assert cache.lookup(0, ["a", "b"], now_ms=1.0) is None
+        assert cache.stats.misses == 1
+
+
+class TestAdmission:
+    def test_same_header_merges_entries(self):
+        cache = EdgeCache(capacity_per_partition=8)
+        admit(cache, 0, 3, ["a"])
+        admit(cache, 0, 3, ["b"])
+        assert cache.lookup(0, ["a", "b"], now_ms=0.0) is not None
+
+    def test_newer_header_replaces_context(self):
+        cache = EdgeCache(capacity_per_partition=8)
+        admit(cache, 0, 3, ["a"])
+        admit(cache, 0, 5, ["b"])
+        # Old entries were proven against the old root; they are gone.
+        assert cache.lookup(0, ["a"], now_ms=0.0) is None
+        section = cache.lookup(0, ["b"], now_ms=0.0)
+        assert section is not None and section.header.number == 5
+
+    def test_older_header_is_ignored(self):
+        cache = EdgeCache(capacity_per_partition=8)
+        admit(cache, 0, 5, ["a"])
+        admit(cache, 0, 3, ["b"])
+        assert cache.lookup(0, ["b"], now_ms=0.0) is None
+        assert cache.lookup(0, ["a"], now_ms=0.0) is not None
+
+    def test_entry_without_proof_is_not_cached(self):
+        cache = EdgeCache(capacity_per_partition=8)
+        cache.admit(0, StubHeader(1), {"a": b"x"}, {"a": 1}, {}, now_ms=0.0)
+        assert cache.lookup(0, ["a"], now_ms=0.0) is None
+
+    def test_lru_eviction_beyond_capacity(self):
+        cache = EdgeCache(capacity_per_partition=2)
+        admit(cache, 0, 3, ["a", "b"])
+        # Touch "a" so "b" is the least recently used entry.
+        assert cache.lookup(0, ["a"], now_ms=0.0) is not None
+        admit(cache, 0, 3, ["c"])
+        assert cache.stats.evictions == 1
+        assert cache.lookup(0, ["a"], now_ms=0.0) is not None
+        assert cache.lookup(0, ["b"], now_ms=0.0) is None
+
+    def test_partitions_are_independent(self):
+        cache = EdgeCache(capacity_per_partition=4)
+        admit(cache, 0, 3, ["a"])
+        admit(cache, 1, 7, ["a"])
+        assert cache.lookup(0, ["a"], now_ms=0.0).header.number == 3
+        assert cache.lookup(1, ["a"], now_ms=0.0).header.number == 7
+
+
+class TestStalenessBounds:
+    def test_header_lag_drops_context(self):
+        cache = EdgeCache(capacity_per_partition=4, max_header_lag_batches=2)
+        admit(cache, 0, 3, ["a"])
+        cache.note_header(0, StubHeader(5))
+        assert cache.lookup(0, ["a"], now_ms=0.0) is not None  # lag 2: ok
+        cache.note_header(0, StubHeader(6))
+        assert cache.lookup(0, ["a"], now_ms=0.0) is None  # lag 3: refresh
+        assert cache.stats.stale_drops == 1
+
+    def test_announced_header_only_moves_forward(self):
+        cache = EdgeCache(capacity_per_partition=4, max_header_lag_batches=0)
+        admit(cache, 0, 5, ["a"])
+        cache.note_header(0, StubHeader(3))  # late announcement: ignored
+        assert cache.latest_number(0) == 5
+        assert cache.lookup(0, ["a"], now_ms=0.0) is not None
+
+    def test_ttl_drops_old_entries(self):
+        cache = EdgeCache(capacity_per_partition=4, ttl_ms=10.0)
+        admit(cache, 0, 3, ["a"], now_ms=0.0)
+        assert cache.lookup(0, ["a"], now_ms=9.0) is not None
+        assert cache.lookup(0, ["a"], now_ms=20.0) is None
+        assert cache.stats.ttl_drops == 1
+
+    def test_cached_keys_reports_working_set(self):
+        cache = EdgeCache(capacity_per_partition=8)
+        admit(cache, 0, 3, ["a", "b"])
+        assert sorted(cache.cached_keys(0)) == ["a", "b"]
+        assert cache.cached_keys(1) == ()
+
+    def test_hit_rate(self):
+        cache = EdgeCache(capacity_per_partition=4)
+        assert cache.hit_rate() == 0.0
+        admit(cache, 0, 1, ["a"])
+        cache.lookup(0, ["a"], now_ms=0.0)
+        cache.lookup(0, ["z"], now_ms=0.0)
+        assert cache.hit_rate() == 0.5

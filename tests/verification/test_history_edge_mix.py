@@ -1,0 +1,133 @@
+"""Serializability of workloads served through a mix of edge and direct reads.
+
+The edge tier serves bounded-stale snapshots: a proxy may answer from a
+context a few batches behind the core.  TransEdge's guarantee is that such a
+snapshot is still a *consistent cut* (CD-vector checked, so serializable) —
+it may just serialize earlier than a fresh direct read.  These tests run the
+same workload through edge-proxied readers, direct readers and concurrent
+writers, record everything into an :class:`ExecutionHistory`, and run the
+full oracle: value legitimacy, atomic visibility of co-written groups, and
+acyclicity of the serialization graph against the authoritative version
+order.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.config import (
+    BatchConfig,
+    EdgeConfig,
+    LatencyConfig,
+    SystemConfig,
+)
+from repro.core.system import TransEdgeSystem
+from repro.simnet.proc import Sleep
+from repro.verification.history import ExecutionHistory, version_order_from_system
+
+
+def build_mixed_run(max_header_lag_batches: int):
+    config = SystemConfig(
+        num_partitions=2,
+        fault_tolerance=1,
+        initial_keys=48,
+        batch=BatchConfig(max_size=6, timeout_ms=2.0),
+        latency=LatencyConfig(jitter_fraction=0.0),
+        edge=EdgeConfig(
+            enabled=True,
+            num_proxies=2,
+            max_header_lag_batches=max_header_lag_batches,
+        ),
+    )
+    system = TransEdgeSystem(config)
+    history = ExecutionHistory(system.initial_data)
+
+    edge_readers = [system.create_client(f"edge-{i}") for i in range(2)]
+    direct_readers = [
+        system.create_client(f"direct-{i}", edge_proxies=()) for i in range(2)
+    ]
+    writers = [system.create_client(f"writer-{i}", edge_proxies=()) for i in range(2)]
+
+    # Two co-written key groups, one per partition pair, so atomic
+    # visibility is checkable: {x, y} are always written together.
+    group_a = (system.keys_of_partition(0)[0], system.keys_of_partition(1)[0])
+    group_b = (system.keys_of_partition(0)[1], system.keys_of_partition(1)[1])
+    read_keys = sorted(group_a + group_b)
+
+    def reader_body(client):
+        def body():
+            for _ in range(12):
+                yield Sleep(3.0)
+                result = yield from client.read_only_txn(read_keys)
+                if result.verified:
+                    history.record_read_only(
+                        result.txn_id, result.values, result.versions
+                    )
+
+        return body
+
+    def writer_body(client, group, offset):
+        def body():
+            counter = itertools.count()
+            yield Sleep(float(offset))
+            for _ in range(10):
+                yield Sleep(4.0)
+                stamp = next(counter)
+                writes = {
+                    key: f"{client.name}-{stamp}-{position}".encode()
+                    for position, key in enumerate(group)
+                }
+                outcome = yield from client.read_write_txn([], writes)
+                if outcome.committed:
+                    history.record_commit(outcome.txn_id, {}, writes)
+
+        return body
+
+    for client in edge_readers + direct_readers:
+        client.spawn(reader_body(client)())
+    writers[0].spawn(writer_body(writers[0], group_a, 1)())
+    writers[1].spawn(writer_body(writers[1], group_b, 2)())
+    system.run_until_idle()
+    return system, history, edge_readers, direct_readers, [set(group_a), set(group_b)]
+
+
+class TestMixedEdgeDirectHistory:
+    def test_mixed_run_is_serializable(self):
+        system, history, edge_readers, direct_readers, groups = build_mixed_run(
+            max_header_lag_batches=8
+        )
+        # Both serving paths genuinely participated.
+        assert sum(c.stats.edge_reads_served for c in edge_readers) > 0
+        assert sum(c.stats.read_only_completed for c in direct_readers) > 0
+        assert history.read_only and history.committed
+        history.check_all(
+            groups=groups, version_order=version_order_from_system(system)
+        )
+
+    def test_bounded_staleness_observes_older_but_consistent_cuts(self):
+        # With a loose lag bound, at least some edge reads observe versions
+        # older than the core tip at read time — and the history still
+        # checks out: stale-but-consistent, never torn.
+        system, history, edge_readers, _, groups = build_mixed_run(
+            max_header_lag_batches=8
+        )
+        history.check_all(
+            groups=groups, version_order=version_order_from_system(system)
+        )
+        # Atomic visibility held for every observation covering a group:
+        # check_all would have raised otherwise.  Spot-check that distinct
+        # version heights were observed across the run (reads were live
+        # while writers committed).
+        heights = {
+            tuple(sorted(observation.versions.items()))
+            for observation in history.read_only
+        }
+        assert len(heights) > 1
+
+    def test_tight_lag_bound_also_serializable(self):
+        system, history, edge_readers, direct_readers, groups = build_mixed_run(
+            max_header_lag_batches=0
+        )
+        history.check_all(
+            groups=groups, version_order=version_order_from_system(system)
+        )
