@@ -1149,6 +1149,45 @@ def ablation_round2_vs_write_rate(txns_per_point: Optional[int] = None) -> Figur
     return figure
 
 
+def chaos_sweep(seeds: Optional[int] = None) -> TableResult:
+    """Seeded chaos runs judged by the full invariant oracle suite.
+
+    Not a figure of the paper: this is the chaos engine
+    (:mod:`repro.chaos`) surfaced as a benchmark entry, so the ``--json``
+    pipeline records, per seed, how much work the generated scenario did
+    (commits, verified reads, crash/restart cycles, simulator events) and —
+    the headline number — ``oracle_failures = 0``.  The CI ``chaos-smoke``
+    job runs a wider sweep through the CLI; this entry keeps a small fixed
+    window in the benchmark trajectory.
+    """
+    from repro.chaos import run_seed
+
+    count = seeds if seeds is not None else scaled(4)
+    table = TableResult(
+        table_id="Chaos",
+        title="Deterministic chaos runs: all invariant oracles must pass",
+        columns=list(range(count)),
+    )
+    failures_total = 0
+    for seed in range(count):
+        report = run_seed(seed)
+        failures_total += len(report.failures)
+        table.set("oracle_failures", seed, len(report.failures))
+        table.set("commits", seed, report.committed)
+        table.set("verified_reads", seed, report.read_only_recorded)
+        table.set("crashes", seed, report.crashes)
+        table.set("restarts", seed, report.restarts)
+        table.set("fault_events", seed, report.fault_events)
+        table.set("sim_events", seed, report.events_processed)
+        for failure in report.failures:
+            table.notes.append(f"seed {seed}: [{failure.oracle}] {failure.description}")
+    table.notes.append(
+        f"{count} seeds, {failures_total} oracle failure(s); "
+        "replay any seed with: python -m repro.chaos --seed N"
+    )
+    return table
+
+
 #: Registry used by the CLI and the pytest-benchmark wrappers.
 EXPERIMENTS = {
     "fig4": fig4_read_only_latency,
@@ -1166,6 +1205,7 @@ EXPERIMENTS = {
     "fig16": fig16_crash_recovery,
     "fig_edge": fig_edge,
     "perf": perf_snapshot_hotpaths,
+    "chaos": chaos_sweep,
     "table1": table1_read_only_interference,
     "ablation-untracked": ablation_untracked_dependencies,
     "ablation-round2": ablation_round2_vs_write_rate,

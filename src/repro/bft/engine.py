@@ -355,6 +355,28 @@ class PbftEngine:
                 return True
         return False
 
+    def is_behind(self) -> bool:
+        """True when the cluster demonstrably progressed past this replica.
+
+        Evidence: a pre-prepare buffered behind a delivery gap (the live
+        leader proposed an instance whose predecessor this replica never
+        delivered), or a commit quorum collected for an instance whose
+        proposal this replica never saw.  Both mean the quorum moved on
+        without us — typically because instances were decided while this
+        replica was crashed or mid-recovery — and no amount of suspecting
+        the (healthy, progressing) leader will close the gap; only state
+        transfer will.  The progress monitor uses this to pick catch-up
+        recovery over a futile view-change vote.
+        """
+        if self._buffered_pre_prepares:
+            return True
+        for seq, instance in self._instances.items():
+            if seq < self._next_deliver_seq or instance.decided:
+                continue
+            if not instance.pre_prepared and instance.commits.reached(self.quorum):
+                return True
+        return False
+
     def compact_below(self, seq: int) -> None:
         """Drop bookkeeping for instances below ``seq`` (stable-checkpoint GC).
 

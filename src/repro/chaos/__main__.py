@@ -1,0 +1,7 @@
+"""``python -m repro.chaos`` entry point."""
+
+import sys
+
+from repro.chaos.cli import main
+
+sys.exit(main())

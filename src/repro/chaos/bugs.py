@@ -1,0 +1,79 @@
+"""Intentionally injectable bugs — the chaos engine's self-test.
+
+A fuzzer whose oracles never fire is indistinguishable from a fuzzer whose
+oracles are broken.  Each entry here re-introduces one *historical or
+hypothetical* defect behind a context manager, so tests (and the CLI's
+``--inject-bug``) can verify that the oracle suite actually catches it and
+that the shrinker reduces the failing schedule to a small reproduction.
+
+The bugs are deliberately real ones from this codebase's lineage:
+
+* ``no-dependency-repair`` — disable the round-2 dependency check entirely:
+  clients accept their round-1 snapshots as-is, resurrecting the torn-read
+  anomaly of the paper's Figure 1 (and the shape of the round-2 repair race
+  PR 4 fixed).  Caught by the serializability / atomic-visibility oracles.
+* ``skip-crash-restarts`` — the runner "forgets" to restart crashed
+  replicas at quiescence, modelling an operator that never rejoins failed
+  nodes.  Caught by the liveness and recovery-convergence oracles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, ContextManager, Dict
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    """One injectable defect: a patch plus runner-behaviour flags."""
+
+    name: str
+    description: str
+    #: Factory for the patch context manager (no-op for runner-level bugs).
+    patch: Callable[[], ContextManager[None]] = field(
+        default=lambda: contextlib.nullcontext()
+    )
+    #: Runner-level flag: skip restarting crashed replicas.
+    skip_restarts: bool = False
+
+
+@contextlib.contextmanager
+def _no_dependency_repair():
+    """Make every round-1 snapshot look dependency-free to the client."""
+    import repro.core.client as client_module
+
+    original = client_module.find_unsatisfied_dependencies
+    client_module.find_unsatisfied_dependencies = lambda snapshots: {}
+    try:
+        yield
+    finally:
+        client_module.find_unsatisfied_dependencies = original
+
+
+BUGS: Dict[str, InjectedBug] = {
+    bug.name: bug
+    for bug in (
+        InjectedBug(
+            name="no-dependency-repair",
+            description=(
+                "clients skip the CD-vector dependency check and accept torn "
+                "round-1 snapshots (Figure 1 anomaly)"
+            ),
+            patch=_no_dependency_repair,
+        ),
+        InjectedBug(
+            name="skip-crash-restarts",
+            description="crashed replicas are never restarted at quiescence",
+            skip_restarts=True,
+        ),
+    )
+}
+
+
+def get_bug(name: str) -> InjectedBug:
+    try:
+        return BUGS[name]
+    except KeyError:
+        known = ", ".join(sorted(BUGS))
+        raise ValueError(f"unknown injected bug {name!r}; expected one of {known}")

@@ -1,0 +1,359 @@
+"""Chaos plans: the replayable description of one generated scenario.
+
+A :class:`ChaosPlan` is pure data — JSON-serialisable, hashable into a
+fingerprint, and sufficient on its own to re-execute the exact run (the
+runner derives everything else deterministically from it).  The *planner*
+(:func:`plan_from_seed`) draws a plan from a single ``random.Random(seed)``;
+the *shrinker* edits plans structurally (dropping fault events and workload
+segments), which is why the plan, not the seed, is the unit of replay.
+
+Planning constraints keep generated scenarios inside the envelope the
+protocol promises to survive, so every oracle failure is a real bug:
+
+* at most ``f`` replicas of a partition are crashed at any moment, and every
+  crash schedules a restart (the oracles judge the *recovered* system);
+* leader kills are only planned when automatic failover is enabled —
+  without it, a dead leader is a liveness loss by design, not a bug;
+* drop windows only cover client↔core links (core-to-core loss without a
+  retransmission protocol is outside the model; delays are allowed
+  anywhere);
+* byzantine proxies are only planned when the edge tier is enabled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import (
+    BatchConfig,
+    CheckpointConfig,
+    EdgeConfig,
+    FailoverConfig,
+    LatencyConfig,
+    PerfConfig,
+    SystemConfig,
+)
+from repro.storage.partitioner import HashPartitioner
+
+#: Fault kinds understood by the runner.
+FAULT_KINDS = ("crash", "leader-kill", "drop", "delay", "byzantine-proxy")
+
+#: Workload segment kinds understood by the runner.
+SEGMENT_KINDS = ("mixed", "read-only", "group-write", "group-read")
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """The system-configuration coordinates of one scenario."""
+
+    num_partitions: int = 2
+    fault_tolerance: int = 1
+    initial_keys: int = 48
+    value_size: int = 32
+    batch_max_size: int = 4
+    batch_timeout_ms: float = 2.0
+    checkpoint_enabled: bool = True
+    checkpoint_interval: int = 8
+    retention_batches: int = 6
+    archive_enabled: bool = True
+    archive_compaction: bool = True
+    edge_enabled: bool = False
+    edge_num_proxies: int = 2
+    edge_max_header_lag: int = 4
+    edge_cache_ttl_ms: Optional[float] = None
+    failover_enabled: bool = True
+    progress_timeout_ms: float = 60.0
+    jitter_fraction: float = 0.0
+    commit_timeout_ms: float = 800.0
+    request_timeout_ms: float = 600.0
+    system_seed: int = 7
+
+    def to_system_config(self) -> SystemConfig:
+        """Expand into the full :class:`SystemConfig` the runner builds."""
+        return SystemConfig(
+            num_partitions=self.num_partitions,
+            fault_tolerance=self.fault_tolerance,
+            initial_keys=self.initial_keys,
+            value_size=self.value_size,
+            seed=self.system_seed,
+            batch=BatchConfig(
+                max_size=self.batch_max_size, timeout_ms=self.batch_timeout_ms
+            ),
+            latency=LatencyConfig(jitter_fraction=self.jitter_fraction),
+            checkpoint=CheckpointConfig(
+                enabled=self.checkpoint_enabled,
+                interval_batches=self.checkpoint_interval,
+                retention_batches=self.retention_batches,
+            ),
+            failover=FailoverConfig(
+                enabled=self.failover_enabled,
+                progress_timeout_ms=self.progress_timeout_ms,
+            ),
+            perf=PerfConfig(
+                archive_enabled=self.archive_enabled,
+                archive_compaction=self.archive_compaction,
+            ),
+            edge=EdgeConfig(
+                enabled=self.edge_enabled,
+                num_proxies=self.edge_num_proxies,
+                max_header_lag_batches=self.edge_max_header_lag,
+                cache_ttl_ms=self.edge_cache_ttl_ms,
+            ),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class WorkloadSegment:
+    """One client's stream of transactions, generated from its own sub-seed."""
+
+    client: int
+    kind: str
+    count: int
+    start_ms: float
+    gap_ms: float
+    seed: int
+    read_only_fraction: float = 0.3
+    local_fraction: float = 0.3
+    distribution: str = "uniform"
+    zipf_theta: float = 0.9
+    group: int = 0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.  Unused fields keep their defaults per ``kind``.
+
+    * ``crash`` — crash member ``replica_index`` of ``partition`` at
+      ``at_ms``, restart it ``duration_ms`` later;
+    * ``leader-kill`` — crash whoever leads ``partition`` at fire time;
+    * ``drop`` — drop client ``client``'s traffic (``direction`` selects
+      to-core or from-core) with ``probability`` for ``duration_ms``;
+    * ``delay`` — delay all traffic matching ``probability`` by ``extra_ms``
+      for ``duration_ms``;
+    * ``byzantine-proxy`` — install ``behaviour`` on edge proxy ``proxy``.
+    """
+
+    at_ms: float
+    kind: str
+    partition: int = 0
+    replica_index: int = 1
+    duration_ms: float = 30.0
+    client: int = 0
+    direction: str = "to-core"
+    probability: float = 0.25
+    extra_ms: float = 4.0
+    proxy: int = 0
+    behaviour: str = "tampered-value"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A full scenario: config point + workload plan + fault plan."""
+
+    seed: int
+    config: ConfigPoint
+    num_clients: int
+    groups: Sequence[Sequence[str]]
+    segments: Sequence[WorkloadSegment]
+    faults: Sequence[FaultEvent]
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "config": asdict(self.config),
+            "num_clients": self.num_clients,
+            "groups": [list(group) for group in self.groups],
+            "segments": [asdict(segment) for segment in self.segments],
+            "faults": [asdict(event) for event in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosPlan":
+        return cls(
+            seed=int(data["seed"]),
+            config=ConfigPoint(**data["config"]),
+            num_clients=int(data["num_clients"]),
+            groups=tuple(tuple(group) for group in data["groups"]),
+            segments=tuple(WorkloadSegment(**entry) for entry in data["segments"]),
+            faults=tuple(FaultEvent(**entry) for entry in data["faults"]),
+        )
+
+    # -- structural edits (used by the shrinker) ---------------------------
+
+    def without_fault(self, index: int) -> "ChaosPlan":
+        faults = tuple(event for i, event in enumerate(self.faults) if i != index)
+        return replace(self, faults=faults)
+
+    def without_segment(self, index: int) -> "ChaosPlan":
+        segments = tuple(s for i, s in enumerate(self.segments) if i != index)
+        return replace(self, segments=segments)
+
+    def with_segment_count(self, index: int, count: int) -> "ChaosPlan":
+        segments = tuple(
+            replace(segment, count=count) if i == index else segment
+            for i, segment in enumerate(self.segments)
+        )
+        return replace(self, segments=segments)
+
+
+def partition_keys(config: ConfigPoint) -> Dict[int, List[str]]:
+    """The preloaded key population, grouped by partition, without a system.
+
+    Built from the *same* generator and partitioner the deployment uses, so
+    the planner's reserved co-written groups are guaranteed to name real
+    preloaded keys (the atomic-visibility oracle's zero-false-positive
+    property rests on that).
+    """
+    from repro.core.system import generate_initial_data
+
+    partitioner = HashPartitioner(config.num_partitions)
+    grouped = partitioner.group_items(generate_initial_data(config.to_system_config()))
+    return {
+        partition: sorted(grouped.get(partition, {}))
+        for partition in range(config.num_partitions)
+    }
+
+
+def plan_from_seed(seed: int) -> ChaosPlan:
+    """Draw a complete scenario from ``random.Random(seed)``."""
+    rng = random.Random(seed)
+
+    edge_enabled = rng.random() < 0.4
+    failover_enabled = rng.random() < 0.8
+    config = ConfigPoint(
+        num_partitions=rng.choice((2, 3)),
+        initial_keys=rng.choice((36, 48, 64)),
+        batch_max_size=rng.choice((4, 6, 8)),
+        checkpoint_enabled=rng.random() < 0.8,
+        checkpoint_interval=rng.choice((5, 8, 12)),
+        retention_batches=rng.choice((4, 8)),
+        archive_enabled=rng.random() < 0.8,
+        archive_compaction=rng.random() < 0.5,
+        edge_enabled=edge_enabled,
+        edge_num_proxies=rng.choice((1, 2)),
+        edge_max_header_lag=rng.choice((2, 4, 8)),
+        edge_cache_ttl_ms=rng.choice((None, 40.0)),
+        failover_enabled=failover_enabled,
+        progress_timeout_ms=rng.choice((40.0, 60.0)),
+        jitter_fraction=rng.choice((0.0, 0.05)),
+        commit_timeout_ms=rng.choice((400.0, 800.0)),
+        request_timeout_ms=rng.choice((300.0, 600.0)),
+        system_seed=rng.randrange(1, 1 << 16),
+    )
+
+    # Reserved co-written groups: one key from each of two partitions, never
+    # touched by the random streams, so atomic visibility is checkable with
+    # zero false positives.
+    by_partition = partition_keys(config)
+    groups: List[List[str]] = []
+    for group_index in range(rng.randint(1, 2)):
+        partitions = rng.sample(sorted(by_partition), 2)
+        group = [by_partition[p][group_index] for p in sorted(partitions)]
+        groups.append(group)
+
+    num_clients = rng.randint(2, 4)
+    segments: List[WorkloadSegment] = []
+
+    def draw_segment(kind: str) -> WorkloadSegment:
+        return WorkloadSegment(
+            client=rng.randrange(num_clients),
+            kind=kind,
+            count=rng.randint(5, 10) if kind == "group-write" else rng.randint(6, 14),
+            start_ms=round(rng.uniform(0.0, 10.0), 3),
+            gap_ms=round(rng.uniform(1.5, 4.0), 3),
+            seed=rng.randrange(1 << 31),
+            read_only_fraction=round(rng.uniform(0.2, 0.5), 3),
+            local_fraction=round(rng.uniform(0.1, 0.4), 3),
+            distribution=rng.choice(("uniform", "zipfian")),
+            zipf_theta=rng.choice((0.7, 0.9, 0.99)),
+            group=rng.randrange(len(groups)),
+        )
+
+    # Always at least one writer and one reader of the co-written groups.
+    segments.append(draw_segment("group-write"))
+    segments.append(draw_segment("group-read"))
+    for _ in range(rng.randint(2, 5)):
+        segments.append(
+            draw_segment(
+                rng.choices(SEGMENT_KINDS, weights=(0.5, 0.2, 0.15, 0.15))[0]
+            )
+        )
+
+    faults: List[FaultEvent] = []
+    #: Per partition, when the currently planned crash window ends (at most
+    #: ``f = 1`` member of a cluster may be down at any moment).
+    crash_free_at: Dict[int, float] = {}
+    cluster_size = 3 * config.fault_tolerance + 1
+    for _ in range(rng.randint(1, 4)):
+        kinds = ["crash", "drop", "delay"]
+        weights = [0.4, 0.25, 0.15]
+        if failover_enabled:
+            kinds.append("leader-kill")
+            weights.append(0.3)
+        if edge_enabled:
+            kinds.append("byzantine-proxy")
+            weights.append(0.25)
+        kind = rng.choices(kinds, weights=weights)[0]
+        at_ms = round(rng.uniform(3.0, 25.0), 3)
+        if kind in ("crash", "leader-kill"):
+            partition = rng.randrange(config.num_partitions)
+            duration = round(rng.uniform(15.0, 40.0), 3)
+            earliest = crash_free_at.get(partition, 0.0)
+            if at_ms <= earliest:
+                at_ms = round(earliest + rng.uniform(2.0, 6.0), 3)
+            crash_free_at[partition] = at_ms + duration
+            faults.append(
+                FaultEvent(
+                    at_ms=at_ms,
+                    kind=kind,
+                    partition=partition,
+                    replica_index=rng.randint(1, cluster_size - 1),
+                    duration_ms=duration,
+                )
+            )
+        elif kind == "drop":
+            faults.append(
+                FaultEvent(
+                    at_ms=at_ms,
+                    kind="drop",
+                    client=rng.randrange(num_clients),
+                    direction=rng.choice(("to-core", "from-core")),
+                    probability=round(rng.uniform(0.1, 0.35), 3),
+                    duration_ms=round(rng.uniform(10.0, 30.0), 3),
+                )
+            )
+        elif kind == "delay":
+            faults.append(
+                FaultEvent(
+                    at_ms=at_ms,
+                    kind="delay",
+                    probability=round(rng.uniform(0.1, 0.3), 3),
+                    extra_ms=round(rng.uniform(1.0, 6.0), 3),
+                    duration_ms=round(rng.uniform(10.0, 30.0), 3),
+                )
+            )
+        else:  # byzantine-proxy
+            faults.append(
+                FaultEvent(
+                    at_ms=at_ms,
+                    kind="byzantine-proxy",
+                    proxy=rng.randrange(config.edge_num_proxies),
+                    behaviour=rng.choice(
+                        ("tampered-value", "tampered-proof", "stale-header")
+                    ),
+                )
+            )
+    faults.sort(key=lambda event: event.at_ms)
+
+    return ChaosPlan(
+        seed=seed,
+        config=config,
+        num_clients=num_clients,
+        groups=tuple(tuple(group) for group in groups),
+        segments=tuple(segments),
+        faults=tuple(faults),
+    )

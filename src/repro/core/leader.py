@@ -86,6 +86,14 @@ class LeaderRole:
         self._seal_timer = None
         self._twopc_timer = None
         self._twopc_attempts: Dict[str, int] = {}
+        #: Coordinations this leader had to give up on, txn id → diagnostic.
+        #: Today's only entry point is the known retention gap (ROADMAP):
+        #: resuming a predecessor's 2PC needs the certified header of the
+        #: prepare batch, and headers older than the checkpoint retention
+        #: window are pruned.  Reported here (and counted in
+        #: ``two_pc_unresumable``) so the condition surfaces as a diagnostic
+        #: instead of a silent stall.
+        self.unresumable: Dict[str, str] = {}
         self.sealed_batches = 0
 
     # ------------------------------------------------------------------
@@ -443,7 +451,21 @@ class LeaderRole:
                 return
             header = replica.header_at(group.batch_number)
             if header is None:
-                return  # prepare batch pruned past retention; unresumable
+                # The prepare batch's certified header aged past the
+                # checkpoint retention window, so the coordinator-side vote
+                # (whose proof is that header) cannot be rebuilt.  Known gap
+                # (ROADMAP): the fix is carrying the needed headers in the
+                # checkpoint image.  Until then, report it loudly — the
+                # participants' own DecisionQuery path remains their only
+                # way out.
+                self._note_unresumable(
+                    txn_id,
+                    f"prepare batch {group.batch_number} header pruned past the "
+                    f"retention window; coordination cannot be resumed "
+                    f"(carry prepare-batch headers in the checkpoint image "
+                    f"to close this)",
+                )
+                return
             state = _CoordinatorState(
                 txn=record.txn,
                 participants=frozenset(
@@ -474,6 +496,13 @@ class LeaderRole:
                 ),
             )
         self._maybe_decide(state)
+
+    def _note_unresumable(self, txn_id: str, reason: str) -> None:
+        """Record (once per transaction) that a coordination cannot resume."""
+        if txn_id in self.unresumable:
+            return
+        self.unresumable[txn_id] = reason
+        self._replica.counters.two_pc_unresumable += 1
 
     def _redrive_participated(self, txn_id: str, record: PreparedRecord) -> None:
         """Participant side: re-send our vote and ask anyone for the decision.

@@ -87,10 +87,16 @@ class ReplicaCounters:
     state_transfers_rejected: int = 0
     recoveries_started: int = 0
     recoveries_completed: int = 0
+    #: Recoveries the progress monitor triggered because the quorum had
+    #: demonstrably moved past this replica (gap catch-up, not a restart).
+    catchup_recoveries: int = 0
     views_adopted: int = 0
     view_changes: int = 0
     leader_suspicions: int = 0
     two_pc_retries: int = 0
+    #: Coordinations reported unresumable because the prepare batch's header
+    #: aged past the checkpoint retention window (see LeaderRole.unresumable).
+    two_pc_unresumable: int = 0
     decision_queries_served: int = 0
     decisions_resolved_remotely: int = 0
     archive_records_compacted: int = 0
@@ -128,6 +134,13 @@ class ViewProgressMonitor:
         self._suspect_rounds = 0
         self._gave_up = False
         self._complainants: set = set()
+        #: One catch-up recovery per stall: set when a stalled round chose
+        #: state transfer over suspicion, cleared by delivery progress.  If
+        #: the catch-up was futile (nothing newer to fetch — e.g. the
+        #: "behind" evidence was a byzantine leader's bogus future
+        #: pre-prepare), the next silent round falls through to the normal
+        #: view-change vote instead of withholding it forever.
+        self._catchup_attempted = False
 
     def note_complaint(self, complainant) -> None:
         """A client reported the leader unresponsive (``LeaderComplaint``).
@@ -206,6 +219,7 @@ class ViewProgressMonitor:
             # The cluster delivered something during the window: healthy.
             self._suspect_rounds = 0
             self._complainants.clear()
+            self._catchup_attempted = False
             if self._has_evidence():
                 self._arm()
             return
@@ -219,8 +233,21 @@ class ViewProgressMonitor:
         # behind); the current leader cannot vote against itself — its
         # pending 2PC work is re-driven by the leader role's retry timer.
         if not replica.recovery.in_progress and not replica.is_leader:
-            replica.counters.leader_suspicions += 1
-            replica.engine.suspect_leader()
+            if replica.engine.is_behind() and not self._catchup_attempted:
+                # The quorum apparently moved past us (instances were
+                # decided while we were crashed or mid-recovery, and with
+                # checkpointing off nothing else would ever re-sync us).
+                # The leader is not the problem — we are: catch up through
+                # state transfer instead of voting the leader out.  At most
+                # once per stall: if the fetch brings nothing (the evidence
+                # was fake — a byzantine leader's future pre-prepare), the
+                # next round votes normally rather than abstaining forever.
+                self._catchup_attempted = True
+                replica.counters.catchup_recoveries += 1
+                replica.begin_recovery()
+            else:
+                replica.counters.leader_suspicions += 1
+                replica.engine.suspect_leader()
         self._arm()
 
 

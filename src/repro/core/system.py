@@ -68,10 +68,12 @@ class SystemCounters:
     state_transfers_rejected: int = 0
     recoveries_started: int = 0
     recoveries_completed: int = 0
+    catchup_recoveries: int = 0
     views_adopted: int = 0
     view_changes: int = 0
     leader_suspicions: int = 0
     two_pc_retries: int = 0
+    two_pc_unresumable: int = 0
     decision_queries_served: int = 0
     decisions_resolved_remotely: int = 0
     verify_cache_hits: int = 0
@@ -308,10 +310,12 @@ class TransEdgeSystem:
             total.state_transfers_rejected += counters.state_transfers_rejected
             total.recoveries_started += counters.recoveries_started
             total.recoveries_completed += counters.recoveries_completed
+            total.catchup_recoveries += counters.catchup_recoveries
             total.views_adopted += counters.views_adopted
             total.view_changes += counters.view_changes
             total.leader_suspicions += counters.leader_suspicions
             total.two_pc_retries += counters.two_pc_retries
+            total.two_pc_unresumable += counters.two_pc_unresumable
             total.decision_queries_served += counters.decision_queries_served
             total.decisions_resolved_remotely += counters.decisions_resolved_remotely
             total.archive_records_compacted += counters.archive_records_compacted

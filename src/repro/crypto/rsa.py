@@ -61,7 +61,11 @@ def generate_keypair(bits: int = 512, rng: "random.Random | None" = None) -> Rsa
     """Generate an RSA key pair with a modulus of roughly ``bits`` bits."""
     if bits < 128:
         raise CryptoError("RSA modulus must be at least 128 bits")
-    rng = rng or random.Random()
+    # Deterministic fallback: key generation must not be the one place a
+    # whole-system run touches unseeded randomness (chaos replays are
+    # expected to be bit-identical from the seed alone).  Callers who want
+    # distinct keys pass their own generator, as SimEnvironment does.
+    rng = rng or random.Random(0x52534131)
     e = 65537
     half = bits // 2
     while True:

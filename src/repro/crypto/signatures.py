@@ -69,6 +69,12 @@ class RsaSigner(Signer):
 
     def __init__(self, identity: str, bits: int = 512, rng: Optional[random.Random] = None) -> None:
         super().__init__(identity)
+        if rng is None:
+            # Without a caller-supplied generator, derive one from the
+            # identity: distinct signers still get distinct keys, but a
+            # replayed run gets the same keys (no unseeded randomness).
+            seed = int.from_bytes(sha256(stable_encode(identity))[:8], "big")
+            rng = random.Random(seed)
         self._keypair = rsa.generate_keypair(bits=bits, rng=rng)
 
     @property

@@ -5,6 +5,14 @@ misbehaviour (a lying leader or replica, implemented in
 :mod:`repro.bft.byzantine` and exercised by tests) and transport-level faults
 injected here — dropped, delayed or tampered messages.  Filters are installed
 on the :class:`~repro.simnet.network.Network` and apply to matching traffic.
+
+Faults can be installed directly (tests poking one scenario) or as a
+*scheduled fault plan* (:class:`FaultSchedule`): timed windows during which a
+fault applies, driven by the simulator clock.  The chaos engine
+(:mod:`repro.chaos`) composes whole runs out of scheduled plans, which is why
+every random draw in this module goes through one explicit
+:class:`random.Random` — replaying a seed must reproduce the exact same
+drop/delay decisions.
 """
 
 from __future__ import annotations
@@ -51,14 +59,29 @@ class _InstalledFault:
     applied: int = 0
     #: Optional side-effect hook (see :meth:`FaultInjector.observe`).
     observer: Optional[Callable[[NodeId, NodeId, Message], None]] = None
+    #: Optional route-aware action (sees src/dst; see :meth:`FaultInjector.delay`).
+    route_action: Optional[
+        Callable[[NodeId, NodeId, Message], Optional[Message]]
+    ] = None
 
 
 class FaultInjector:
-    """Installs and tracks transport faults on a network."""
+    """Installs and tracks transport faults on a network.
 
-    def __init__(self, network: Network, seed: int = 13) -> None:
+    All probabilistic decisions draw from one :class:`random.Random`: pass
+    ``rng`` to share a generator with the caller (the chaos engine threads a
+    single seeded generator through the whole run so replays are
+    bit-identical), or ``seed`` to let the injector own one.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        seed: int = 13,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self._network = network
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         self._faults: List[_InstalledFault] = []
         self._crashed: Dict[NodeId, List[_InstalledFault]] = {}
         network.add_filter(self._filter)
@@ -99,6 +122,38 @@ class FaultInjector:
 
         fault = _InstalledFault(rule=rule, action=action)
         fault.observer = callback
+        self._faults.append(fault)
+        return fault
+
+    def delay(self, rule: FaultRule, extra_ms: float) -> _InstalledFault:
+        """Hold matching messages back for ``extra_ms`` before delivery.
+
+        Implemented by swallowing the message and re-injecting it after the
+        extra delay through :meth:`Network.send_unfiltered`, so the held
+        message is delivered with its normal link latency on top of
+        ``extra_ms`` and is not re-examined by any fault (no double delays,
+        no second drop chance).  Delivery order between delayed and
+        undelayed traffic can therefore invert — exactly the reordering a
+        slow link produces.  Statistics: a delayed-then-delivered message
+        counts once in ``sent``, once in ``delayed``, never in ``dropped``
+        (the swallow's drop increment is reclassified here).
+        """
+        if extra_ms < 0:
+            raise ValueError("delay extra_ms must be non-negative")
+        fault = _InstalledFault(rule=rule, action=lambda message: message)
+
+        def route_action(src: NodeId, dst: NodeId, message: Message) -> Optional[Message]:
+            def reinject() -> None:
+                # Returning None below makes send() count a drop; this
+                # message is delivered after all, so reclassify it.
+                self._network.stats.messages_dropped -= 1
+                self._network.stats.messages_delayed += 1
+                self._network.send_unfiltered(src, dst, message)
+
+            self._network.simulator.schedule(extra_ms, reinject)
+            return None
+
+        fault.route_action = route_action
         self._faults.append(fault)
         return fault
 
@@ -156,5 +211,95 @@ class FaultInjector:
                 fault.applied += 1
                 if fault.observer is not None:
                     fault.observer(src, dst, current)
-                current = fault.action(current)
+                if fault.route_action is not None:
+                    current = fault.route_action(src, dst, current)
+                else:
+                    current = fault.action(current)
         return current
+
+
+@dataclass
+class _ScheduledWindow:
+    """One entry of a :class:`FaultSchedule` (for introspection in tests)."""
+
+    at_ms: float
+    until_ms: Optional[float]
+    description: str
+
+
+class FaultSchedule:
+    """A timed fault plan: faults that install and uninstall themselves.
+
+    Each entry opens at an absolute simulated time and (optionally) closes
+    again after a window, driven by the simulator clock — the building block
+    for scripted fault scenarios and for the chaos engine's replayable fault
+    plans.  Faults installed by a window that never closes stay active until
+    :meth:`FaultInjector.clear`.
+    """
+
+    def __init__(self, injector: FaultInjector, simulator) -> None:
+        self._injector = injector
+        self._simulator = simulator
+        self.windows: List[_ScheduledWindow] = []
+
+    # -- generic -------------------------------------------------------------
+
+    def window(
+        self,
+        at_ms: float,
+        install: Callable[[FaultInjector], object],
+        until_ms: Optional[float] = None,
+        description: str = "fault",
+    ) -> _ScheduledWindow:
+        """Schedule ``install(injector)`` at ``at_ms``; undo at ``until_ms``.
+
+        ``install`` returns the installed fault (or a list of faults), which
+        are removed when the window closes.
+        """
+        if until_ms is not None and until_ms < at_ms:
+            raise ValueError("fault window must close after it opens")
+        entry = _ScheduledWindow(at_ms=at_ms, until_ms=until_ms, description=description)
+        self.windows.append(entry)
+
+        def opened() -> None:
+            installed = install(self._injector)
+            if until_ms is None:
+                return
+            faults = installed if isinstance(installed, list) else [installed]
+
+            def closed() -> None:
+                for fault in faults:
+                    self._injector.remove(fault)
+
+            self._simulator.schedule_at(until_ms, closed)
+
+        self._simulator.schedule_at(at_ms, opened)
+        return entry
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def drop_window(
+        self, at_ms: float, rule: FaultRule, until_ms: Optional[float] = None
+    ) -> _ScheduledWindow:
+        """Drop matching messages between ``at_ms`` and ``until_ms``."""
+        return self.window(
+            at_ms,
+            lambda injector: injector.drop(rule),
+            until_ms=until_ms,
+            description="drop",
+        )
+
+    def delay_window(
+        self,
+        at_ms: float,
+        rule: FaultRule,
+        extra_ms: float,
+        until_ms: Optional[float] = None,
+    ) -> _ScheduledWindow:
+        """Delay matching messages by ``extra_ms`` between ``at_ms`` and ``until_ms``."""
+        return self.window(
+            at_ms,
+            lambda injector: injector.delay(rule, extra_ms),
+            until_ms=until_ms,
+            description="delay",
+        )

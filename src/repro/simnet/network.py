@@ -42,6 +42,7 @@ class NetworkStats:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_delayed = 0
         self.by_type: Counter = Counter()
 
     def snapshot(self) -> Dict[str, int]:
@@ -49,6 +50,7 @@ class NetworkStats:
             "sent": self.messages_sent,
             "delivered": self.messages_delivered,
             "dropped": self.messages_dropped,
+            "delayed": self.messages_delayed,
         }
 
 
@@ -112,10 +114,28 @@ class Network:
                 return
             delivered = filtered
 
+        self._schedule_delivery(src, dst, delivered)
+
+    def send_unfiltered(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Deliver ``message`` with modelled latency, bypassing fault filters.
+
+        Used by delay faults to re-inject a held message: the message already
+        passed (and was held by) the filter chain once, so running it through
+        again would delay or drop it twice.  Statistics-neutral — the
+        original :meth:`send` already counted the message as sent; any
+        reclassification (e.g. drop → delayed) is the caller's job, so this
+        path carries no hidden counter coupling (see
+        :meth:`~repro.simnet.faults.FaultInjector.delay`).
+        """
+        if dst not in self._nodes:
+            raise NetworkError(f"message to unknown node {dst}")
+        self._schedule_delivery(src, dst, message)
+
+    def _schedule_delivery(self, src: NodeId, dst: NodeId, message: Message) -> None:
         delay = self._latency_model.delay_ms(src, dst, self._rng)
         destination = self._nodes[dst]
 
-        def _deliver(message_to_deliver: Message = delivered) -> None:
+        def _deliver(message_to_deliver: Message = message) -> None:
             self.stats.messages_delivered += 1
             destination.receive(message_to_deliver, src)
 

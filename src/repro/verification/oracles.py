@@ -1,0 +1,317 @@
+"""Pluggable invariant oracles over a finished system run.
+
+The hand-written tests each check one guarantee of one scenario; the chaos
+engine (:mod:`repro.chaos`) instead generates *arbitrary* scenarios and needs
+the guarantees packaged as reusable oracles it can run after every one.  An
+oracle inspects a :class:`RunObservation` — the quiesced system plus the
+execution history the driver recorded — and returns the invariant violations
+it found (empty list = invariant held).
+
+The standard suite covers the reproduction's end-to-end promises:
+
+* **quiescent liveness** — once faults stop, every submitted transaction
+  terminates, no 2PC participant stays wedged in ``prepared``, and the
+  post-quiescence probe commits succeed;
+* **recovery convergence** — crashed-and-restarted replicas complete state
+  transfer, and replicas at the same log position agree byte-for-byte on
+  their Merkle roots (no forks);
+* **read-value legitimacy** — no accepted (verified) read-only result
+  contains a value that neither the initial database nor any committed
+  transaction wrote;
+* **atomic visibility** — co-written key groups are never observed torn;
+* **serializability** — the conflict graph over committed transactions and
+  read-only observations is acyclic against the authoritative version order
+  (Theorems 3.4/4.5 of the paper);
+* **checkpoint/archive coherence** — for every batch a round-2 snapshot
+  request can still name, archive-served Merkle proofs are byte-identical to
+  proofs from a from-scratch rebuild of that batch's tree (the PR-2
+  fast-path contract, re-checked after arbitrary churn).
+
+Oracles never raise on a violation; they *describe* it, so a single run can
+report every broken invariant and the shrinker can match failures by oracle
+name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.common.errors import VerificationError
+from repro.common.types import Key
+from repro.crypto.merkle import MerkleTree
+from repro.verification.history import ExecutionHistory, version_order_from_system
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One invariant violation, attributed to the oracle that found it."""
+
+    oracle: str
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.oracle}] {self.description}"
+
+
+@dataclass
+class RunObservation:
+    """Everything the oracles need to know about one finished run.
+
+    ``system`` is the quiesced :class:`~repro.core.system.TransEdgeSystem`;
+    ``history`` holds what the driver recorded; the remaining fields carry
+    driver-side bookkeeping the system itself cannot know (how many commits
+    were submitted, which processes never finished, which replicas were
+    crash/restarted along the way).
+    """
+
+    system: object
+    history: ExecutionHistory
+    co_written_groups: Sequence[Set[Key]] = ()
+    restarted_replicas: Sequence[object] = ()
+    unfinished_processes: Sequence[str] = ()
+    simulation_stalled: bool = False
+    probe_submitted: int = 0
+    probe_committed: int = 0
+
+
+class Oracle:
+    """Base class: ``check`` returns the violations found (empty = held)."""
+
+    name = "oracle"
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        raise NotImplementedError
+
+    def _failure(self, description: str) -> OracleFailure:
+        return OracleFailure(oracle=self.name, description=description)
+
+
+class QuiescentLivenessOracle(Oracle):
+    """Faults stopped — did everything that was admitted terminate?"""
+
+    name = "quiescent-liveness"
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        failures: List[OracleFailure] = []
+        if observation.simulation_stalled:
+            failures.append(
+                self._failure("simulation hit its event budget without quiescing")
+            )
+        for name in observation.unfinished_processes:
+            failures.append(
+                self._failure(f"driver process {name} never finished its workload")
+            )
+        system = observation.system
+        stranded = system.stranded_prepared_transactions()
+        if stranded:
+            failures.append(
+                self._failure(
+                    f"{stranded} distributed transaction(s) still prepared-but-"
+                    "undecided after quiescence"
+                )
+            )
+        crashed = sorted(
+            str(replica_id)
+            for replica_id, replica in system.replicas.items()
+            if replica.crashed
+        )
+        if crashed:
+            failures.append(
+                self._failure(f"replicas still crashed after quiescence: {crashed}")
+            )
+        if observation.probe_committed < observation.probe_submitted:
+            failures.append(
+                self._failure(
+                    f"only {observation.probe_committed}/{observation.probe_submitted} "
+                    "post-quiescence probe commits succeeded"
+                )
+            )
+        return failures
+
+
+class RecoveryConvergenceOracle(Oracle):
+    """Restarted replicas rejoined; equal log positions mean equal state."""
+
+    name = "recovery-convergence"
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        failures: List[OracleFailure] = []
+        system = observation.system
+        for replica_id in observation.restarted_replicas:
+            replica = system.replicas[replica_id]
+            if replica.crashed:
+                continue  # reported by the liveness oracle
+            if replica.counters.recoveries_completed < 1:
+                failures.append(
+                    self._failure(
+                        f"restarted replica {replica_id} never completed recovery"
+                    )
+                )
+            elif replica.recovery.in_progress:
+                failures.append(
+                    self._failure(
+                        f"restarted replica {replica_id} still mid-recovery "
+                        "after quiescence"
+                    )
+                )
+        # Fork detection: replicas of one partition standing at the same log
+        # position must agree on the Merkle root.  (A replica may lag the tip
+        # if it rejoined between instances — that is staleness, not a fork.)
+        for partition in system.topology.partitions():
+            by_seq: Dict[int, Dict[bytes, List[str]]] = {}
+            for replica in system.cluster_replicas(partition):
+                if replica.crashed:
+                    continue
+                roots = by_seq.setdefault(replica.log.last_seq, {})
+                roots.setdefault(replica.merkle.root, []).append(str(replica.node_id))
+            for seq, roots in sorted(by_seq.items()):
+                if len(roots) > 1:
+                    failures.append(
+                        self._failure(
+                            f"partition {partition} forked at log position {seq}: "
+                            f"{sorted(sorted(names) for names in roots.values())}"
+                        )
+                    )
+            # The leader must hold the cluster's certified tip: a quorum can
+            # only be ahead of it if consensus moved on without it.
+            leader = system.leader_replica(partition)
+            ahead = [
+                str(replica.node_id)
+                for replica in system.cluster_replicas(partition)
+                if not replica.crashed and replica.log.last_seq > leader.log.last_seq
+            ]
+            if len(ahead) >= system.config.quorum_size:
+                failures.append(
+                    self._failure(
+                        f"partition {partition}: a quorum {sorted(ahead)} is ahead "
+                        f"of its leader {leader.node_id}"
+                    )
+                )
+        return failures
+
+
+class ReadValueLegitimacyOracle(Oracle):
+    """No accepted read-only result may contain a value nobody wrote."""
+
+    name = "read-values"
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        try:
+            observation.history.check_read_only_values()
+        except VerificationError as error:
+            return [self._failure(str(error))]
+        return []
+
+
+class AtomicVisibilityOracle(Oracle):
+    """Co-written key groups are observed all-or-nothing."""
+
+    name = "atomic-visibility"
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        if not observation.co_written_groups:
+            return []
+        try:
+            observation.history.check_atomic_visibility(observation.co_written_groups)
+        except VerificationError as error:
+            return [self._failure(str(error))]
+        return []
+
+
+class SerializabilityOracle(Oracle):
+    """The serialization graph is acyclic against the real version order."""
+
+    name = "serializability"
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        version_order = version_order_from_system(observation.system)
+        try:
+            observation.history.check_serializable(version_order)
+        except VerificationError as error:
+            return [self._failure(str(error))]
+        return []
+
+
+class CheckpointArchiveCoherenceOracle(Oracle):
+    """Archive-served snapshot proofs are byte-identical to rebuilt ones.
+
+    For each partition leader, every batch a round-2 request can still name
+    (the retained, requestable headers) is resolved twice: through the
+    Merkle-tree archive fast path and by rebuilding the historical tree from
+    the multi-version store — roots and per-key proofs must match exactly.
+    ``sample_per_partition``/``keys_per_batch`` bound the work.
+    """
+
+    name = "archive-coherence"
+
+    def __init__(self, sample_per_partition: int = 3, keys_per_batch: int = 4) -> None:
+        self._sample = sample_per_partition
+        self._keys = keys_per_batch
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        failures: List[OracleFailure] = []
+        system = observation.system
+        if not system.config.perf.archive_enabled:
+            return failures
+        for partition in system.topology.partitions():
+            replica = system.leader_replica(partition)
+            candidates = sorted(
+                number
+                for number in replica.requestable_header_batches()
+                if replica.merkle.archive_covers(number)
+            )
+            # Newest batches stress the most recent deltas; spread the rest.
+            step = max(1, len(candidates) // max(1, self._sample))
+            for number in candidates[::-step][: self._sample]:
+                view = replica.merkle.tree_at(number)
+                if view is None:
+                    failures.append(
+                        self._failure(
+                            f"partition {partition}: archive refused batch {number} "
+                            "it claims to cover"
+                        )
+                    )
+                    continue
+                reference = MerkleTree(replica.store.snapshot_as_of(number))
+                if view.root != reference.root:
+                    failures.append(
+                        self._failure(
+                            f"partition {partition}: archive root for batch "
+                            f"{number} differs from rebuild"
+                        )
+                    )
+                    continue
+                for key in list(reference.keys())[:: max(1, len(reference.keys()) // self._keys)][
+                    : self._keys
+                ]:
+                    if view.prove(key) != reference.prove(key):
+                        failures.append(
+                            self._failure(
+                                f"partition {partition}: proof for {key!r} at batch "
+                                f"{number} differs between archive and rebuild"
+                            )
+                        )
+        return failures
+
+
+def standard_suite() -> List[Oracle]:
+    """The default oracle suite, cheapest first."""
+    return [
+        QuiescentLivenessOracle(),
+        RecoveryConvergenceOracle(),
+        ReadValueLegitimacyOracle(),
+        AtomicVisibilityOracle(),
+        SerializabilityOracle(),
+        CheckpointArchiveCoherenceOracle(),
+    ]
+
+
+def run_suite(
+    observation: RunObservation, oracles: Sequence[Oracle] = ()
+) -> List[OracleFailure]:
+    """Run every oracle and collect all violations (never stops early)."""
+    failures: List[OracleFailure] = []
+    for oracle in oracles or standard_suite():
+        failures.extend(oracle.check(observation))
+    return failures

@@ -1,0 +1,48 @@
+"""Replay determinism: one seed ⇒ one bit-identical run.
+
+The whole chaos design rests on this: a ``chaos-repro-<seed>.json`` artifact
+is only useful if re-running it reproduces the exact same execution.  These
+tests run the same seed twice (fresh systems, fresh RNGs) and require the
+recorded histories, the full counter set and the report fingerprints to be
+identical — including under crash faults, the edge tier and delay faults,
+where unseeded randomness or iteration-order leaks would show up first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import plan_from_seed, run_plan, run_seed
+
+#: Seeds chosen to cover the interesting machinery: all three run the edge
+#: tier with a byzantine proxy; 1 and 7 add drop windows, 21 crashes two
+#: replicas (crash + restart + catch-up recovery).
+DETERMINISM_SEEDS = (1, 7, 21)
+
+
+class TestReplayDeterminism:
+    @pytest.mark.parametrize("seed", DETERMINISM_SEEDS)
+    def test_same_seed_is_bit_identical(self, seed):
+        first = run_seed(seed)
+        second = run_seed(seed)
+        # Histories: every commit and every read-only observation, values
+        # and versions included.
+        assert first.history_digest == second.history_digest
+        # Metrics: the full per-system counter set, including verify-cache
+        # hit/miss counts (any stray randomness perturbs those first).
+        assert first.counters == second.counters
+        assert first.events_processed == second.events_processed
+        assert first.elapsed_sim_ms == second.elapsed_sim_ms
+        # The one-line fingerprint ties it all together.
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_plan_replay_equals_seed_run(self):
+        # Running a serialised plan reproduces the seed run exactly — the
+        # property artifacts rely on.
+        seed = DETERMINISM_SEEDS[0]
+        via_seed = run_seed(seed)
+        via_plan = run_plan(plan_from_seed(seed))
+        assert via_seed.fingerprint() == via_plan.fingerprint()
+
+    def test_fingerprint_distinguishes_different_seeds(self):
+        assert run_seed(1).fingerprint() != run_seed(2).fingerprint()

@@ -1,0 +1,88 @@
+"""Planner tests: determinism, serialisation, and planning constraints."""
+
+from __future__ import annotations
+
+from repro.chaos.plan import (
+    FAULT_KINDS,
+    SEGMENT_KINDS,
+    ChaosPlan,
+    partition_keys,
+    plan_from_seed,
+)
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan(self):
+        for seed in range(20):
+            assert plan_from_seed(seed).to_dict() == plan_from_seed(seed).to_dict()
+
+    def test_different_seeds_differ(self):
+        plans = {str(plan_from_seed(seed).to_dict()) for seed in range(20)}
+        assert len(plans) > 15  # near-certain: 20 independent draws
+
+    def test_json_round_trip(self):
+        for seed in (0, 7, 13):
+            plan = plan_from_seed(seed)
+            assert ChaosPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestPlanningConstraints:
+    def test_every_fault_kind_is_known(self):
+        for seed in range(40):
+            for event in plan_from_seed(seed).faults:
+                assert event.kind in FAULT_KINDS
+
+    def test_every_segment_kind_is_known_and_group_traffic_present(self):
+        for seed in range(40):
+            plan = plan_from_seed(seed)
+            kinds = [segment.kind for segment in plan.segments]
+            assert all(kind in SEGMENT_KINDS for kind in kinds)
+            assert "group-write" in kinds
+            assert "group-read" in kinds
+
+    def test_at_most_f_concurrent_crashes_per_partition(self):
+        for seed in range(60):
+            plan = plan_from_seed(seed)
+            windows = {}
+            for event in plan.faults:
+                if event.kind not in ("crash", "leader-kill"):
+                    continue
+                intervals = windows.setdefault(event.partition, [])
+                for start, end in intervals:
+                    assert not (
+                        event.at_ms < end and start < event.at_ms + event.duration_ms
+                    ), f"seed {seed}: overlapping crash windows in partition {event.partition}"
+                intervals.append((event.at_ms, event.at_ms + event.duration_ms))
+
+    def test_leader_kills_only_with_failover(self):
+        for seed in range(60):
+            plan = plan_from_seed(seed)
+            if any(event.kind == "leader-kill" for event in plan.faults):
+                assert plan.config.failover_enabled
+
+    def test_byzantine_proxies_only_with_edge_tier(self):
+        for seed in range(60):
+            plan = plan_from_seed(seed)
+            if any(event.kind == "byzantine-proxy" for event in plan.faults):
+                assert plan.config.edge_enabled
+
+    def test_groups_are_reserved_cross_partition_keys(self):
+        for seed in range(20):
+            plan = plan_from_seed(seed)
+            by_partition = partition_keys(plan.config)
+            placement = {
+                key: partition
+                for partition, keys in by_partition.items()
+                for key in keys
+            }
+            seen = set()
+            for group in plan.groups:
+                partitions = {placement[key] for key in group}
+                assert len(partitions) == 2  # spans two partitions
+                assert not (set(group) & seen)  # groups never share keys
+                seen.update(group)
+
+    def test_config_point_expands_to_valid_system_config(self):
+        for seed in range(20):
+            config = plan_from_seed(seed).config.to_system_config()
+            assert config.num_partitions >= 2

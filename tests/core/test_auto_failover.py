@@ -136,6 +136,27 @@ class TestLeaderCrashAutoRecovery:
         assert system.topology.leader(0) == old_leader
         assert system.counters().view_changes == 0
 
+    def test_futile_catchup_does_not_withhold_view_change_votes(self):
+        # "Behind" evidence can be fake: a byzantine leader may send a
+        # future pre-prepare that buffers behind a gap no honest peer can
+        # fill.  The monitor spends at most one catch-up recovery on it per
+        # stall, then falls through to normal leader suspicion — abstaining
+        # forever would let such a leader suppress this replica's
+        # view-change vote.
+        system = make_system()
+        follower_id = system.topology.members(0)[1]
+        follower = system.replicas[follower_id]
+        fake = object()  # never delivered: seq 99 stays behind the gap
+        follower.engine._buffered_pre_prepares[99] = (fake, follower_id)
+        assert follower.engine.is_behind()
+
+        follower.progress_monitor.poke()
+        system.run_until_idle()
+
+        # Exactly one (futile) catch-up, then votes like any stalled round.
+        assert follower.counters.catchup_recoveries == 1
+        assert follower.counters.leader_suspicions >= 1
+
     def test_follower_crash_does_not_trigger_view_change(self):
         system = make_system()
         client = system.create_client("w")

@@ -1,0 +1,220 @@
+"""Seeded property tests for ``stable_encode`` (no hypothesis dependency).
+
+The encoding is the root of every digest and signature in the system, so
+its contract gets fuzzed directly with plain seeded generators:
+
+* determinism, including across mapping insertion orders (recursively);
+* injectivity over a fuzzed corpus — distinct values ⇒ distinct encodings;
+* the format is *self-delimiting*: a reference decoder reconstructs every
+  nested structure exactly (types included) and knows where each value
+  ends, so concatenated encodings split unambiguously;
+* unsupported types fail with a clear ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Tuple
+
+import pytest
+
+from repro.crypto.hashing import stable_encode
+
+
+# ---------------------------------------------------------------------------
+# seeded value generator
+# ---------------------------------------------------------------------------
+
+
+def random_value(rng: random.Random, depth: int = 0) -> Any:
+    """One random encodable value; nesting shrinks with depth."""
+    scalar_makers = (
+        lambda: None,
+        lambda: rng.random() < 0.5,
+        lambda: rng.randint(-(2**70), 2**70),
+        lambda: rng.choice((-1.5, 0.0, 3.141592653589793, 1e300, -0.0)),
+        lambda: "".join(rng.choice("abcøé∂-µ🦀 ") for _ in range(rng.randint(0, 12))),
+        lambda: bytes(rng.randrange(256) for _ in range(rng.randint(0, 12))),
+    )
+    if depth >= 3 or rng.random() < 0.6:
+        return rng.choice(scalar_makers)()
+    if rng.random() < 0.5:
+        return [random_value(rng, depth + 1) for _ in range(rng.randint(0, 4))]
+    return {
+        "".join(rng.choice("klmnop") for _ in range(rng.randint(1, 6))): random_value(
+            rng, depth + 1
+        )
+        for _ in range(rng.randint(0, 4))
+    }
+
+
+def reorder_mappings(value: Any, rng: random.Random) -> Any:
+    """A structurally equal copy with every mapping's insertion order shuffled."""
+    if isinstance(value, dict):
+        items = [(key, reorder_mappings(item, rng)) for key, item in value.items()]
+        rng.shuffle(items)
+        return dict(items)
+    if isinstance(value, list):
+        return [reorder_mappings(item, rng) for item in value]
+    return value
+
+
+def canonical(value: Any) -> Tuple:
+    """A type-tagged canonical form: equal iff stable_encode must be equal."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if value is None:
+        return ("none",)
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, float):
+        return ("float", repr(value))
+    if isinstance(value, str):
+        return ("str", value)
+    if isinstance(value, bytes):
+        return ("bytes", value)
+    if isinstance(value, list):
+        return ("list", tuple(canonical(item) for item in value))
+    assert isinstance(value, dict)
+    return (
+        "map",
+        tuple(sorted((key, canonical(item)) for key, item in value.items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# reference decoder (asserts the format is self-delimiting)
+# ---------------------------------------------------------------------------
+
+
+def decode(data: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Decode one value starting at ``offset``; returns (value, next_offset)."""
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag in (b"T", b"F"):
+        return tag == b"T", offset
+    if tag in (b"I", b"D", b"S", b"B"):
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        offset += 4
+        payload = data[offset : offset + length]
+        offset += length
+        if tag == b"I":
+            return int(payload.decode("ascii")), offset
+        if tag == b"D":
+            return float(payload.decode("ascii")), offset
+        if tag == b"S":
+            return payload.decode("utf-8"), offset
+        return payload, offset
+    if tag == b"L":
+        count = int.from_bytes(data[offset : offset + 4], "big")
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = decode(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == b"M":
+        count = int.from_bytes(data[offset : offset + 4], "big")
+        offset += 4
+        mapping = {}
+        for _ in range(count):
+            key, offset = decode(data, offset)
+            item, offset = decode(data, offset)
+            mapping[key] = item
+        return mapping, offset
+    raise AssertionError(f"unknown tag {tag!r} at offset {offset - 1}")
+
+
+class TestDeterminism:
+    def test_encoding_is_deterministic(self):
+        rng = random.Random(0xD0)
+        for _ in range(300):
+            value = random_value(rng)
+            assert stable_encode(value) == stable_encode(value)
+
+    def test_mapping_insertion_order_is_irrelevant_recursively(self):
+        rng = random.Random(0xD1)
+        for _ in range(300):
+            value = random_value(rng)
+            shuffled = reorder_mappings(value, rng)
+            assert stable_encode(value) == stable_encode(shuffled)
+
+
+class TestInjectivity:
+    def test_distinct_values_encode_distinctly(self):
+        rng = random.Random(0xD2)
+        by_canonical = {}
+        encodings = {}
+        for _ in range(800):
+            value = random_value(rng)
+            form = canonical(value)
+            encoded = stable_encode(value)
+            if form in by_canonical:
+                # Equal canonical forms must agree (determinism).
+                assert encodings[form] == encoded
+                continue
+            # A new canonical form must get a never-seen encoding.
+            assert encoded not in set(encodings.values()), (
+                f"collision: {value!r} vs {by_canonical.get(form)!r}"
+            )
+            by_canonical[form] = value
+            encodings[form] = encoded
+
+    def test_classic_confusables(self):
+        pairs = (
+            (1, True),
+            (0, False),
+            (0, None),
+            ("1", 1),
+            (b"x", "x"),
+            (1.0, 1),
+            ([], {}),
+            ([""], [b""]),
+            ([[1], []], [[], [1]]),
+            ({"a": 1, "b": 2}, {"a": 2, "b": 1}),
+        )
+        for left, right in pairs:
+            assert stable_encode(left) != stable_encode(right)
+
+
+class TestSelfDelimitingRoundTrip:
+    def test_nested_structures_round_trip_exactly(self):
+        rng = random.Random(0xD3)
+        for _ in range(300):
+            value = random_value(rng)
+            encoded = stable_encode(value)
+            decoded, consumed = decode(encoded)
+            assert consumed == len(encoded), "encoding is not self-delimiting"
+            # Key order inside mappings is canonicalised by the encoding, so
+            # compare canonical forms (which are insertion-order blind).
+            assert canonical(decoded) == canonical(value)
+
+    def test_concatenated_encodings_split_unambiguously(self):
+        rng = random.Random(0xD4)
+        for _ in range(100):
+            first, second = random_value(rng), random_value(rng)
+            blob = stable_encode(first) + stable_encode(second)
+            decoded_first, offset = decode(blob)
+            decoded_second, end = decode(blob, offset)
+            assert end == len(blob)
+            assert canonical(decoded_first) == canonical(first)
+            assert canonical(decoded_second) == canonical(second)
+
+
+class TestUnsupportedTypes:
+    @pytest.mark.parametrize(
+        "value",
+        [object(), {1, 2}, frozenset(), complex(1, 2), bytearray(b"x"), range(3)],
+        ids=["object", "set", "frozenset", "complex", "bytearray", "range"],
+    )
+    def test_unsupported_value_raises_clear_type_error(self, value):
+        with pytest.raises(TypeError, match="cannot stably encode"):
+            stable_encode(value)
+
+    def test_non_string_mapping_keys_raise_clear_type_error(self):
+        with pytest.raises(TypeError, match="mapping keys must be str"):
+            stable_encode({1: "x"})
+        with pytest.raises(TypeError, match="mapping keys must be str"):
+            stable_encode({"ok": {b"bad": 1}})

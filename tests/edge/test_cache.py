@@ -2,11 +2,15 @@
 
 The cache is a pure data structure, so these tests drive it with stub
 headers/proofs; end-to-end behaviour (real proofs, real headers) is covered
-by ``test_proxy_reads.py``.
+by ``test_proxy_reads.py``.  ``TestChurn`` at the bottom fuzzes the three
+bounds (LRU capacity, TTL, header lag) *interacting* under a hot-key
+workload with header announcements racing refreshes — the steady-state
+paths above never exercise those interleavings.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.edge.cache import EdgeCache
@@ -134,3 +138,158 @@ class TestStalenessBounds:
         cache.lookup(0, ["a"], now_ms=0.0)
         cache.lookup(0, ["z"], now_ms=0.0)
         assert cache.hit_rate() == 0.5
+
+
+class _ShadowCache:
+    """Reference model: what the cache is *allowed* to serve at any moment.
+
+    Tracks, per partition, the context header plus each entry's admit batch
+    and admit time, mirroring admissions exactly (same merge/replace/ignore
+    rules, same LRU order) so every cache answer can be judged.
+    """
+
+    def __init__(self, capacity: int, ttl_ms, max_lag: int) -> None:
+        self.capacity = capacity
+        self.ttl_ms = ttl_ms
+        self.max_lag = max_lag
+        self.contexts = {}  # partition -> (header_batch, {key: admitted_at_ms})
+        self.order = {}  # partition -> [keys, LRU first]
+        self.announced = {}  # partition -> newest announced batch
+
+    def announce(self, partition: int, batch: int) -> None:
+        self.announced[partition] = max(self.announced.get(partition, batch), batch)
+
+    def admit(self, partition: int, batch: int, keys, now_ms: float) -> None:
+        self.announce(partition, batch)
+        context = self.contexts.get(partition)
+        if context is not None and batch < context[0]:
+            return
+        if context is None or batch > context[0]:
+            self.contexts[partition] = (batch, {})
+            self.order[partition] = []
+        _, entries = self.contexts[partition]
+        order = self.order[partition]
+        for key in keys:
+            entries[key] = now_ms
+            if key in order:
+                order.remove(key)
+            order.append(key)
+        while len(entries) > self.capacity:
+            evicted = order.pop(0)
+            del entries[evicted]
+
+    def filter(self, partition: int, now_ms: float) -> None:
+        """Mirror the cache's lookup-time bounds: stale-drop, then TTL sweep.
+
+        Must be applied exactly when the cache applies them (at lookup), or
+        the two models' LRU eviction orders drift apart.
+        """
+        context = self.contexts.get(partition)
+        if context is None:
+            return
+        header_batch, entries = context
+        announced = self.announced.get(partition, header_batch)
+        if announced - header_batch > self.max_lag:
+            del self.contexts[partition]
+            del self.order[partition]
+            return
+        if self.ttl_ms is not None:
+            expired = [k for k, t in entries.items() if now_ms - t > self.ttl_ms]
+            for key in expired:
+                del entries[key]
+                self.order[partition].remove(key)
+
+    def touch(self, partition: int, keys) -> None:
+        order = self.order.get(partition, [])
+        for key in keys:
+            if key in order:
+                order.remove(key)
+                order.append(key)
+
+
+class TestChurn:
+    """LRU + TTL + header-lag interacting under hot-key churn."""
+
+    def run_churn(self, seed: int, ttl_ms, max_lag: int, capacity: int = 4):
+        rng = random.Random(seed)
+        cache = EdgeCache(
+            capacity_per_partition=capacity,
+            ttl_ms=ttl_ms,
+            max_header_lag_batches=max_lag,
+        )
+        shadow = _ShadowCache(capacity, ttl_ms, max_lag)
+        keys = [f"k{i}" for i in range(10)]
+        hot = keys[:3]
+        now = 0.0
+        tip = {0: 0, 1: 0}
+        for _ in range(600):
+            now += rng.uniform(0.5, 3.0)
+            partition = rng.choice((0, 1))
+            action = rng.random()
+            if action < 0.35:
+                # A refresh lands: a core fetch admitted under some header —
+                # possibly one announcement behind the newest tip (the race:
+                # the announcement overtook the fetch reply).
+                tip[partition] += rng.randint(0, 2)
+                admitted_batch = max(0, tip[partition] - rng.randint(0, 1))
+                working_set = rng.sample(hot, rng.randint(1, 3)) + rng.sample(
+                    keys[3:], rng.randint(0, 3)
+                )
+                admit(cache, partition, admitted_batch, working_set, now_ms=now)
+                shadow.admit(partition, admitted_batch, working_set, now_ms=now)
+            elif action < 0.55:
+                # A bare header announcement races ahead of any refresh.
+                tip[partition] += rng.randint(1, 3)
+                cache.note_header(partition, StubHeader(tip[partition]))
+                shadow.announce(partition, tip[partition])
+            else:
+                # A hot-key lookup (the workload's skew).
+                wanted = rng.sample(hot, rng.randint(1, 3))
+                shadow.filter(partition, now)  # lookups apply the bounds
+                section = cache.lookup(partition, wanted, now_ms=now)
+                self.check_lookup(
+                    shadow, partition, wanted, section, now, ttl_ms, max_lag
+                )
+                if section is not None:
+                    shadow.touch(partition, wanted)
+            # Global bound invariants hold at every step.
+            assert cache.entry_count(0) <= capacity
+            assert cache.entry_count(1) <= capacity
+        stats = cache.stats
+        assert stats.hits + stats.misses > 0
+        return cache
+
+    def check_lookup(self, shadow, partition, wanted, section, now, ttl_ms, max_lag):
+        context = shadow.contexts.get(partition)
+        if section is None:
+            return  # misses are always allowed (they just cost a refetch)
+        # 1. Served sections come from the current context's header...
+        assert context is not None
+        header_batch, entries = context
+        assert section.header.number == header_batch
+        # 2. ...respect the announced-lag bound...
+        announced = shadow.announced.get(partition, header_batch)
+        assert announced - header_batch <= max_lag, (
+            "served a context lagging the announced tip beyond the bound"
+        )
+        # 3. ...and every returned entry is fresh under the TTL and was
+        # genuinely admitted under that header (values are batch-stamped).
+        for key in wanted:
+            assert key in entries, "served a key the context never admitted"
+            if ttl_ms is not None:
+                assert now - entries[key] <= ttl_ms, "served a TTL-expired entry"
+            assert section.values[key] == f"v-{key}@{header_batch}".encode()
+
+    def test_churn_with_all_bounds_active(self):
+        for seed in range(5):
+            cache = self.run_churn(seed, ttl_ms=6.0, max_lag=2)
+            # The scenario genuinely exercised all three bounds.
+            assert cache.stats.evictions > 0
+            assert cache.stats.ttl_drops > 0
+            assert cache.stats.stale_drops > 0
+
+    def test_churn_without_ttl(self):
+        self.run_churn(seed=11, ttl_ms=None, max_lag=1)
+
+    def test_churn_with_loose_lag(self):
+        self.run_churn(seed=12, ttl_ms=4.0, max_lag=50)

@@ -1,0 +1,101 @@
+"""Regression test pinning the known 2PC retention gap (ROADMAP item).
+
+Resuming a predecessor's unfinished coordination rebuilds the coordinator's
+vote from the *retained certified header* of the prepare batch.  Headers
+older than the checkpoint retention window are pruned, so a coordination
+whose prepare batch aged past the window cannot be resumed — the documented
+fix is carrying the needed headers inside the checkpoint image.  Until that
+lands, the condition must be *reported* (diagnostic + counter), not a
+silent stall: these tests pin the reporting behaviour so the gap cannot
+regress into mystery.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import BatchConfig, LatencyConfig, SystemConfig
+from repro.core.batch import PreparedRecord
+from repro.core.system import TransEdgeSystem
+from repro.core.transaction import TxnPayload
+
+
+def make_system() -> TransEdgeSystem:
+    return TransEdgeSystem(
+        SystemConfig(
+            num_partitions=2,
+            fault_tolerance=1,
+            initial_keys=32,
+            batch=BatchConfig(max_size=4, timeout_ms=2.0),
+            latency=LatencyConfig(jitter_fraction=0.0),
+        )
+    )
+
+
+def plant_stale_coordination(system: TransEdgeSystem, txn_id: str) -> PreparedRecord:
+    """Install a prepared-but-undecided group whose header is already gone.
+
+    The group claims its prepare was written in batch 1; only the genesis
+    header (batch 0) is retained at this point, so ``header_at(1)`` returns
+    None — exactly the state a pruned retention window leaves behind.
+    """
+    leader = system.leader_replica(0)
+    key0 = system.keys_of_partition(0)[0]
+    key1 = system.keys_of_partition(1)[0]
+    txn = TxnPayload(
+        txn_id=txn_id, reads={}, writes={key0: b"a", key1: b"b"}, client="test"
+    )
+    record = PreparedRecord(txn=txn, coordinator=0)
+    leader.prepared_batches.add_group(1, [record])
+    assert leader.header_at(1) is None
+    return record
+
+
+class TestRetentionGapDiagnostic:
+    def test_unresumable_coordination_is_reported_once(self):
+        system = make_system()
+        leader = system.leader_replica(0)
+        record = plant_stale_coordination(system, "stale-txn")
+
+        leader.leader_role._redrive_coordinated("stale-txn", record)
+        assert leader.counters.two_pc_unresumable == 1
+        diagnostic = leader.leader_role.unresumable["stale-txn"]
+        assert "retention" in diagnostic
+        assert "prepare batch 1" in diagnostic
+        # The documented follow-up is named, so the report is actionable.
+        assert "checkpoint image" in diagnostic
+
+        # Re-driving again does not double-count the same coordination.
+        leader.leader_role._redrive_coordinated("stale-txn", record)
+        assert leader.counters.two_pc_unresumable == 1
+        assert system.counters().two_pc_unresumable == 1
+
+    def test_retry_timer_path_reports_unresumable(self):
+        # The organic path: the 2PC retry timer finds the pending group and
+        # attempts to resume it; the retention gap surfaces as a diagnostic
+        # and the retry budget still winds down (no infinite timer loop).
+        system = make_system()
+        leader = system.leader_replica(0)
+        plant_stale_coordination(system, "stale-timer-txn")
+
+        leader.leader_role.nudge_two_pc()
+        system.run_until_idle()
+
+        assert leader.counters.two_pc_unresumable == 1
+        assert "stale-timer-txn" in leader.leader_role.unresumable
+        assert leader.counters.two_pc_retries >= 1
+
+    def test_resumable_coordination_is_not_flagged(self):
+        # A coordination whose header *is* retained resumes normally and
+        # must not be reported unresumable.
+        system = make_system()
+        client = system.create_client("w")
+        keys = [system.keys_of_partition(0)[0], system.keys_of_partition(1)[0]]
+        results = []
+
+        def body():
+            result = yield from client.read_write_txn([], {k: b"v" for k in keys})
+            results.append(result)
+
+        client.spawn(body())
+        system.run_until_idle()
+        assert results and results[0].committed
+        assert system.counters().two_pc_unresumable == 0
