@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI gate for the observability layer (the `obs-smoke` job).
+
+Asserts the layer's headline invariants:
+
+* cross-process determinism — ``python -m repro.obs --digest`` run in two
+  fresh interpreters (with different ``PYTHONHASHSEED`` values, so set/dict
+  iteration order differs) prints the same trace digest;
+* export schema — the Chrome trace document carries well-typed complete
+  ("ph": "X") events and embeds the digest, and the run dump round-trips
+  through JSON;
+* phase reconciliation — for every completed trace, the per-phase breakdown
+  sums back to the end-to-end root duration within 1%.
+
+Usage::
+
+    python benchmarks/check_obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TXNS = "30"
+
+
+def cli(args, hash_seed):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONHASHSEED"] = hash_seed
+    return subprocess.run(
+        [sys.executable, "-m", "repro.obs", "--txns", TXNS, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        check=True,
+    ).stdout
+
+
+def main() -> int:
+    failures = []
+
+    digests = [cli(["--digest"], hash_seed=seed).strip() for seed in ("1", "31337")]
+    for digest in digests:
+        if len(digest) != 64:
+            failures.append(f"digest {digest!r} is not 64 hex chars")
+    if digests[0] != digests[1]:
+        failures.append(
+            f"digest differs across processes: {digests[0]} vs {digests[1]}"
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chrome_path = os.path.join(tmp, "chrome.json")
+        dump_path = os.path.join(tmp, "run.json")
+        cli(["--chrome", chrome_path, "--export", dump_path], hash_seed="0")
+        with open(chrome_path, "r", encoding="utf-8") as handle:
+            chrome = json.load(handle)
+        events = chrome.get("traceEvents", [])
+        if not events:
+            failures.append("Chrome document has no traceEvents")
+        for event in events:
+            if event.get("ph") != "X" or not isinstance(event.get("dur"), float):
+                failures.append(f"malformed Chrome event: {event}")
+                break
+        if chrome.get("otherData", {}).get("digest") != digests[0]:
+            failures.append("Chrome document digest does not match --digest output")
+
+        with open(dump_path, "r", encoding="utf-8") as handle:
+            dump = json.load(handle)
+        if dump.get("digest") != digests[0]:
+            failures.append("run dump digest does not match --digest output")
+        if not dump.get("traces"):
+            failures.append("run dump has no traces")
+
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    from repro.obs.attribution import reconciliation_error
+    from repro.obs.cli import traced_workload
+
+    obs = traced_workload(int(TXNS), seed=7)
+    completed = obs.tracer.completed_traces()
+    if not completed:
+        failures.append("traced workload produced no completed traces")
+    worst = max((reconciliation_error(trace) for trace in completed), default=0.0)
+    if worst > 0.01:
+        failures.append(f"phase breakdown off by {worst:.2%} (allowed 1%)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"obs smoke OK: digest {digests[0][:16]}… stable across processes, "
+        f"{len(events)} Chrome events, {len(completed)} traces reconcile "
+        f"(worst error {worst:.4%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,7 @@ def build_system(
     extra_latency_ms: float = 0.0,
     seed: int = 7,
     value_size: int = 64,
+    traced: bool = False,
 ) -> TransEdgeSystem:
     """A deployment mirroring Section 5.1 (5 clusters of ``3f+1`` replicas)."""
     config = SystemConfig(
@@ -93,6 +94,8 @@ def build_system(
         value_size=value_size,
         seed=seed,
     )
+    if traced:
+        config = config.with_tracing(True, max_traces=20_000)
     return TransEdgeSystem(config)
 
 
@@ -713,8 +716,7 @@ def fig16_crash_recovery(txns_per_point: Optional[int] = None) -> FigureResult:
     events.record_event("leader-crash-views-adopted", counters.views_adopted)
     events.record_event("leader-crash-decision-queries", counters.decision_queries_served)
     events.record_event("stranded-prepared", stranded)
-    for node, (hits, misses) in system.verify_cache_stats().items():
-        events.record_verify_cache(node, hits, misses)
+    events.record_cache_snapshot(system.cache_snapshot(record_event=True))
     cache_hits, cache_misses = events.verify_cache_totals()
     leader_series.add(0, ex_leader.counters.recoveries_completed)
     leader_series.add(1, counters.view_changes)
@@ -908,8 +910,7 @@ def fig_edge(txns_per_point: Optional[int] = None) -> FigureResult:
         if core_count:
             core_latency.add(num_proxies, round(core_mean, 3))
         counters = result.counters
-        for proxy_name, (cache_hits, cache_misses) in system.edge_cache_stats().items():
-            result.metrics.record_edge_cache(proxy_name, cache_hits, cache_misses)
+        result.metrics.record_cache_snapshot(system.cache_snapshot(record_event=True))
         hits, misses = result.metrics.edge_cache_totals()
         lookups = hits + misses
         if num_proxies > 0:
@@ -931,8 +932,7 @@ def fig_edge(txns_per_point: Optional[int] = None) -> FigureResult:
         )
         specs = generator.mixed_stream(txns)
         result = execute_workload(system, specs, concurrency=8, num_clients=4)
-        for proxy_name, (cache_hits, cache_misses) in system.edge_cache_stats().items():
-            result.metrics.record_edge_cache(proxy_name, cache_hits, cache_misses)
+        result.metrics.record_cache_snapshot(system.cache_snapshot(record_event=True))
         hits, misses = result.metrics.edge_cache_totals()
         fraction_hits.add(
             round(100 * read_fraction),
@@ -959,6 +959,96 @@ def fig_edge(txns_per_point: Optional[int] = None) -> FigureResult:
         "(client→edge 0.25 ms, client→core 6 ms one-way)"
     )
     return figure
+
+
+# ---------------------------------------------------------------------------
+# Obs — phase-level latency attribution from causal traces (repro.obs)
+# ---------------------------------------------------------------------------
+
+
+def _phase_note(aggregate) -> str:
+    """One-line phase breakdown (p50/p95 ms and share) for figure notes."""
+    parts = []
+    for phase in aggregate.phases():
+        summary = aggregate.summary(phase)
+        parts.append(
+            f"{phase} {summary.p50_ms:.2f}/{summary.p95_ms:.2f}ms p50/p95 "
+            f"({100.0 * aggregate.share(phase):.0f}%)"
+        )
+    return f"phase breakdown over {aggregate.traces} traced txns: " + ", ".join(parts)
+
+
+def obs_phase_attribution(txns_per_point: Optional[int] = None) -> TableResult:
+    """Per-phase latency table from causal traces (fig10-style workload).
+
+    Not a figure of the paper: this is the observability layer
+    (:mod:`repro.obs`) surfaced as a benchmark entry.  A traced
+    distributed read-write run (the Figure 10 shape) is attributed
+    phase-by-phase by partitioning each transaction's root interval
+    (:func:`repro.obs.attribution.phase_breakdown`), so the per-phase sums
+    reconcile with the end-to-end latency by construction — the note below
+    records the reconciliation error, which a test pins at ±1%.  The trace
+    digest is also recorded: same seed ⇒ byte-identical digest, which is
+    the regression oracle the CI ``obs-smoke`` job checks.
+    """
+    from repro.obs.attribution import (
+        PhaseAggregate,
+        phase_breakdown,
+        reconciliation_error,
+    )
+
+    txns = scaled(txns_per_point or 200)
+    system = build_system(fault_tolerance=1, batch_timeout_ms=10.0, traced=True)
+    generator = make_generator(system)
+    specs = [generator.distributed_read_write() for _ in range(txns)]
+    result = execute_workload(system, specs, concurrency=16, num_clients=4)
+
+    obs = system.env.obs
+    aggregate = PhaseAggregate()
+    root_durations: List[float] = []
+    worst_error = 0.0
+    for trace in obs.tracer.completed_traces():
+        aggregate.add_trace(trace)
+        worst_error = max(worst_error, reconciliation_error(trace))
+        root = trace.root
+        if root is not None and root.closed:
+            root_durations.append(root.duration_ms)
+            for phase, ms in phase_breakdown(trace).items():
+                result.metrics.record_phase_sample(phase, ms)
+
+    table = TableResult(
+        table_id="Obs",
+        title="Phase-level latency attribution (distributed read-write)",
+        columns=["count", "total ms", "share %", "p50 ms", "p95 ms", "p99 ms"],
+    )
+    for phase in aggregate.phases():
+        summary = aggregate.summary(phase)
+        table.set(phase, "count", summary.count)
+        table.set(phase, "total ms", round(aggregate.total_ms(phase), 2))
+        table.set(phase, "share %", round(100.0 * aggregate.share(phase), 1))
+        table.set(phase, "p50 ms", round(summary.p50_ms, 3))
+        table.set(phase, "p95 ms", round(summary.p95_ms, 3))
+        table.set(phase, "p99 ms", round(summary.p99_ms, 3))
+    from repro.metrics.collector import summarize_latencies
+
+    end_to_end = summarize_latencies(root_durations)
+    table.set("end-to-end", "count", end_to_end.count)
+    table.set("end-to-end", "total ms", round(sum(root_durations), 2))
+    table.set("end-to-end", "share %", 100.0)
+    table.set("end-to-end", "p50 ms", round(end_to_end.p50_ms, 3))
+    table.set("end-to-end", "p95 ms", round(end_to_end.p95_ms, 3))
+    table.set("end-to-end", "p99 ms", round(end_to_end.p99_ms, 3))
+
+    attributed = sum(aggregate.total_ms(phase) for phase in aggregate.phases())
+    table.notes.append(
+        f"{txns} distributed read-write txns, {aggregate.traces} complete traces; "
+        f"attributed {attributed:.2f} ms vs end-to-end {sum(root_durations):.2f} ms "
+        f"(worst per-trace reconciliation error {100.0 * worst_error:.4f}%)"
+    )
+    table.notes.append(
+        f"{obs.tracer.spans_recorded} spans recorded; trace digest {obs.tracer.digest()}"
+    )
+    return table
 
 
 # ---------------------------------------------------------------------------
@@ -1048,7 +1138,8 @@ def perf_snapshot_hotpaths(txns_per_point: Optional[int] = None) -> FigureResult
 
     # Verify-cache effectiveness, measured on a real (small) deployment under
     # a read-only + distributed-writer mix that exercises the round-2 path.
-    system = build_system(fault_tolerance=1, initial_keys=300)
+    # Traced, so the perf baseline also records a phase breakdown note.
+    system = build_system(fault_tolerance=1, initial_keys=300, traced=True)
     generator = make_generator(system)
     foreground = [generator.read_only(clusters=5) for _ in range(scaled(20))]
     background = [generator.distributed_read_write() for _ in range(scaled(40))]
@@ -1064,9 +1155,10 @@ def perf_snapshot_hotpaths(txns_per_point: Optional[int] = None) -> FigureResult
     counters = system.counters()
     # Sum over every node's private cache — replicas *and* clients (the
     # replica-only totals live in SystemCounters.verify_cache_hits/misses).
-    cache_stats = system.verify_cache_stats()
-    cache_hits = sum(hits for hits, _ in cache_stats.values())
-    cache_misses = sum(misses for _, misses in cache_stats.values())
+    snapshot = system.cache_snapshot(record_event=True)
+    cache_stats = {**snapshot["verify_replicas"], **snapshot["verify_clients"]}
+    cache_hits = sum(entry["hits"] for entry in cache_stats.values())
+    cache_misses = sum(entry["misses"] for entry in cache_stats.values())
     cache_total = max(1, cache_hits + cache_misses)
     figure.notes.append(
         f"verify-cache hit rate {100.0 * cache_hits / cache_total:.1f}% "
@@ -1082,6 +1174,9 @@ def perf_snapshot_hotpaths(txns_per_point: Optional[int] = None) -> FigureResult
         f"requests read {request_size} keys; {reps_fast}/{reps_rebuild} timed "
         "repetitions (fast/rebuild)"
     )
+    aggregate = system.env.obs.phase_aggregate()
+    if aggregate.traces:
+        figure.notes.append(_phase_note(aggregate))
     return figure
 
 
@@ -1204,6 +1299,7 @@ EXPERIMENTS = {
     "fig15": fig15_fault_tolerance,
     "fig16": fig16_crash_recovery,
     "fig_edge": fig_edge,
+    "obs": obs_phase_attribution,
     "perf": perf_snapshot_hotpaths,
     "chaos": chaos_sweep,
     "table1": table1_read_only_interference,

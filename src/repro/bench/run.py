@@ -43,6 +43,15 @@ def main(argv: "List[str] | None" = None) -> int:
         default=None,
         help="also write results as machine-readable JSON to PATH",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable causal tracing (repro.obs) in every experiment deployment "
+            "and write the last traced run's Chrome-trace JSON to PATH"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -64,6 +73,11 @@ def main(argv: "List[str] | None" = None) -> int:
         except OSError as error:
             print(f"cannot write JSON results to {args.json}: {error}", file=sys.stderr)
             return 2
+
+    if args.trace:
+        from repro.obs import runtime
+
+        runtime.enable_trace_mode(True)
 
     print(f"scale factor: {scale_factor()} (set REPRO_BENCH_SCALE to change)")
     document = {
@@ -88,6 +102,22 @@ def main(argv: "List[str] | None" = None) -> int:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"\nwrote JSON results to {args.json}")
+
+    if args.trace:
+        from repro.obs import runtime
+        from repro.obs.export import chrome_trace_document, write_json
+
+        obs = runtime.last_observability()
+        if obs is None:
+            print("--trace: no experiment built a traced deployment", file=sys.stderr)
+        else:
+            chrome = chrome_trace_document(obs)
+            write_json(chrome, args.trace)
+            print(
+                f"wrote Chrome trace ({len(chrome['traceEvents'])} events, "
+                f"digest {obs.tracer.digest()[:16]}…) to {args.trace}"
+            )
+        runtime.reset()  # don't leak trace mode into later in-process calls
     return 0
 
 

@@ -15,6 +15,9 @@ The bugs are deliberately real ones from this codebase's lineage:
 * ``skip-crash-restarts`` — the runner "forgets" to restart crashed
   replicas at quiescence, modelling an operator that never rejoins failed
   nodes.  Caught by the liveness and recovery-convergence oracles.
+* ``drop-commit-replies`` — leaders silently drop every second commit
+  reply.  State stays perfectly consistent, so only the causal-trace
+  completeness oracle (repro.obs) can see the loss.
 """
 
 from __future__ import annotations
@@ -51,6 +54,34 @@ def _no_dependency_repair():
         client_module.find_unsatisfied_dependencies = original
 
 
+@contextlib.contextmanager
+def _drop_commit_replies():
+    """Leaders silently drop every second commit reply they would send.
+
+    The classic lost-reply bug: the transaction commits (state is correct,
+    so no serializability oracle can see it) but the client never hears
+    back.  Only the causal-trace completeness oracle catches it — a trace
+    whose ``CommitRequest`` reached a healthy leader must contain a
+    ``CommitReply``.
+    """
+    from repro.core.leader import LeaderRole
+
+    original = LeaderRole._send_commit_reply
+    state = {"count": 0}
+
+    def dropping(self, client, reply):
+        state["count"] += 1
+        if state["count"] % 2 == 0:
+            return  # swallow the reply; the client waits forever
+        original(self, client, reply)
+
+    LeaderRole._send_commit_reply = dropping
+    try:
+        yield
+    finally:
+        LeaderRole._send_commit_reply = original
+
+
 BUGS: Dict[str, InjectedBug] = {
     bug.name: bug
     for bug in (
@@ -66,6 +97,14 @@ BUGS: Dict[str, InjectedBug] = {
             name="skip-crash-restarts",
             description="crashed replicas are never restarted at quiescence",
             skip_restarts=True,
+        ),
+        InjectedBug(
+            name="drop-commit-replies",
+            description=(
+                "leaders silently drop every second commit reply (committed "
+                "state is consistent; only trace completeness sees the loss)"
+            ),
+            patch=_drop_commit_replies,
         ),
     )
 }

@@ -11,8 +11,9 @@ Fuzzing loop, bug self-tests and artifact replay::
 Exit code 0 when every requested run passed all oracles, 1 otherwise.  On a
 failure the schedule is shrunk (disable with ``--no-shrink``) and written as
 ``chaos-repro-<seed>.json`` next to ``--artifact-dir``; the artifact records
-the minimal plan, the oracle failures, the injected bug (if any) and the
-exact replay command.
+the minimal plan, the oracle failures, the injected bug (if any), the exact
+replay command, and the run's black box — the flight recorder's last events
+plus the failing transactions' full causal traces (:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ from repro.chaos.plan import ChaosPlan, plan_from_seed
 from repro.chaos.runner import ChaosReport, run_plan
 from repro.chaos.shrink import shrink_plan
 
-ARTIFACT_VERSION = 1
+ARTIFACT_VERSION = 2  # v2: flight_recorder + failing_traces payloads
 
 
 def artifact_path(directory: str, seed: int) -> str:
@@ -59,6 +60,10 @@ def write_artifact(
         "fault_events": len(plan.faults),
         "replay": f"python -m repro.chaos --replay {filename}",
         "plan": plan.to_dict(),
+        # Black box (repro.obs): the flight recorder's tail and the failing
+        # transactions' full causal traces, as captured at failure time.
+        "flight_recorder": report.flight_recorder,
+        "failing_traces": report.failing_traces,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

@@ -87,6 +87,14 @@ class ChaosReport:
     elapsed_sim_ms: float = 0.0
     counters: Dict[str, int] = field(default_factory=dict)
     history_digest: str = ""
+    #: Streaming digest over every causal span the run recorded (repro.obs).
+    #: Deliberately outside :meth:`fingerprint`: the fingerprint predates
+    #: tracing and archived fingerprints must stay comparable.
+    trace_digest: str = ""
+    #: Flight-recorder tail + failing transactions' full traces, attached
+    #: only when an oracle failed — the repro artifact's black box.
+    flight_recorder: List[Dict[str, object]] = field(default_factory=list)
+    failing_traces: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -392,7 +400,15 @@ def run_seed(
 def _run(
     plan: ChaosPlan, bug: Optional[InjectedBug], max_events: int
 ) -> ChaosReport:
-    system = TransEdgeSystem(plan.config.to_system_config())
+    # Tracing is always on under chaos: spans draw no randomness and add no
+    # simulator events, so fingerprints are unchanged, and the traces are
+    # both an oracle input (trace completeness) and the failure artifact's
+    # flight-recorder payload.  The retention window and per-node rings are
+    # enlarged so excuse events (drops, delays) survive long fault storms.
+    config = plan.config.to_system_config().with_tracing(
+        True, max_traces=20_000, ring_capacity=100_000
+    )
+    system = TransEdgeSystem(config)
     history = ExecutionHistory(system.initial_data)
     tracker = _Tracker()
     reserved = {key for group in plan.groups for key in group}
@@ -499,6 +515,20 @@ def _run(
     )
     failures = run_suite(observation)
 
+    obs = system.env.obs
+    flight_recorder: List[Dict[str, object]] = []
+    failing_traces: List[Dict[str, object]] = []
+    if failures:
+        flight_recorder = obs.recorder.as_dicts(last_n=200)
+        # Any retained trace a failure names by id ships whole: the artifact
+        # then shows the failing transaction's entire causal history.
+        descriptions = " ".join(f.description for f in failures)
+        failing_traces = [
+            trace.to_dict()
+            for trace in obs.tracer.traces()
+            if trace.trace_id in descriptions
+        ]
+
     counters = {
         name: int(value) for name, value in asdict(system.counters()).items()
     }
@@ -519,4 +549,7 @@ def _run(
         elapsed_sim_ms=system.now,
         counters=counters,
         history_digest=_history_digest(history),
+        trace_digest=obs.tracer.digest(),
+        flight_recorder=flight_recorder,
+        failing_traces=failing_traces,
     )

@@ -310,13 +310,47 @@ class EdgeConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability knobs (:mod:`repro.obs`).
+
+    ``tracing_enabled`` turns on causal spans: clients open one trace per
+    transaction, a ``TraceContext`` rides on every message, and every node
+    records queue/net/handle spans.  Tracing draws no randomness and
+    schedules no simulator events, so enabling it never changes what a run
+    *does* — only what it records — and the same seed always produces the
+    same trace digest.  Off by default: the hot path then pays only a
+    boolean check per message.
+
+    ``events_enabled`` turns on the flight recorder: bounded per-node rings
+    (``ring_capacity`` events each) of typed protocol events (view changes,
+    checkpoints, recoveries, fault injections, cache refreshes).  On by
+    default — the sites are rare and the memory is bounded.
+
+    ``max_traces`` bounds trace retention: completed traces past the window
+    are evicted oldest-first (the streaming digest already covers them).
+    """
+
+    tracing_enabled: bool = False
+    events_enabled: bool = True
+    ring_capacity: int = 256
+    max_traces: int = 2048
+
+    def validate(self) -> None:
+        if self.ring_capacity < 1:
+            raise ConfigurationError("obs ring_capacity must be >= 1")
+        if self.max_traces < 1:
+            raise ConfigurationError("obs max_traces must be >= 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level description of a simulated TransEdge deployment.
 
     ``perf`` collects the hot-path optimisation knobs (Merkle tree archive
     for snapshot reads, signature verify cache); see :class:`PerfConfig`.
     ``edge`` describes the optional untrusted edge read-proxy tier; see
-    :class:`EdgeConfig`.
+    :class:`EdgeConfig`.  ``obs`` configures tracing and the flight
+    recorder; see :class:`ObsConfig`.
     """
 
     num_partitions: int = 5
@@ -329,6 +363,7 @@ class SystemConfig:
     failover: FailoverConfig = field(default_factory=FailoverConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
     edge: EdgeConfig = field(default_factory=EdgeConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     crypto_backend: str = "hmac"
     seed: int = 7
     initial_keys: int = 1_000
@@ -372,6 +407,7 @@ class SystemConfig:
         self.failover.validate()
         self.perf.validate()
         self.edge.validate()
+        self.obs.validate()
         return self
 
     def with_updates(self, **changes: object) -> "SystemConfig":
@@ -382,6 +418,12 @@ class SystemConfig:
             config.with_updates(latency=LatencyConfig(inter_cluster_extra_ms=70))
         """
         return replace(self, **changes).validate()
+
+    def with_tracing(self, enabled: bool = True, **obs_changes: object) -> "SystemConfig":
+        """Copy with causal tracing toggled (and optional ObsConfig tweaks)."""
+        return self.with_updates(
+            obs=replace(self.obs, tracing_enabled=enabled, **obs_changes)
+        )
 
 
 def paper_scale_config() -> SystemConfig:

@@ -191,6 +191,38 @@ class TransEdgeClient(ProcessNode):
         return self._txn_ids.next()
 
     # ------------------------------------------------------------------
+    # causal tracing (repro.obs)
+    # ------------------------------------------------------------------
+
+    def _trace_begin(self, kind: str, txn_id: str):
+        """Open a transaction's root span and make it the process's context.
+
+        The transaction id is the trace id, so a chaos failure naming a
+        transaction can be joined directly against the trace store.  Returns
+        ``None`` (and does nothing) when tracing is disabled.
+        """
+        obs = self.env.obs
+        if not obs.tracing:
+            return None
+        span = obs.tracer.begin_trace(txn_id, kind, str(self.node_id))
+        process = self._active_process
+        if process is not None:
+            process.span = span
+        self._current_span = span
+        return span
+
+    def _trace_end(self, span, status: str = "ok") -> None:
+        """Close a transaction's root span and drop it from the process."""
+        if span is None:
+            return
+        self.env.obs.tracer.finish(span, status=status)
+        process = self._active_process
+        if process is not None and process.span is span:
+            process.span = None
+        if self._current_span is span:
+            self._current_span = None
+
+    # ------------------------------------------------------------------
     # read-write transactions
     # ------------------------------------------------------------------
 
@@ -201,6 +233,19 @@ class TransEdgeClient(ProcessNode):
     ) -> Generator[object, object, CommitResult]:
         """Run one read-write transaction and return its :class:`CommitResult`."""
         txn_id = self.next_txn_id()
+        span = self._trace_begin("txn:rw", txn_id)
+        result = yield from self._read_write_txn(txn_id, read_keys, writes)
+        self._trace_end(
+            span, "ok" if result.status is TxnStatus.COMMITTED else "abort"
+        )
+        return result
+
+    def _read_write_txn(
+        self,
+        txn_id: str,
+        read_keys: Sequence[Key],
+        writes: Mapping[Key, Value],
+    ) -> Generator[object, object, CommitResult]:
         start = self.now
 
         reads: Dict[Key, BatchNumber] = {}
@@ -275,6 +320,14 @@ class TransEdgeClient(ProcessNode):
         (only core replicas hold the archived historical trees).
         """
         txn_id = self.next_txn_id()
+        span = self._trace_begin("txn:ro", txn_id)
+        result = yield from self._read_only_txn(txn_id, keys)
+        self._trace_end(span, "ok" if result.verified else "unverified")
+        return result
+
+    def _read_only_txn(
+        self, txn_id: str, keys: Sequence[Key]
+    ) -> Generator[object, object, ReadOnlyResult]:
         start = self.now
         grouped = self.partitioner.group_keys(keys)
 

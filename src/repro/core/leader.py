@@ -36,6 +36,8 @@ from repro.core.messages import (
 )
 from repro.core.occ import KeyConflictIndex
 from repro.core.transaction import TxnPayload
+from repro.obs.trace import Span, TraceContext
+from repro.simnet.messages import Message
 from repro.storage.locks import LockMode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
@@ -95,6 +97,12 @@ class LeaderRole:
         #: instead of a silent stall.
         self.unresumable: Dict[str, str] = {}
         self.sealed_batches = 0
+        #: Causal tracing (repro.obs): the open leader-side span of each
+        #: traced transaction, and the commit request's context — needed
+        #: because replies and 2PC messages are sent from batch-delivery
+        #: handlers where no traced dispatch is current.
+        self._obs_spans: Dict[str, Span] = {}
+        self._obs_ctx: Dict[str, TraceContext] = {}
 
     # ------------------------------------------------------------------
     # helpers
@@ -146,7 +154,7 @@ class LeaderRole:
             self._replica.counters.lock_interference_aborts += 1
         else:
             self._replica.counters.conflict_aborts += 1
-        self._replica.send(
+        self._send_commit_reply(
             waiting.client,
             CommitReply(
                 request_id=waiting.request_id,
@@ -155,6 +163,91 @@ class LeaderRole:
                 abort_reason=reason,
             ),
         )
+
+    # ------------------------------------------------------------------
+    # causal tracing (repro.obs)
+    # ------------------------------------------------------------------
+
+    def _obs_admit(self, txn_id: str, message: CommitRequest) -> None:
+        """Open the leader-side span of a freshly admitted transaction.
+
+        ``leader:batch-wait`` (phase ``queue``) covers admission until the
+        batch seals, when :meth:`_obs_seal` replaces it with
+        ``leader:consensus``.  Consensus votes and 2PC bookkeeping are
+        untraced protocol traffic, so these two spans are what attribute
+        batching and ordering/2PC time to the transaction.
+        """
+        obs = self._replica.env.obs
+        if not obs.tracing or message.trace is None:
+            return
+        parent = self._replica._current_span
+        span = obs.tracer.span(
+            message.trace.trace_id,
+            parent.span_id if parent is not None else message.trace.span_id,
+            "leader:batch-wait",
+            str(self._replica.node_id),
+            "queue",
+        )
+        self._obs_spans[txn_id] = span
+        self._obs_ctx[txn_id] = message.trace
+
+    def _obs_participant_admit(self, txn_id: str, message: CoordinatorPrepare) -> None:
+        """Remember a traced prepare's context, to stamp our vote with it."""
+        if self._replica.env.obs.tracing and message.trace is not None:
+            self._obs_ctx[txn_id] = message.trace
+
+    def _obs_seal(self, txn_id: str) -> None:
+        """The transaction entered a sealed batch: batch-wait → consensus."""
+        span = self._obs_spans.get(txn_id)
+        if span is None:
+            return
+        tracer = self._replica.env.obs.tracer
+        tracer.finish(span)
+        self._obs_spans[txn_id] = tracer.span(
+            span.trace_id,
+            span.span_id,
+            "leader:consensus",
+            str(self._replica.node_id),
+            "consensus",
+        )
+
+    def _obs_stamp(self, txn_id: str, message: Message) -> None:
+        """Stamp a 2PC message sent from outside any traced dispatch."""
+        if message.trace is not None:
+            return
+        span = self._obs_spans.get(txn_id)
+        if span is not None:
+            message.trace = span.context()
+            return
+        ctx = self._obs_ctx.get(txn_id)
+        if ctx is not None:
+            message.trace = ctx
+
+    def _send_commit_reply(self, client: NodeId, reply: CommitReply) -> None:
+        """Single exit point for every commit reply this leader sends.
+
+        Closes the transaction's leader-side span (status mirrors the
+        outcome) and stamps the reply so the client-side trace completes.
+        The chaos bug ``drop-commit-replies`` patches this method.
+        """
+        span = self._obs_spans.pop(reply.txn_id, None)
+        self._obs_ctx.pop(reply.txn_id, None)
+        if span is not None:
+            status = "ok" if reply.status is TxnStatus.COMMITTED else "abort"
+            self._replica.env.obs.tracer.finish(span, status=status)
+            if reply.trace is None:
+                reply.trace = span.context()
+        self._replica.env.obs.event(
+            str(self._replica.node_id),
+            "commit-reply",
+            "debug",
+            {
+                "txn": reply.txn_id,
+                "client": str(client),
+                "status": reply.status.name.lower(),
+            },
+        )
+        self._replica.send(client, reply)
 
     # ------------------------------------------------------------------
     # client commit requests
@@ -192,6 +285,7 @@ class LeaderRole:
             return
 
         self._waiting_clients[txn.txn_id] = waiting
+        self._obs_admit(txn.txn_id, message)
         self._in_progress_index.add(txn)
         self._acquire_write_locks(txn)
         if len(accessed) == 1:
@@ -226,7 +320,7 @@ class LeaderRole:
         if decided is not None:
             commit_batch, record = decided
             status = TxnStatus.COMMITTED if record.decision else TxnStatus.ABORTED
-            replica.send(
+            self._send_commit_reply(
                 waiting.client,
                 CommitReply(
                     request_id=waiting.request_id,
@@ -239,7 +333,7 @@ class LeaderRole:
             return True
         local_batch = replica.local_decided.get(txn_id)
         if local_batch is not None:
-            replica.send(
+            self._send_commit_reply(
                 waiting.client,
                 CommitReply(
                     request_id=waiting.request_id,
@@ -325,6 +419,7 @@ class LeaderRole:
         self._participant_states[txn.txn_id] = _ParticipantState(
             txn=txn, coordinator=message.coordinator
         )
+        self._obs_participant_admit(txn.txn_id, message)
         self._in_progress_index.add(txn)
         self._acquire_write_locks(txn)
         self._in_progress_prepared.append(
@@ -624,6 +719,7 @@ class LeaderRole:
             if report.ok and not self._lock_interference(txn):
                 local_txns.append(txn)
                 accepted_index.add(txn)
+                self._obs_seal(txn.txn_id)
             else:
                 self._release_write_locks(txn.txn_id)
                 waiting = self._waiting_clients.pop(txn.txn_id, None)
@@ -635,6 +731,7 @@ class LeaderRole:
             if report.ok and not self._lock_interference(record.txn):
                 prepared_records.append(record)
                 accepted_index.add(record.txn)
+                self._obs_seal(record.txn.txn_id)
             else:
                 self._drop_prepared_record(record, report.reason)
         self._in_progress_local = []
@@ -686,6 +783,18 @@ class LeaderRole:
 
         self._consensus_in_flight = True
         self.sealed_batches += 1
+        replica.env.obs.event(
+            str(replica.node_id),
+            "batch-sealed",
+            "debug",
+            {
+                "partition": self._partition,
+                "batch": batch_number,
+                "local": len(local_txns),
+                "prepared": len(prepared_records),
+                "committed": len(committed_records),
+            },
+        )
         replica.engine.propose(batch)
 
     def _drop_prepared_record(self, record: PreparedRecord, reason: str) -> None:
@@ -701,9 +810,10 @@ class LeaderRole:
         else:
             self._participant_states.pop(txn_id, None)
             vote = PreparedVote(txn_id=txn_id, partition=self._partition, vote=False)
-            self._replica.send(
-                self._leader_of(record.coordinator), ParticipantPrepared(vote=vote)
-            )
+            prepared = ParticipantPrepared(vote=vote)
+            self._obs_stamp(txn_id, prepared)
+            self._obs_ctx.pop(txn_id, None)
+            self._replica.send(self._leader_of(record.coordinator), prepared)
             self._replica.counters.conflict_aborts += 1
 
     # ------------------------------------------------------------------
@@ -720,7 +830,7 @@ class LeaderRole:
             self._release_write_locks(txn.txn_id)
             waiting = self._waiting_clients.pop(txn.txn_id, None)
             if waiting is not None:
-                self._replica.send(
+                self._send_commit_reply(
                     waiting.client,
                     CommitReply(
                         request_id=waiting.request_id,
@@ -765,15 +875,14 @@ class LeaderRole:
             header=header,
         )
         for participant in state.participants:
-            self._replica.send(
-                self._leader_of(participant),
-                CoordinatorPrepare(
-                    txn=record.txn,
-                    coordinator=self._partition,
-                    prepare_batch=seq,
-                    header=header,
-                ),
+            prepare = CoordinatorPrepare(
+                txn=record.txn,
+                coordinator=self._partition,
+                prepare_batch=seq,
+                header=header,
             )
+            self._obs_stamp(record.txn.txn_id, prepare)
+            self._replica.send(self._leader_of(participant), prepare)
         self._maybe_decide(state)
 
     def _after_participant_prepare_written(
@@ -791,10 +900,10 @@ class LeaderRole:
             cd_vector=header.cd_vector,
             header=header,
         )
-        self._replica.send(
-            self._leader_of(record.coordinator),
-            ParticipantPrepared(vote=vote, header=header),
-        )
+        prepared = ParticipantPrepared(vote=vote, header=header)
+        self._obs_stamp(record.txn.txn_id, prepared)
+        self._obs_ctx.pop(record.txn.txn_id, None)
+        self._replica.send(self._leader_of(record.coordinator), prepared)
 
     def _after_decision_written(
         self, record: CommitRecord, seq: BatchNumber, header: CertifiedHeader
@@ -806,15 +915,14 @@ class LeaderRole:
             else frozenset(record.txn.partitions(self._partitioner) - {self._partition})
         )
         for participant in participants:
-            self._replica.send(
-                self._leader_of(participant),
-                DecisionMessage(record=record, commit_batch=seq, header=header),
-            )
+            decision = DecisionMessage(record=record, commit_batch=seq, header=header)
+            self._obs_stamp(record.txn.txn_id, decision)
+            self._replica.send(self._leader_of(participant), decision)
         waiting = self._waiting_clients.pop(record.txn.txn_id, None)
         if waiting is not None:
             status = TxnStatus.COMMITTED if record.decision else TxnStatus.ABORTED
             reason = "" if record.decision else "a participant voted to abort"
-            self._replica.send(
+            self._send_commit_reply(
                 waiting.client,
                 CommitReply(
                     request_id=waiting.request_id,
@@ -850,6 +958,15 @@ class LeaderRole:
             self._twopc_timer.cancel()
             self._twopc_timer = None
         self._twopc_attempts = {}
+        # Leader-side spans die with the leadership: the successor answers
+        # re-sent requests from its replicated state (its replies still
+        # carry the original context, so the client-side trace completes).
+        if self._obs_spans:
+            tracer = self._replica.env.obs.tracer
+            for span in self._obs_spans.values():
+                tracer.finish(span, status="leader-changed")
+            self._obs_spans.clear()
+        self._obs_ctx.clear()
         if self._replica.node_id != new_leader:
             self._in_progress_local = []
             self._in_progress_prepared = []

@@ -247,6 +247,15 @@ class ViewProgressMonitor:
                 replica.begin_recovery()
             else:
                 replica.counters.leader_suspicions += 1
+                replica.env.obs.event(
+                    str(replica.node_id),
+                    "leader-suspected",
+                    "warn",
+                    {
+                        "partition": int(replica.partition),
+                        "suspect_rounds": self._suspect_rounds,
+                    },
+                )
                 replica.engine.suspect_leader()
         self._arm()
 
@@ -445,6 +454,12 @@ class PartitionReplica(SimNode):
         ok = self._validate_batch(seq, proposal)
         if not ok:
             self.counters.validation_failures += 1
+            self.env.obs.event(
+                str(self.node_id),
+                "validation-failure",
+                "warn",
+                {"partition": int(self.partition), "seq": seq},
+            )
         return ok
 
     def _validate_batch(self, seq: int, proposal: object) -> bool:
@@ -652,6 +667,16 @@ class PartitionReplica(SimNode):
 
     def on_view_change(self, new_view: int, new_leader: ReplicaId) -> None:
         self.counters.view_changes += 1
+        self.env.obs.event(
+            str(self.node_id),
+            "view-change",
+            "warn",
+            {
+                "partition": int(self.partition),
+                "view": new_view,
+                "leader": str(new_leader),
+            },
+        )
         self.topology.set_leader(self.partition, new_leader)
         self.leader_role.on_view_change(new_view, new_leader)
         self.progress_monitor.note_view_change()
@@ -704,6 +729,12 @@ class PartitionReplica(SimNode):
 
     def begin_recovery(self) -> None:
         """Start fetching the partition state from cluster peers."""
+        self.env.obs.event(
+            str(self.node_id),
+            "recovery-begin",
+            "info",
+            {"partition": int(self.partition)},
+        )
         self.recovery.begin()
 
     def install_snapshot(

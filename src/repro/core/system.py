@@ -209,6 +209,12 @@ class TransEdgeSystem:
         replica = self.replicas[replica_id]
         if not replica.crashed:
             replica.crashed = True
+            self.env.obs.event(
+                str(replica_id),
+                "replica-crash",
+                "error",
+                {"partition": int(replica.partition)},
+            )
             self.fault_injector.crash(replica_id)
         return replica
 
@@ -222,6 +228,12 @@ class TransEdgeSystem:
         replica = self.replicas[replica_id]
         self.fault_injector.restart(replica_id)
         replica.crashed = False
+        self.env.obs.event(
+            str(replica_id),
+            "replica-restart",
+            "info",
+            {"partition": int(replica.partition)},
+        )
         replica.reset_for_recovery()
         replica.begin_recovery()
         return replica
@@ -243,13 +255,59 @@ class TransEdgeSystem:
                 stranded.add(txn_id)
         return len(stranded)
 
+    def cache_snapshot(self, record_event: bool = False) -> Dict[str, object]:
+        """One unified point-in-time view of every cache in the deployment.
+
+        This is the single source of cache accounting:
+        :meth:`verify_cache_stats`, :meth:`edge_cache_stats` and the cache
+        fields of :meth:`counters` all derive from it instead of walking the
+        nodes themselves, and the benchmark harness feeds it straight into
+        :meth:`~repro.metrics.collector.MetricsCollector.record_cache_snapshot`.
+        With ``record_event`` the totals are also written to the
+        observability flight recorder (one ``cache-snapshot`` event).
+        """
+
+        def section(pairs) -> Dict[str, Dict[str, int]]:
+            return {name: {"hits": hits, "misses": misses} for name, (hits, misses) in pairs}
+
+        def totals(entries: Dict[str, Dict[str, int]]) -> Dict[str, int]:
+            return {
+                "hits": sum(entry["hits"] for entry in entries.values()),
+                "misses": sum(entry["misses"] for entry in entries.values()),
+            }
+
+        verify_replicas = section(
+            (str(replica.node_id), (replica.verifier.cache_hits, replica.verifier.cache_misses))
+            for replica in self.replicas.values()
+        )
+        verify_clients = section(
+            (str(client.node_id), (client.verifier.cache_hits, client.verifier.cache_misses))
+            for client in self.clients
+        )
+        edge = section(
+            (str(proxy.node_id), (proxy.counters.cache_hits, proxy.counters.cache_misses))
+            for proxy in self.proxies
+        )
+        snapshot: Dict[str, object] = {
+            "verify_replicas": verify_replicas,
+            "verify_clients": verify_clients,
+            "edge": edge,
+            "totals": {
+                "verify_replicas": totals(verify_replicas),
+                "verify_clients": totals(verify_clients),
+                "edge": totals(edge),
+            },
+        }
+        if record_event:
+            self.env.obs.event("system", "cache-snapshot", "info", dict(snapshot["totals"]))
+        return snapshot
+
     def verify_cache_stats(self) -> Dict[str, "tuple[int, int]"]:
         """Per-node signature verify-cache ``(hits, misses)``, replicas and clients."""
-        nodes = list(self.replicas.values()) + list(self.clients)
-        return {
-            str(node.node_id): (node.verifier.cache_hits, node.verifier.cache_misses)
-            for node in nodes
-        }
+        snapshot = self.cache_snapshot()
+        merged = dict(snapshot["verify_replicas"])
+        merged.update(snapshot["verify_clients"])
+        return {name: (entry["hits"], entry["misses"]) for name, entry in merged.items()}
 
     def max_log_length(self) -> int:
         """Longest SMR log across all replicas (bounded by checkpointing)."""
@@ -320,22 +378,26 @@ class TransEdgeSystem:
             total.decisions_resolved_remotely += counters.decisions_resolved_remotely
             total.archive_records_compacted += counters.archive_records_compacted
             total.headers_announced += counters.headers_announced
-            total.verify_cache_hits += replica.verifier.cache_hits
-            total.verify_cache_misses += replica.verifier.cache_misses
         for proxy in self.proxies:
             total.edge_reads_served += proxy.counters.reads_served
-            total.edge_cache_hits += proxy.counters.cache_hits
-            total.edge_cache_misses += proxy.counters.cache_misses
             total.edge_core_fetches += proxy.counters.core_fetches
             total.edge_refresh_rounds += proxy.counters.refresh_rounds
             total.edge_announcements_received += proxy.counters.announcements_received
+        # Cache accounting derives from the one unified snapshot (clients'
+        # verify caches are reported separately, so only the replica total
+        # lands here — unchanged semantics).
+        cache_totals = self.cache_snapshot()["totals"]
+        total.verify_cache_hits = cache_totals["verify_replicas"]["hits"]
+        total.verify_cache_misses = cache_totals["verify_replicas"]["misses"]
+        total.edge_cache_hits = cache_totals["edge"]["hits"]
+        total.edge_cache_misses = cache_totals["edge"]["misses"]
         return total
 
     def edge_cache_stats(self) -> Dict[str, "tuple[int, int]"]:
         """Per-proxy edge-cache ``(hits, misses)`` (empty without an edge tier)."""
         return {
-            str(proxy.node_id): (proxy.counters.cache_hits, proxy.counters.cache_misses)
-            for proxy in self.proxies
+            name: (entry["hits"], entry["misses"])
+            for name, entry in self.cache_snapshot()["edge"].items()
         }
 
     def committed_read_write(self) -> int:

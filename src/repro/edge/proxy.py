@@ -147,6 +147,12 @@ class EdgeProxy(ProcessNode):
             self.config.certificate_size,
         ):
             self.counters.announcements_rejected += 1
+            self.env.obs.event(
+                str(self.node_id),
+                "edge-announcement-rejected",
+                "warn",
+                {"partition": int(message.partition)},
+            )
             return
         self.counters.announcements_received += 1
         self.cache.note_header(message.partition, header)
@@ -191,6 +197,12 @@ class EdgeProxy(ProcessNode):
         required = self._unsatisfied(grouped, sections)
         if required:
             self.counters.refresh_rounds += 1
+            self.env.obs.event(
+                str(self.node_id),
+                "edge-refresh",
+                "info",
+                {"partitions": sorted(int(p) for p in required)},
+            )
             fresh = yield from self._fetch_many(grouped, sorted(required))
             for partition, section in fresh.items():
                 sections[partition] = section
@@ -271,6 +283,12 @@ class EdgeProxy(ProcessNode):
             )
         else:
             self.counters.rejected_core_replies += 1
+            self.env.obs.event(
+                str(self.node_id),
+                "edge-reply-rejected",
+                "warn",
+                {"partition": int(partition)},
+            )
         return PartitionSection(
             partition=partition,
             values={key: reply.values[key] for key in requested if key in reply.values},

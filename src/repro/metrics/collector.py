@@ -43,7 +43,9 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     return ordered[rank]
 
 
-def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+def summarize_latencies(samples) -> LatencySummary:
+    if isinstance(samples, LatencyReservoir):
+        return samples.summary()
     if not samples:
         return LatencySummary.empty()
     return LatencySummary(
@@ -57,20 +59,147 @@ def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
     )
 
 
+class LatencyReservoir:
+    """Bounded latency sample store with exact counts and list-like access.
+
+    Unbounded per-transaction sample lists were the collector's one
+    open-ended memory cost (a long chaos or bench run appends forever).
+    The reservoir keeps raw samples verbatim up to ``cap`` and then
+    converts, once, to a log-bucketed histogram: bucket boundaries grow by
+    ``GROWTH`` per bucket, so a percentile read off bucket midpoints is
+    within ±``(GROWTH-1)/2`` relative error (~2.5% at the default 1.05) of
+    the exact value — the documented accuracy bound of
+    :class:`LatencySummary` past the cap.  ``count``, ``total_ms``,
+    ``min_ms`` and ``max_ms`` stay exact forever.
+
+    The type is deliberately list-like (append/extend/len/iter/bool): every
+    existing call site that treated the field as ``List[float]`` keeps
+    working, with iteration past conversion yielding bucket midpoints
+    repeated by bucket count.
+    """
+
+    DEFAULT_CAP = 8192
+    GROWTH = 1.05
+
+    __slots__ = ("cap", "count", "total_ms", "min_ms", "max_ms", "_raw", "_buckets", "_zeros")
+
+    def __init__(self, cap: int = DEFAULT_CAP) -> None:
+        self.cap = max(1, cap)
+        self.count = 0
+        self.total_ms = 0.0
+        self.min_ms: Optional[float] = None
+        self.max_ms: Optional[float] = None
+        self._raw: Optional[List[float]] = []
+        self._buckets: Dict[int, int] = {}
+        self._zeros = 0
+
+    @property
+    def converted(self) -> bool:
+        """True once the raw samples have collapsed into the histogram."""
+        return self._raw is None
+
+    def append(self, value: float) -> None:
+        self.count += 1
+        self.total_ms += value
+        if self.min_ms is None or value < self.min_ms:
+            self.min_ms = value
+        if self.max_ms is None or value > self.max_ms:
+            self.max_ms = value
+        if self._raw is not None:
+            self._raw.append(value)
+            if len(self._raw) > self.cap:
+                self._convert()
+        else:
+            self._add_to_bucket(value)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __iter__(self):
+        if self._raw is not None:
+            return iter(list(self._raw))
+        return iter(self._midpoint_samples())
+
+    def summary(self) -> LatencySummary:
+        if self.count == 0:
+            return LatencySummary.empty()
+        if self._raw is not None:
+            exact = summarize_latencies(list(self._raw))
+            return exact
+        return LatencySummary(
+            count=self.count,
+            mean_ms=self.total_ms / self.count,
+            p50_ms=self._histogram_percentile(0.50),
+            p95_ms=self._histogram_percentile(0.95),
+            p99_ms=self._histogram_percentile(0.99),
+            min_ms=self.min_ms,
+            max_ms=self.max_ms,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _convert(self) -> None:
+        raw, self._raw = self._raw, None
+        for value in raw:
+            self._add_to_bucket(value)
+
+    def _add_to_bucket(self, value: float) -> None:
+        if value <= 0.0:
+            self._zeros += 1
+            return
+        index = math.floor(math.log(value) / math.log(self.GROWTH))
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def _midpoint(self, index: int) -> float:
+        # Geometric midpoint of [GROWTH^i, GROWTH^(i+1)), clamped into the
+        # exact observed range so no synthetic sample exceeds min/max.
+        value = self.GROWTH ** (index + 0.5)
+        return min(max(value, self.min_ms), self.max_ms)
+
+    def _midpoint_samples(self) -> List[float]:
+        samples = [0.0] * self._zeros
+        for index in sorted(self._buckets):
+            samples.extend([self._midpoint(index)] * self._buckets[index])
+        return samples
+
+    def _histogram_percentile(self, fraction: float) -> float:
+        rank = max(1, min(self.count, math.ceil(fraction * self.count)))
+        seen = self._zeros
+        if rank <= seen:
+            return 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank <= seen:
+                return self._midpoint(index)
+        return self.max_ms if self.max_ms is not None else 0.0
+
+
 @dataclass
 class OperationMetrics:
-    """Samples for one operation class (e.g. "read-only", "distributed-rw")."""
+    """Samples for one operation class (e.g. "read-only", "distributed-rw").
 
-    latencies_ms: List[float] = field(default_factory=list)
+    Sample stores are bounded :class:`LatencyReservoir`\\ s (exact counts and
+    totals always; percentiles within the reservoir's documented error once
+    past its cap) so a long run cannot grow collector memory without bound.
+    """
+
+    latencies_ms: LatencyReservoir = field(default_factory=LatencyReservoir)
     committed: int = 0
     aborted: int = 0
     abort_reasons: Dict[str, int] = field(default_factory=dict)
-    round2_latencies_ms: List[float] = field(default_factory=list)
+    round2_latencies_ms: LatencyReservoir = field(default_factory=LatencyReservoir)
     second_rounds: int = 0
     #: Read-only latency split by serving tier (repro.edge): reads whose
     #: round 1 came from an edge proxy vs. directly from the core clusters.
-    edge_latencies_ms: List[float] = field(default_factory=list)
-    core_latencies_ms: List[float] = field(default_factory=list)
+    edge_latencies_ms: LatencyReservoir = field(default_factory=LatencyReservoir)
+    core_latencies_ms: LatencyReservoir = field(default_factory=LatencyReservoir)
 
     @property
     def edge_served(self) -> int:
@@ -97,6 +226,7 @@ class MetricsCollector:
         self._events: Dict[str, int] = {}
         self._verify_caches: Dict[str, "tuple[int, int]"] = {}
         self._edge_caches: Dict[str, "tuple[int, int]"] = {}
+        self._phases: Dict[str, LatencyReservoir] = {}
         self._start_ms: Optional[float] = None
         self._end_ms: Optional[float] = None
 
@@ -150,6 +280,32 @@ class MetricsCollector:
 
     def events(self) -> Dict[str, int]:
         return dict(self._events)
+
+    def record_phase_sample(self, phase: str, latency_ms: float) -> None:
+        """Record one transaction's attributed time in ``phase``.
+
+        Fed from the causal tracer's per-trace phase breakdowns
+        (:func:`repro.obs.attribution.phase_breakdown`); summaries become the
+        phase-latency tables of traced bench runs.
+        """
+        self._phases.setdefault(phase, LatencyReservoir()).append(latency_ms)
+
+    def phase_summaries(self) -> Dict[str, LatencySummary]:
+        """Per-phase latency summaries, in recording order."""
+        return {phase: reservoir.summary() for phase, reservoir in self._phases.items()}
+
+    def record_cache_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Feed a :meth:`TransEdgeSystem.cache_snapshot` into the collector.
+
+        One call replaces the per-node ``record_verify_cache`` /
+        ``record_edge_cache`` loops the experiments used to carry — the
+        snapshot is the single source for all cache accounting.
+        """
+        for section in ("verify_replicas", "verify_clients"):
+            for node, entry in snapshot.get(section, {}).items():
+                self.record_verify_cache(node, entry["hits"], entry["misses"])
+        for proxy, entry in snapshot.get("edge", {}).items():
+            self.record_edge_cache(proxy, entry["hits"], entry["misses"])
 
     def record_verify_cache(self, node: str, hits: int, misses: int) -> None:
         """Record one node's signature verify-cache counters.
@@ -230,7 +386,7 @@ class MetricsCollector:
         metrics = self.operation(name)
         if not metrics.round2_latencies_ms or metrics.committed == 0:
             return 0.0
-        mean_round2 = sum(metrics.round2_latencies_ms) / len(metrics.round2_latencies_ms)
+        mean_round2 = metrics.round2_latencies_ms.total_ms / len(metrics.round2_latencies_ms)
         return mean_round2 * (metrics.second_rounds / metrics.committed)
 
     def edge_latency_split(self, name: str) -> "tuple[float, float, int, int]":
@@ -243,6 +399,6 @@ class MetricsCollector:
         metrics = self.operation(name)
         edge = metrics.edge_latencies_ms
         core = metrics.core_latencies_ms
-        edge_mean = sum(edge) / len(edge) if edge else 0.0
-        core_mean = sum(core) / len(core) if core else 0.0
+        edge_mean = edge.total_ms / len(edge) if edge else 0.0
+        core_mean = core.total_ms / len(core) if core else 0.0
         return edge_mean, core_mean, len(edge), len(core)

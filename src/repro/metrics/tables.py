@@ -14,7 +14,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 Number = Union[int, float]
 
 
-def format_number(value: Number, precision: int = 2) -> str:
+def format_number(value: Union[Number, str], precision: int = 2) -> str:
+    if isinstance(value, str):
+        return value
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, int):

@@ -1,0 +1,27 @@
+"""Observability: causal tracing, phase attribution and a flight recorder.
+
+See :mod:`repro.obs.trace` (spans + deterministic digests),
+:mod:`repro.obs.recorder` (bounded per-node event rings),
+:mod:`repro.obs.attribution` (phase-level latency breakdown that always
+reconciles with end-to-end latency) and :mod:`repro.obs.export`
+(trace trees, Chrome-trace JSON, run dumps).  ``python -m repro.obs`` runs
+a small traced workload and renders/exports its traces.
+"""
+
+from repro.obs.hub import Observability
+from repro.obs.phases import MESSAGE_PHASES, PHASES, phase_for
+from repro.obs.recorder import FlightRecorder, ObsEvent
+from repro.obs.trace import Span, TraceContext, TraceData, Tracer
+
+__all__ = [
+    "Observability",
+    "FlightRecorder",
+    "ObsEvent",
+    "Span",
+    "TraceContext",
+    "TraceData",
+    "Tracer",
+    "PHASES",
+    "MESSAGE_PHASES",
+    "phase_for",
+]

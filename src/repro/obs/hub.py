@@ -1,0 +1,54 @@
+"""The per-deployment observability hub.
+
+One :class:`Observability` object is created by every
+:class:`~repro.simnet.node.SimEnvironment` and shared by all of its nodes:
+it owns the tracer, the flight recorder and the enablement flags, all
+driven by :class:`~repro.common.config.ObsConfig`.  Instrumentation call
+sites guard on the cheap ``tracing`` / ``events`` booleans, so a deployment
+with observability off (the default) pays a couple of attribute reads per
+message and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.config import ObsConfig
+from repro.obs import runtime
+from repro.obs.attribution import PhaseAggregate
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import Tracer
+
+
+class Observability:
+    """Tracer + flight recorder behind one pair of enablement flags."""
+
+    def __init__(self, config: ObsConfig, clock: Callable[[], float]) -> None:
+        self.config = config
+        # ``--trace`` (repro.obs.runtime) turns tracing on for deployments
+        # whose config left it off — safe because tracing never changes what
+        # a run does, only what it records.
+        self.tracing = config.tracing_enabled or runtime.trace_mode()
+        self.events = config.events_enabled
+        self.tracer = Tracer(clock, max_traces=config.max_traces)
+        self.recorder = FlightRecorder(clock, capacity=config.ring_capacity)
+        if self.tracing:
+            runtime.note_observability(self)
+
+    def event(
+        self,
+        node: str,
+        kind: str,
+        severity: str = "info",
+        detail: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record a flight-recorder event (no-op when events are disabled)."""
+        if self.events:
+            self.recorder.record(node, kind, severity, detail)
+
+    def phase_aggregate(self) -> PhaseAggregate:
+        """Phase attribution over every completed trace still retained."""
+        aggregate = PhaseAggregate()
+        for trace in self.tracer.completed_traces():
+            aggregate.add_trace(trace)
+        return aggregate

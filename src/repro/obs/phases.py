@@ -1,0 +1,96 @@
+"""The phase vocabulary of latency attribution.
+
+Every span carries exactly one *phase tag*; the attribution pass
+(:mod:`repro.obs.attribution`) slices a transaction's end-to-end latency
+into per-phase time, so the breakdown always reconciles with the root
+span's duration.  The vocabulary is deliberately small — the goal is "where
+does a p99 commit spend its time", not a profiler:
+
+``client``
+    Time the client's own workflow is the innermost active span — building
+    the transaction, verifying nothing, waiting on nothing traced.
+``queue``
+    Waiting behind other work in a node's single-server FIFO queue (the
+    gap between a message's arrival and the start of its handling), and the
+    leader-side wait for the next batch to seal.
+``net``
+    In flight on a simulated network link.
+``verify``
+    Serving or verifying reads: Merkle proofs, certified headers, snapshot
+    assembly.
+``consensus``
+    Intra-cluster BFT ordering and cross-cluster 2PC (prepares, votes,
+    decisions).
+``lock``
+    Admission and conflict checking of commit requests (OCC validation and
+    the Augustus baseline's shared locks).
+``apply``
+    Applying decided state: commit acks, state transfer, everything not
+    otherwise classified.
+``edge-refresh``
+    Edge-proxy work: cache lookups, core refresh rounds, header
+    announcements.
+
+The mapping below is keyed by *message type name* (not type objects) so the
+obs layer never imports protocol packages — no circular imports, and
+protocol messages unknown to the table degrade to ``apply``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Every phase a span may carry, in the fixed priority order used by the
+#: attribution tie-break (earlier = more specific).
+PHASES = (
+    "queue",
+    "net",
+    "verify",
+    "consensus",
+    "lock",
+    "apply",
+    "edge-refresh",
+    "client",
+)
+
+#: Handling phase per message type name (see module docstring).
+MESSAGE_PHASES: Dict[str, str] = {
+    # intra-cluster consensus + cross-cluster 2PC
+    "PrePrepare": "consensus",
+    "Prepare": "consensus",
+    "Commit": "consensus",
+    "CheckpointVote": "consensus",
+    "ViewChange": "consensus",
+    "NewView": "consensus",
+    "CoordinatorPrepare": "consensus",
+    "ParticipantPrepared": "consensus",
+    "DecisionMessage": "consensus",
+    "DecisionQuery": "consensus",
+    "DecisionReply": "consensus",
+    # read serving and client-side re-verification
+    "ReadRequest": "verify",
+    "ReadReply": "verify",
+    "ReadOnlyRequest": "verify",
+    "ReadOnlyReply": "verify",
+    "SnapshotRequest": "verify",
+    "SnapshotReply": "verify",
+    "EdgeReadReply": "verify",
+    # commit admission and the Augustus lock baseline
+    "CommitRequest": "lock",
+    "LockReadRequest": "lock",
+    "LockReadReply": "lock",
+    "LockReleaseMessage": "lock",
+    # decided state propagation
+    "CommitReply": "apply",
+    "StateTransferRequest": "apply",
+    "StateTransferReply": "apply",
+    # edge tier
+    "EdgeReadRequest": "edge-refresh",
+    "HeaderAnnouncement": "edge-refresh",
+    "LeaderComplaint": "apply",
+}
+
+
+def phase_for(message_type_name: str, default: str = "apply") -> str:
+    """The handling phase of a message type (``apply`` when unknown)."""
+    return MESSAGE_PHASES.get(message_type_name, default)

@@ -1,0 +1,112 @@
+"""The flight recorder: bounded per-node rings of typed protocol events.
+
+Latency answers *where time went*; the flight recorder answers *what
+happened* — view changes, checkpoints, recoveries, crashes, fault
+injections, cache refreshes — each stamped with simulated time, a severity
+and a small detail mapping.  Every node writes into its own bounded ring
+buffer, so a long run keeps only the recent past (exactly what a post-mortem
+needs) at O(capacity) memory per node.
+
+On a chaos oracle failure the runner dumps the merged last-N timeline into
+the ``chaos-repro-<seed>.json`` artifact next to the failing transaction's
+trace; the trace-completeness oracle also reads these events to separate
+legitimate reply loss (a recorded drop fault, a crash, a view change) from
+a protocol bug that silently swallowed a reply.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Iterable, List, Mapping, Optional
+
+#: Recognised severities, mildest first.
+SEVERITIES = ("debug", "info", "warn", "error")
+
+
+class ObsEvent:
+    """One structured protocol event."""
+
+    __slots__ = ("seq", "time_ms", "node", "kind", "severity", "detail")
+
+    def __init__(
+        self,
+        seq: int,
+        time_ms: float,
+        node: str,
+        kind: str,
+        severity: str,
+        detail: Mapping[str, object],
+    ) -> None:
+        self.seq = seq
+        self.time_ms = time_ms
+        self.node = node
+        self.kind = kind
+        self.severity = severity
+        self.detail = dict(detail)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "time_ms": self.time_ms,
+            "node": self.node,
+            "kind": self.kind,
+            "severity": self.severity,
+            "detail": dict(self.detail),
+        }
+
+
+class FlightRecorder:
+    """Bounded per-node event rings with a mergeable global timeline."""
+
+    def __init__(self, clock: Callable[[], float], capacity: int = 256) -> None:
+        self._clock = clock
+        self.capacity = max(1, capacity)
+        self._rings: "OrderedDict[str, Deque[ObsEvent]]" = OrderedDict()
+        self._seq = itertools.count(1)
+        self.events_recorded = 0
+
+    def record(
+        self,
+        node: str,
+        kind: str,
+        severity: str = "info",
+        detail: Optional[Mapping[str, object]] = None,
+    ) -> ObsEvent:
+        """Append one event to ``node``'s ring (evicting its oldest if full)."""
+        event = ObsEvent(
+            next(self._seq), self._clock(), node, kind, severity, detail or {}
+        )
+        ring = self._rings.get(node)
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._rings[node] = ring
+        ring.append(event)
+        self.events_recorded += 1
+        return event
+
+    def node_events(self, node: str) -> List[ObsEvent]:
+        return list(self._rings.get(node, ()))
+
+    def nodes(self) -> Iterable[str]:
+        return self._rings.keys()
+
+    def timeline(self, last_n: Optional[int] = None) -> List[ObsEvent]:
+        """All retained events merged across nodes, in recording order.
+
+        The global ``seq`` counter makes the merge total and deterministic
+        even when several events share one simulated timestamp.
+        """
+        merged = sorted(
+            (event for ring in self._rings.values() for event in ring),
+            key=lambda event: event.seq,
+        )
+        if last_n is not None:
+            merged = merged[-last_n:]
+        return merged
+
+    def events_of_kind(self, kind: str) -> List[ObsEvent]:
+        return [event for event in self.timeline() if event.kind == kind]
+
+    def as_dicts(self, last_n: Optional[int] = None) -> List[Dict[str, object]]:
+        return [event.to_dict() for event in self.timeline(last_n)]

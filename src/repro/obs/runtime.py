@@ -1,0 +1,44 @@
+"""Process-level handle on the most recent traced deployment.
+
+The bench CLI's ``--trace`` flag must reach inside experiments that build
+their systems internally; rather than thread a parameter through every
+experiment signature, the flag flips :func:`enable_trace_mode` and each
+:class:`~repro.obs.hub.Observability` created with tracing on registers
+itself here.  After an experiment finishes, the CLI exports whatever traced
+deployment ran last.  This is deliberately a tiny, explicit registry — not
+a general global: nothing in the protocol stack reads it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_TRACE_MODE = False
+_LAST: Optional[object] = None
+
+
+def enable_trace_mode(enabled: bool = True) -> None:
+    """Ask subsequently built bench deployments to enable tracing."""
+    global _TRACE_MODE
+    _TRACE_MODE = enabled
+
+
+def trace_mode() -> bool:
+    return _TRACE_MODE
+
+
+def note_observability(obs: object) -> None:
+    """Called by every tracing-enabled Observability as it is created."""
+    global _LAST
+    _LAST = obs
+
+
+def last_observability() -> Optional[object]:
+    """The most recently created tracing-enabled Observability (or None)."""
+    return _LAST
+
+
+def reset() -> None:
+    global _LAST, _TRACE_MODE
+    _LAST = None
+    _TRACE_MODE = False

@@ -1,0 +1,259 @@
+"""Causal spans and the deterministic trace store.
+
+A *trace* is the causal history of one transaction: the client opens a root
+span, a :class:`TraceContext` rides on every message the transaction
+touches, and every node that queues, handles or forwards it opens child
+spans stamped with simulated time and a phase tag
+(:mod:`repro.obs.phases`).
+
+Determinism is the design constraint that shapes everything here:
+
+* span ids are a per-tracer counter, so identical event orders yield
+  identical ids;
+* spans are *folded into a streaming digest* the moment they close, in
+  close order — the digest therefore covers every span ever recorded even
+  after old traces are evicted from the bounded retention window, and the
+  same seed always yields the same digest (``tests/obs`` pins this as a
+  regression oracle);
+* the tracer draws no randomness and schedules no simulator events, so
+  enabling tracing cannot perturb a run — chaos fingerprints and bench
+  numbers are identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.crypto.hashing import sha256_hex, stable_encode
+
+#: Digest the stream starts from, so an empty tracer has a defined digest.
+_SEED_DIGEST = sha256_hex(b"repro.obs.trace.v1")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What rides on a message: the trace and the sender-side parent span."""
+
+    trace_id: str
+    span_id: int
+
+
+class Span:
+    """One timed, phase-tagged interval of a trace."""
+
+    __slots__ = (
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "name",
+        "node",
+        "phase",
+        "start_ms",
+        "end_ms",
+        "status",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        trace_id: str,
+        parent_id: Optional[int],
+        name: str,
+        node: str,
+        phase: str,
+        start_ms: float,
+    ) -> None:
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.phase = phase
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.status = "open"
+
+    @property
+    def closed(self) -> bool:
+        return self.end_ms is not None
+
+    @property
+    def duration_ms(self) -> float:
+        return 0.0 if self.end_ms is None else self.end_ms - self.start_ms
+
+    def context(self) -> TraceContext:
+        """The context a message carries when this span is its causal parent."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "phase": self.phase,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "status": self.status,
+        }
+
+
+class TraceData:
+    """All spans of one trace, in recording order."""
+
+    __slots__ = ("trace_id", "spans", "complete")
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.spans: List[Span] = []
+        self.complete = False
+
+    @property
+    def root(self) -> Optional[Span]:
+        for span in self.spans:
+            if span.parent_id is None:
+                return span
+        return None
+
+    def find(self, name: str) -> Optional[Span]:
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "complete": self.complete,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+class Tracer:
+    """Creates spans, retains a bounded window of traces, streams a digest."""
+
+    def __init__(self, clock: Callable[[], float], max_traces: int = 2048) -> None:
+        self._clock = clock
+        self._max_traces = max(1, max_traces)
+        self._traces: "OrderedDict[str, TraceData]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self._digest = _SEED_DIGEST
+        self.spans_recorded = 0
+        self.traces_evicted = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def begin_trace(self, trace_id: str, name: str, node: str, phase: str = "client") -> Span:
+        """Open a trace's root span (client-side, at transaction start)."""
+        return self._new_span(trace_id, None, name, node, phase, self._clock())
+
+    def span(
+        self,
+        trace_id: str,
+        parent_id: Optional[int],
+        name: str,
+        node: str,
+        phase: str,
+        start_ms: Optional[float] = None,
+    ) -> Span:
+        """Open a child span; close it later with :meth:`finish`."""
+        start = self._clock() if start_ms is None else start_ms
+        return self._new_span(trace_id, parent_id, name, node, phase, start)
+
+    def add_span(
+        self,
+        trace_id: str,
+        parent_id: Optional[int],
+        name: str,
+        node: str,
+        phase: str,
+        start_ms: float,
+        end_ms: float,
+    ) -> Span:
+        """Record a span whose extent is already known (queue/net/handle)."""
+        span = self._new_span(trace_id, parent_id, name, node, phase, start_ms)
+        self.finish(span, end_ms=end_ms)
+        return span
+
+    def finish(self, span: Span, end_ms: Optional[float] = None, status: str = "ok") -> None:
+        """Close ``span`` and fold it into the streaming digest."""
+        if span.closed:
+            return
+        span.end_ms = self._clock() if end_ms is None else end_ms
+        span.status = status
+        self._fold(span)
+        if span.parent_id is None:
+            trace = self._traces.get(span.trace_id)
+            if trace is not None:
+                trace.complete = True
+            self._evict()
+
+    # -- queries -----------------------------------------------------------
+
+    def digest(self) -> str:
+        """Streaming digest over every span closed so far (eviction-proof)."""
+        return self._digest
+
+    def trace(self, trace_id: str) -> Optional[TraceData]:
+        return self._traces.get(trace_id)
+
+    def traces(self) -> Iterable[TraceData]:
+        return self._traces.values()
+
+    def completed_traces(self) -> List[TraceData]:
+        return [trace for trace in self._traces.values() if trace.complete]
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    # -- internals ---------------------------------------------------------
+
+    def _new_span(
+        self,
+        trace_id: str,
+        parent_id: Optional[int],
+        name: str,
+        node: str,
+        phase: str,
+        start_ms: float,
+    ) -> Span:
+        span = Span(next(self._ids), trace_id, parent_id, name, node, phase, start_ms)
+        trace = self._traces.get(trace_id)
+        if trace is None:
+            trace = TraceData(trace_id)
+            self._traces[trace_id] = trace
+        trace.spans.append(span)
+        self.spans_recorded += 1
+        return span
+
+    def _fold(self, span: Span) -> None:
+        record = (
+            self._digest,
+            span.trace_id,
+            span.span_id,
+            span.parent_id if span.parent_id is not None else 0,
+            span.name,
+            span.node,
+            span.phase,
+            span.start_ms,
+            span.end_ms,
+            span.status,
+        )
+        self._digest = sha256_hex(stable_encode(record))
+
+    def _evict(self) -> None:
+        if len(self._traces) <= self._max_traces:
+            return
+        # Oldest-first, but never evict a trace that is still open: its late
+        # spans must land in the same TraceData (digest order would survive
+        # either way, but the retained window should hold whole traces).
+        for trace_id in list(self._traces):
+            if len(self._traces) <= self._max_traces:
+                break
+            if self._traces[trace_id].complete:
+                del self._traces[trace_id]
+                self.traces_evicted += 1

@@ -89,6 +89,12 @@ class RecoveryCoordinator:
         if self.in_progress and self._completes(message, held_before):
             self.in_progress = False
             replica.counters.recoveries_completed += 1
+            replica.env.obs.event(
+                str(replica.node_id),
+                "recovery-complete",
+                "info",
+                {"partition": int(replica.partition), "log_tip": replica.log.last_seq},
+            )
 
     def _completes(self, reply: StateTransferReply, held_before) -> bool:
         """Did this reply genuinely finish the recovery session?

@@ -150,6 +150,7 @@ class FaultInjector:
                 self._network.stats.messages_delayed += 1
                 self._network.send_unfiltered(src, dst, message)
 
+            self._obs_event("message-delayed", src, dst, message, extra_ms=extra_ms)
             self._network.simulator.schedule(extra_ms, reinject)
             return None
 
@@ -198,6 +199,33 @@ class FaultInjector:
         self._faults.append(fault)
         return fault
 
+    def _obs_event(
+        self,
+        kind: str,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        extra_ms: Optional[float] = None,
+    ) -> None:
+        """Record an injected fault on the flight recorder (if one is wired).
+
+        The carried ``trace_id`` is what lets the trace-completeness oracle
+        distinguish "reply trace cut short by an injected fault" from a
+        genuine dropped-reply bug.
+        """
+        obs = getattr(self._network, "obs", None)
+        if obs is None:
+            return
+        detail: Dict[str, object] = {
+            "src": str(src),
+            "dst": str(dst),
+            "type": message.type_name,
+            "trace_id": message.trace.trace_id if message.trace is not None else None,
+        }
+        if extra_ms is not None:
+            detail["extra_ms"] = extra_ms
+        obs.event("network", kind, "warn", detail)
+
     # -- filter -------------------------------------------------------------
 
     def _filter(self, src: NodeId, dst: NodeId, message: Message) -> Optional[Message]:
@@ -215,6 +243,8 @@ class FaultInjector:
                     current = fault.route_action(src, dst, current)
                 else:
                     current = fault.action(current)
+                    if current is None:
+                        self._obs_event("message-dropped", src, dst, message)
         return current
 
 

@@ -12,11 +12,27 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.trace import TraceContext
 
 
 @dataclass
 class Message:
-    """Base class of every simulated network message."""
+    """Base class of every simulated network message.
+
+    ``trace`` is the causal-tracing context (:mod:`repro.obs`) the message
+    carries from sender to receiver.  It is excluded from equality and repr
+    so protocol semantics are untouched; when tracing is disabled it stays
+    ``None`` and costs nothing.  Re-sent messages (client failover re-uses
+    request objects) keep their original context — same transaction, same
+    trace.
+    """
+
+    trace: "Optional[TraceContext]" = field(
+        default=None, kw_only=True, compare=False, repr=False
+    )
 
     @property
     def type_name(self) -> str:

@@ -69,6 +69,10 @@ class Network:
         self._nodes: Dict[NodeId, MessageSink] = {}
         self._filters: List[MessageFilter] = []
         self.stats = NetworkStats()
+        #: Observability hub (repro.obs), attached by SimEnvironment; when
+        #: tracing is on, each delivery of a traced message records a ``net``
+        #: span and hands it to the receiver so its spans chain under it.
+        self.obs = None
 
     @property
     def simulator(self) -> Simulator:
@@ -135,8 +139,29 @@ class Network:
         delay = self._latency_model.delay_ms(src, dst, self._rng)
         destination = self._nodes[dst]
 
+        net_span = None
+        obs = self.obs
+        if obs is not None and obs.tracing and message.trace is not None:
+            # The link delay is drawn here, so the span's extent is already
+            # known.  One span per *delivery*: a broadcast shares the message
+            # object but each destination gets its own net span.
+            now = self._simulator.now
+            net_span = obs.tracer.add_span(
+                message.trace.trace_id,
+                message.trace.span_id,
+                f"net:{message.type_name}",
+                f"{src}->{dst}",
+                "net",
+                now,
+                now + delay,
+            )
+
         def _deliver(message_to_deliver: Message = message) -> None:
             self.stats.messages_delivered += 1
+            if net_span is not None:
+                # Hand the net span to the receiver (consumed synchronously
+                # in receive()) so its queue/handle spans chain under it.
+                destination._obs_net_hint = net_span
             destination.receive(message_to_deliver, src)
 
         self._simulator.schedule(delay, _deliver)

@@ -17,6 +17,9 @@ from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
 from repro.common.ids import NodeId
 from repro.crypto.signatures import KeyRegistry, NodeVerifier, Signer, make_signer
+from repro.obs.hub import Observability
+from repro.obs.phases import phase_for
+from repro.obs.trace import Span, TraceContext
 from repro.simnet.messages import Message
 from repro.simnet.network import Network
 from repro.simnet.simulator import Simulator
@@ -50,6 +53,10 @@ class SimEnvironment:
         self.registry = registry or KeyRegistry(
             verify_cache_size=self.config.perf.verify_cache_size
         )
+        #: Shared observability hub (repro.obs): tracer + flight recorder.
+        #: The network gets a handle so deliveries can record ``net`` spans.
+        self.obs = Observability(self.config.obs, lambda: self.simulator.now)
+        self.network.obs = self.obs
 
     @property
     def now(self) -> float:
@@ -82,6 +89,12 @@ class SimNode:
         self._handlers: Dict[Type[Message], MessageHandler] = {}
         self._busy_until = 0.0
         self.messages_handled = 0
+        #: Causal-tracing state (repro.obs): the span whose handler/process
+        #: is currently executing on this node (outgoing messages inherit it
+        #: as their context), and the just-delivered message's ``net`` span
+        #: handed over by the network so queue/handle spans chain under it.
+        self._current_span: Optional[Span] = None
+        self._obs_net_hint: Optional[Span] = None
         #: Crash-fault flag: a crashed node silently drops everything it
         #: receives (including deliveries already in flight when it crashed)
         #: until the fault injector restarts it.
@@ -96,10 +109,27 @@ class SimNode:
 
     def send(self, dst: NodeId, message: Message) -> None:
         """Send ``message`` to ``dst`` over the simulated network."""
+        self._stamp_trace(message)
         self.env.network.send(self.node_id, dst, message)
 
     def broadcast(self, dsts, message: Message) -> None:
+        self._stamp_trace(message)
         self.env.network.broadcast(self.node_id, dsts, message)
+
+    def _stamp_trace(self, message: Message) -> None:
+        """Attach the currently executing span's context to ``message``.
+
+        Only untraced messages are stamped (a failover re-send keeps its
+        original transaction's context), and only while a traced handler or
+        process is running — so protocol-internal traffic (consensus votes,
+        checkpoint rounds) stays untraced and cheap.
+        """
+        if (
+            message.trace is None
+            and self._current_span is not None
+            and self.env.obs.tracing
+        ):
+            message.trace = self._current_span.context()
 
     def schedule(self, delay_ms: float, callback: Callable[[], None]):
         """Schedule a local timer on the shared event loop."""
@@ -119,8 +149,14 @@ class SimNode:
         """
         return self.env.config.costs.message_handling_ms
 
+    def phase_of(self, message: Message) -> str:
+        """Attribution phase of handling ``message`` (see repro.obs.phases)."""
+        return phase_for(message.type_name)
+
     def receive(self, message: Message, src: NodeId) -> None:
         """Network entry point: queue the message behind ongoing work."""
+        net_span = self._obs_net_hint
+        self._obs_net_hint = None
         if self.crashed:
             return
         arrival = self.env.simulator.now
@@ -128,9 +164,44 @@ class SimNode:
         cost = self.processing_cost_ms(message)
         completion = start + cost
         self._busy_until = completion
-        self.env.simulator.schedule_at(
-            completion, lambda: self._dispatch(message, src)
-        )
+        handle_span = None
+        if self.env.obs.tracing and message.trace is not None:
+            # Queue and handle extents are fully determined here (single-
+            # server FIFO), so both spans are recorded already closed; the
+            # handle span becomes current again when the handler runs, so
+            # replies sent from inside it chain correctly.
+            tracer = self.env.obs.tracer
+            trace_id = message.trace.trace_id
+            parent = net_span.span_id if net_span is not None else message.trace.span_id
+            node = str(self.node_id)
+            if start - arrival > 1e-9:
+                queue_span = tracer.add_span(
+                    trace_id, parent, f"queue:{message.type_name}", node,
+                    "queue", arrival, start,
+                )
+                parent = queue_span.span_id
+            handle_span = tracer.add_span(
+                trace_id, parent, f"handle:{message.type_name}", node,
+                self.phase_of(message), start, completion,
+            )
+        if handle_span is None:
+            self.env.simulator.schedule_at(
+                completion, lambda: self._dispatch(message, src)
+            )
+        else:
+            self.env.simulator.schedule_at(
+                completion,
+                lambda: self._dispatch_in_span(message, src, handle_span),
+            )
+
+    def _dispatch_in_span(self, message: Message, src: NodeId, span: Span) -> None:
+        """Run the handler with ``span`` current, so its sends are traced."""
+        previous = self._current_span
+        self._current_span = span
+        try:
+            self._dispatch(message, src)
+        finally:
+            self._current_span = previous
 
     def occupy(self, cost_ms: float) -> None:
         """Account for locally initiated work (e.g. sealing a batch)."""

@@ -76,7 +76,15 @@ class _Wait:
 
 
 class Process:
-    """A running generator process hosted by a :class:`ProcessNode`."""
+    """A running generator process hosted by a :class:`ProcessNode`.
+
+    ``span`` is the process's causal-tracing context (repro.obs): requests
+    the process issues are stamped with it, so several concurrent driver
+    processes on one client node each propagate their *own* transaction's
+    trace.  It is inherited from whatever span was current at spawn time
+    (e.g. an edge proxy spawning a serve process from a traced handler) and
+    replaced by client workflows when they open a transaction's root span.
+    """
 
     def __init__(self, node: "ProcessNode", body: ProcessBody, name: str = "") -> None:
         self.node = node
@@ -84,6 +92,7 @@ class Process:
         self.name = name or f"proc@{node.node_id}"
         self.finished = False
         self.result: object = None
+        self.span = node._current_span
 
     def start(self) -> None:
         self._advance(None)
@@ -91,14 +100,27 @@ class Process:
     def _advance(self, value: object) -> None:
         if self.finished:
             return
+        # Generator code runs with this process's span current, so direct
+        # sends from workflow bodies (complaint broadcasts, lock releases)
+        # carry the transaction's context; save/restore because a resume can
+        # happen from inside another message's traced dispatch.
+        node = self.node
+        previous_span = node._current_span
+        previous_process = node._active_process
+        node._current_span = self.span
+        node._active_process = self
         try:
-            operation = self.body.send(value)
-        except StopIteration as stop:
-            self.finished = True
-            self.result = stop.value
-            self.node.on_process_finished(self)
-            return
-        self.node._execute_operation(self, operation)
+            try:
+                operation = self.body.send(value)
+            except StopIteration as stop:
+                self.finished = True
+                self.result = stop.value
+                node.on_process_finished(self)
+                return
+            node._execute_operation(self, operation)
+        finally:
+            node._current_span = previous_span
+            node._active_process = previous_process
 
 
 class ProcessNode(SimNode):
@@ -107,6 +129,7 @@ class ProcessNode(SimNode):
     def __init__(self, node_id: NodeId, env: SimEnvironment) -> None:
         super().__init__(node_id, env)
         self._waits_by_request: Dict[str, _Wait] = {}
+        self._active_process: Optional[Process] = None
         self.register_handler(ReplyMessage, self._on_reply)
 
     # -- public API --------------------------------------------------------
@@ -148,12 +171,17 @@ class ProcessNode(SimNode):
             done=gather.done,
             single=single,
         )
+        stamp = (
+            process.span is not None and self.env.obs.tracing
+        )
         for index, call in enumerate(calls):
             request_id = call.request.request_id
             if request_id in self._waits_by_request:
                 raise SimulationError(f"duplicate request id {request_id}")
             wait.remaining_ids[request_id] = index
             self._waits_by_request[request_id] = wait
+            if stamp and call.request.trace is None:
+                call.request.trace = process.span.context()
             self.send(call.dst, call.request)
         if gather.timeout_ms is not None:
             wait.timer = self.schedule(gather.timeout_ms, lambda: self._finish_wait(wait))

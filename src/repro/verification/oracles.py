@@ -295,10 +295,90 @@ class CheckpointArchiveCoherenceOracle(Oracle):
         return failures
 
 
+class TraceCompletenessOracle(Oracle):
+    """Every traced commit request that reached a healthy leader was answered.
+
+    State-based oracles cannot see a *lost reply*: the transaction commits,
+    every replica agrees, and only the client is left waiting.  The causal
+    traces (:mod:`repro.obs`) can — a trace containing a
+    ``net:CommitRequest`` span but no ``net:CommitReply`` span means some
+    leader swallowed the outcome.  Runs with injected faults are not
+    spuriously blamed: a transaction is excused when the flight recorder
+    shows its messages were dropped/delayed by fault injection, when any
+    targeted partition crashed or changed leader (the retry machinery may
+    legitimately leave a timed-out client behind), or when the leader itself
+    reported the coordination unresumable.  No-op unless tracing is on.
+    """
+
+    name = "trace-completeness"
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        system = observation.system
+        obs = getattr(getattr(system, "env", None), "obs", None)
+        if obs is None or not obs.tracing:
+            return []
+        if observation.simulation_stalled:
+            return []  # liveness already failed; orphaned traces are a symptom
+
+        faulted_traces: Set[str] = set()
+        excused_partitions: Set[int] = set()
+        for event in obs.recorder.timeline():
+            detail = event.detail or {}
+            if event.kind in ("message-dropped", "message-delayed"):
+                trace_id = detail.get("trace_id")
+                if trace_id:
+                    faulted_traces.add(trace_id)
+            elif event.kind in (
+                "replica-crash",
+                "replica-restart",
+                "view-change",
+                "leader-suspected",
+            ):
+                partition = detail.get("partition")
+                if partition is not None:
+                    excused_partitions.add(partition)
+        unresumable: Set[str] = set()
+        for replica in system.replicas.values():
+            unresumable.update(replica.leader_role.unresumable)
+
+        failures: List[OracleFailure] = []
+        for trace in obs.tracer.traces():
+            requests = [span for span in trace.spans if span.name == "net:CommitRequest"]
+            if not requests:
+                continue
+            if any(span.name == "net:CommitReply" for span in trace.spans):
+                continue
+            if trace.trace_id in faulted_traces or trace.trace_id in unresumable:
+                continue
+            targets = {self._destination_partition(span) for span in requests}
+            if targets & excused_partitions:
+                continue
+            failures.append(
+                self._failure(
+                    f"transaction {trace.trace_id}: commit request reached a "
+                    f"healthy leader (partition(s) {sorted(targets)}) but no "
+                    "commit reply was ever sent"
+                )
+            )
+        return failures
+
+    @staticmethod
+    def _destination_partition(span) -> int:
+        """Partition of a net span's destination ("client:c0->P1/R0" → 1)."""
+        destination = span.node.split("->")[-1]
+        if destination.startswith("P") and "/" in destination:
+            try:
+                return int(destination[1:].split("/", 1)[0])
+            except ValueError:
+                return -1
+        return -1
+
+
 def standard_suite() -> List[Oracle]:
     """The default oracle suite, cheapest first."""
     return [
         QuiescentLivenessOracle(),
+        TraceCompletenessOracle(),
         RecoveryConvergenceOracle(),
         ReadValueLegitimacyOracle(),
         AtomicVisibilityOracle(),

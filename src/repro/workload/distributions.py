@@ -39,10 +39,18 @@ class UniformKeyChooser:
         count = min(count, len(self._keys))
         if count > len(self._keys) // 2:
             return rng.sample(self._keys, count)
-        chosen: Set[str] = set()
+        # Keys are returned in draw order, not set-iteration order: string
+        # hashing is randomised per process, so iterating a set here would
+        # make "same seed" runs diverge across processes (which the trace
+        # digest regression oracle would catch).
+        chosen: List[str] = []
+        seen: Set[str] = set()
         while len(chosen) < count:
-            chosen.add(self.choose(rng))
-        return list(chosen)
+            key = self.choose(rng)
+            if key not in seen:
+                seen.add(key)
+                chosen.append(key)
+        return chosen
 
 
 class ZipfianKeyChooser:
@@ -75,15 +83,22 @@ class ZipfianKeyChooser:
 
     def choose_distinct(self, count: int, rng: random.Random) -> List[str]:
         count = min(count, len(self._keys))
-        chosen: Set[str] = set()
+        # Draw order, not set order — see UniformKeyChooser.choose_distinct.
+        chosen: List[str] = []
+        seen: Set[str] = set()
         attempts = 0
         while len(chosen) < count and attempts < 50 * count:
-            chosen.add(self.choose(rng))
+            key = self.choose(rng)
+            if key not in seen:
+                seen.add(key)
+                chosen.append(key)
             attempts += 1
-        remaining = [key for key in self._keys if key not in chosen]
+        remaining = [key for key in self._keys if key not in seen]
         while len(chosen) < count and remaining:
-            chosen.add(remaining.pop())
-        return list(chosen)
+            key = remaining.pop()
+            seen.add(key)
+            chosen.append(key)
+        return chosen
 
 
 def make_chooser(keys: Sequence[str], distribution: str = "uniform", theta: float = 0.99) -> KeyChooser:

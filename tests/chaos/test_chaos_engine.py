@@ -67,6 +67,37 @@ class TestInjectedBugs:
         oracles = {failure.oracle for failure in report.failures}
         assert "quiescent-liveness" in oracles
 
+    def test_drop_commit_replies_caught_by_trace_oracle(self):
+        # The bug swallows every 2nd commit reply at the leader.  Nothing is
+        # torn and nothing deadlocks immediately, so only the causal traces
+        # expose it: a CommitRequest span that reached a healthy leader but
+        # never produced a CommitReply span.
+        report = run_seed(1, bug="drop-commit-replies")
+        oracles = {failure.oracle for failure in report.failures}
+        assert "trace-completeness" in oracles
+        # The flight recorder dumped its black box and the failing
+        # transactions' full traces ride on the report.
+        assert report.flight_recorder
+        assert report.failing_traces
+        span_names = [
+            [span["name"] for span in trace["spans"]]
+            for trace in report.failing_traces
+        ]
+        # Every stuck transaction is missing its reply; at least one shows
+        # the smoking gun the oracle flagged (request without reply).
+        assert all("net:CommitReply" not in names for names in span_names)
+        assert any("net:CommitRequest" in names for names in span_names)
+
+    def test_honest_run_carries_digest_but_no_black_box(self):
+        report = run_seed(0)
+        assert report.failures == []
+        # Every chaos run records a trace digest (the determinism oracle for
+        # replays), but the crash payloads stay empty on clean runs.
+        assert len(report.trace_digest) == 64
+        assert report.flight_recorder == []
+        assert report.failing_traces == []
+        assert run_seed(0).trace_digest == report.trace_digest
+
 
 class TestArtifacts:
     def test_artifact_round_trip_and_replay_command(self, tmp_path):
@@ -83,6 +114,21 @@ class TestArtifacts:
         assert document["replay"].startswith("python -m repro.chaos --replay ")
         assert ChaosPlan.from_dict(document["plan"]) == plan
         # And the document is plain JSON (no repr leakage).
+        json.dumps(document)
+
+    def test_artifact_carries_the_flight_recorder(self, tmp_path):
+        plan = plan_from_seed(1)
+        report = run_plan(plan, bug="drop-commit-replies")
+        assert report.failures
+        path = write_artifact(
+            str(tmp_path), plan, report, "drop-commit-replies", shrink_runs=0
+        )
+        document = load_artifact(path)
+        assert document["version"] >= 2
+        assert document["flight_recorder"]
+        assert document["failing_traces"]
+        events = document["flight_recorder"]
+        assert all(event["seq"] >= 0 for event in events)
         json.dumps(document)
 
     def test_cli_replay_reproduces_from_artifact(self, tmp_path, capsys):

@@ -1,0 +1,91 @@
+"""The unified cache accounting API (TransEdgeSystem.cache_snapshot)."""
+
+from __future__ import annotations
+
+from repro.common.config import BatchConfig, EdgeConfig, LatencyConfig, SystemConfig
+from repro.core.system import TransEdgeSystem
+from repro.workload.generator import WorkloadGenerator, WorkloadProfile
+
+
+def make_edge_system() -> TransEdgeSystem:
+    config = SystemConfig(
+        num_partitions=2,
+        fault_tolerance=1,
+        batch=BatchConfig(max_size=10, timeout_ms=2.0),
+        latency=LatencyConfig(jitter_fraction=0.0),
+        initial_keys=64,
+        edge=EdgeConfig(enabled=True, num_proxies=1),
+    )
+    return TransEdgeSystem(config)
+
+
+def run_some_reads(system: TransEdgeSystem, reads: int = 6) -> None:
+    client = system.create_client("c0")
+    generator = WorkloadGenerator(
+        sorted(system.initial_data),
+        system.partitioner,
+        profile=WorkloadProfile(value_size=16),
+        seed=3,
+    )
+    specs = [generator.read_only() for _ in range(reads)]
+
+    def body():
+        for spec in specs:
+            yield from client.read_only_txn(list(spec.read_keys))
+
+    client.spawn(body(), name="reads")
+    system.run_until_idle()
+
+
+class TestCacheSnapshot:
+    def test_sections_and_totals_agree(self):
+        system = make_edge_system()
+        run_some_reads(system)
+        snapshot = system.cache_snapshot()
+        assert set(snapshot) == {
+            "verify_replicas", "verify_clients", "edge", "totals",
+        }
+        for section in ("verify_replicas", "verify_clients", "edge"):
+            totals = snapshot["totals"][section]
+            assert totals["hits"] == sum(
+                entry["hits"] for entry in snapshot[section].values()
+            )
+            assert totals["misses"] == sum(
+                entry["misses"] for entry in snapshot[section].values()
+            )
+        assert len(snapshot["verify_replicas"]) == len(system.replicas)
+        assert len(snapshot["verify_clients"]) == len(system.clients)
+        assert len(snapshot["edge"]) == len(system.proxies)
+
+    def test_derived_views_match_the_snapshot(self):
+        system = make_edge_system()
+        run_some_reads(system)
+        snapshot = system.cache_snapshot()
+        verify_stats = system.verify_cache_stats()
+        merged = {**snapshot["verify_replicas"], **snapshot["verify_clients"]}
+        assert verify_stats == {
+            name: (entry["hits"], entry["misses"]) for name, entry in merged.items()
+        }
+        edge_stats = system.edge_cache_stats()
+        assert edge_stats == {
+            name: (entry["hits"], entry["misses"])
+            for name, entry in snapshot["edge"].items()
+        }
+        # The system counters' cache fields are the replica-only totals.
+        counters = system.counters()
+        replica_totals = snapshot["totals"]["verify_replicas"]
+        assert counters.verify_cache_hits == replica_totals["hits"]
+        assert counters.verify_cache_misses == replica_totals["misses"]
+
+    def test_record_event_writes_to_the_flight_recorder(self):
+        system = make_edge_system()
+        run_some_reads(system)
+        before = len(system.env.obs.recorder.events_of_kind("cache-snapshot"))
+        system.cache_snapshot()
+        assert len(
+            system.env.obs.recorder.events_of_kind("cache-snapshot")
+        ) == before
+        snapshot = system.cache_snapshot(record_event=True)
+        events = system.env.obs.recorder.events_of_kind("cache-snapshot")
+        assert len(events) == before + 1
+        assert events[-1].detail == snapshot["totals"]

@@ -1,0 +1,93 @@
+"""Phase attribution tests: partition semantics and reconciliation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.attribution import PhaseAggregate, phase_breakdown, reconciliation_error
+from repro.obs.trace import TraceData, Tracer
+
+
+def build_trace(spans):
+    """A trace from (parent_index | None, name, phase, start, end) tuples."""
+    clock = {"now": 0.0}
+    tracer = Tracer(lambda: clock["now"])
+    created = []
+    for parent_index, name, phase, start, end in spans:
+        parent_id = None if parent_index is None else created[parent_index].span_id
+        span = tracer.span("t1", parent_id, name, "n", phase, start_ms=start)
+        tracer.finish(span, end_ms=end)
+        created.append(span)
+    return tracer.trace("t1")
+
+
+class TestPhaseBreakdown:
+    def test_uncovered_time_goes_to_root_phase(self):
+        trace = build_trace([
+            (None, "txn", "client", 0.0, 10.0),
+            (0, "work", "lock", 2.0, 5.0),
+        ])
+        breakdown = phase_breakdown(trace)
+        assert breakdown == {"client": 7.0, "lock": 3.0}
+
+    def test_nested_spans_attribute_to_innermost(self):
+        trace = build_trace([
+            (None, "txn", "client", 0.0, 10.0),
+            (0, "net", "net", 0.0, 10.0),
+            (1, "handle", "consensus", 4.0, 8.0),
+        ])
+        breakdown = phase_breakdown(trace)
+        assert breakdown == {"net": 6.0, "consensus": 4.0}
+
+    def test_children_beyond_root_extent_are_clamped(self):
+        trace = build_trace([
+            (None, "txn", "client", 0.0, 4.0),
+            (0, "late", "apply", 2.0, 9.0),
+        ])
+        breakdown = phase_breakdown(trace)
+        assert breakdown == {"client": 2.0, "apply": 2.0}
+        assert sum(breakdown.values()) == pytest.approx(4.0)
+
+    def test_open_trace_has_no_breakdown(self):
+        clock = {"now": 0.0}
+        tracer = Tracer(lambda: clock["now"])
+        tracer.begin_trace("t1", "txn", "c0")
+        assert phase_breakdown(tracer.trace("t1")) == {}
+        assert reconciliation_error(tracer.trace("t1")) == 0.0
+
+    def test_orphan_parent_does_not_crash(self):
+        clock = {"now": 0.0}
+        tracer = Tracer(lambda: clock["now"])
+        root = tracer.span("t1", None, "txn", "c0", "client", start_ms=0.0)
+        orphan = tracer.span("t1", 999, "lost", "P0/R0", "lock", start_ms=1.0)
+        tracer.finish(orphan, end_ms=2.0)
+        tracer.finish(root, end_ms=4.0)
+        breakdown = phase_breakdown(tracer.trace("t1"))
+        assert sum(breakdown.values()) == pytest.approx(4.0)
+
+
+class TestReconciliation:
+    def test_sums_reconcile_by_construction(self):
+        trace = build_trace([
+            (None, "txn", "client", 0.0, 20.0),
+            (0, "a", "net", 0.0, 8.0),
+            (0, "b", "queue", 6.0, 12.0),  # overlaps a
+            (1, "c", "consensus", 2.0, 5.0),
+        ])
+        assert reconciliation_error(trace) <= 1e-9
+        assert sum(phase_breakdown(trace).values()) == pytest.approx(20.0)
+
+
+class TestAggregate:
+    def test_aggregate_shares_sum_to_one(self):
+        aggregate = PhaseAggregate()
+        for _ in range(3):
+            aggregate.add_trace(build_trace([
+                (None, "txn", "client", 0.0, 10.0),
+                (0, "net", "net", 0.0, 6.0),
+            ]))
+        assert aggregate.traces == 3
+        shares = [aggregate.share(phase) for phase in aggregate.phases()]
+        assert sum(shares) == pytest.approx(1.0)
+        assert aggregate.summary("net").count == 3
+        assert aggregate.total_ms("net") == pytest.approx(18.0)

@@ -1,0 +1,68 @@
+"""Flight-recorder tests: ring bounds, merged timeline, event typing."""
+
+from __future__ import annotations
+
+from repro.obs.recorder import SEVERITIES, FlightRecorder
+
+
+def make_recorder(capacity: int = 4) -> FlightRecorder:
+    clock = {"now": 0.0}
+    recorder = FlightRecorder(lambda: clock["now"], capacity=capacity)
+    recorder._test_clock = clock  # convenient handle for tests only
+    return recorder
+
+
+class TestRingBounds:
+    def test_ring_keeps_only_last_capacity_events(self):
+        recorder = make_recorder(capacity=4)
+        for index in range(10):
+            recorder.record("P0/R0", f"event-{index}")
+        events = recorder.node_events("P0/R0")
+        assert len(events) == 4
+        assert [event.kind for event in events] == [
+            "event-6", "event-7", "event-8", "event-9",
+        ]
+        assert recorder.events_recorded == 10
+
+    def test_rings_are_per_node(self):
+        recorder = make_recorder(capacity=2)
+        for index in range(5):
+            recorder.record("P0/R0", "a")
+        recorder.record("P1/R0", "b")
+        assert len(recorder.node_events("P0/R0")) == 2
+        assert len(recorder.node_events("P1/R0")) == 1
+        assert sorted(recorder.nodes()) == ["P0/R0", "P1/R0"]
+
+
+class TestTimeline:
+    def test_timeline_merges_in_recording_order(self):
+        recorder = make_recorder()
+        recorder.record("a", "first")
+        recorder.record("b", "second")
+        recorder.record("a", "third")
+        assert [event.kind for event in recorder.timeline()] == [
+            "first", "second", "third",
+        ]
+        assert [event.kind for event in recorder.timeline(last_n=2)] == [
+            "second", "third",
+        ]
+
+    def test_events_of_kind_and_dict_form(self):
+        recorder = make_recorder()
+        recorder._test_clock["now"] = 12.5
+        recorder.record("P0/R0", "view-change", "warn", {"view": 3})
+        recorder.record("P0/R0", "checkpoint-stable")
+        matches = recorder.events_of_kind("view-change")
+        assert len(matches) == 1
+        entry = recorder.as_dicts()[0]
+        assert entry == {
+            "seq": 1,
+            "time_ms": 12.5,
+            "node": "P0/R0",
+            "kind": "view-change",
+            "severity": "warn",
+            "detail": {"view": 3},
+        }
+
+    def test_severity_scale_is_fixed(self):
+        assert SEVERITIES == ("debug", "info", "warn", "error")
