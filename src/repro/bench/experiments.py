@@ -740,6 +740,15 @@ def fig16_crash_recovery(txns_per_point: Optional[int] = None) -> FigureResult:
         "recovery events: "
         + ", ".join(f"{name}={count}" for name, count in sorted(events.events().items()))
     )
+    transport = events.transport_counters()
+    if transport:
+        # The crash windows are where the reliable channel earns its keep:
+        # retransmissions towards the dead node until the per-link cap
+        # abandons its window, duplicate-drops as redeliveries race restarts.
+        figure.notes.append(
+            "reliable channel: "
+            + ", ".join(f"{name}={count}" for name, count in sorted(transport.items()))
+        )
     return figure
 
 
@@ -1169,6 +1178,13 @@ def perf_snapshot_hotpaths(txns_per_point: Optional[int] = None) -> FigureResult
         f"snapshot requests served {counters.snapshot_requests_served} "
         f"(fast path {counters.snapshot_fast_path}, rebuilds {counters.snapshot_rebuilds})"
     )
+    if snapshot["transport"]:
+        figure.notes.append(
+            "reliable channel: "
+            + ", ".join(
+                f"{name}={count}" for name, count in sorted(snapshot["transport"].items())
+            )
+        )
     figure.notes.append(
         f"{batches} batches of {writes_per_batch} writes archived per point; "
         f"requests read {request_size} keys; {reps_fast}/{reps_rebuild} timed "

@@ -36,8 +36,21 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 from repro.common.errors import ConsensusError, NotLeaderError
 from repro.common.ids import PartitionId, ReplicaId
 from repro.crypto.signatures import KeyRegistry
-from repro.bft.messages import BftMessage, Commit, NewView, PrePrepare, Prepare, ViewChange
+from repro.bft.messages import (
+    BftMessage,
+    CertificateRebroadcast,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
 from repro.bft.quorum import CommitCertificate, ViewChangeCertificate, VoteTracker
+
+#: Consecutive certificate-rebroadcast rounds without delivery progress
+#: before the engine stands down (bounds simulation work when a cluster has
+#: genuinely lost liveness; view change and state transfer take over).
+_REBROADCAST_ROUND_LIMIT = 10
 
 
 class ConsensusApplication(Protocol):
@@ -109,6 +122,19 @@ class PbftEngine:
         self.view_certificate: Optional[ViewChangeCertificate] = None
         self.decided_count = 0
 
+        # Certificate-rebroadcast fallback (ReliabilityConfig): while this
+        # replica is stalled behind a delivery gap it periodically gossips
+        # its highest decided certificate; peers that are ahead answer with
+        # the instance it needs next.  Disabled (timer never armed) when the
+        # owner has no environment or reliability is off.
+        env = getattr(owner, "env", None)
+        env_config = getattr(env, "config", None)
+        self._reliability = getattr(env_config, "reliability", None)
+        self._rebroadcast_timer = None
+        self._rebroadcast_rounds = 0
+        self._rebroadcast_marker = -1
+        self.certificates_rebroadcast = 0
+
         if len(self._members) < 3 * self._f + 1:
             raise ConsensusError(
                 f"cluster of {len(self._members)} members cannot tolerate f={self._f}"
@@ -175,12 +201,15 @@ class PbftEngine:
             self._on_prepare(message, src)
         elif isinstance(message, Commit):
             self._on_commit(message, src)
+        elif isinstance(message, CertificateRebroadcast):
+            self._on_certificate_rebroadcast(message, src)
         elif isinstance(message, ViewChange):
             self._on_view_change_msg(message, src)
         elif isinstance(message, NewView):
             self._on_new_view(message, src)
         else:
             return False
+        self._maybe_arm_rebroadcast()
         return True
 
     # -- pre-prepare -------------------------------------------------------------
@@ -388,6 +417,135 @@ class PbftEngine:
         self._instances = {s: inst for s, inst in self._instances.items() if s >= seq}
         for buffered_seq in [s for s in self._buffered_pre_prepares if s < seq]:
             del self._buffered_pre_prepares[buffered_seq]
+
+    # -- certificate rebroadcast (reliable-delivery fallback) -----------------------
+
+    def _stalled_behind_gap(self) -> bool:
+        """True while deliveries are wedged on an instance this replica missed."""
+        return bool(self._buffered_pre_prepares or self._pending_deliveries) or self.is_behind()
+
+    def _maybe_arm_rebroadcast(self) -> None:
+        if self._reliability is None or not self._reliability.enabled:
+            return
+        if self._rebroadcast_timer is not None or not self._stalled_behind_gap():
+            return
+        schedule = getattr(self._owner, "schedule", None)
+        if schedule is None:
+            return
+        self._rebroadcast_timer = schedule(
+            self._reliability.rebroadcast_interval_ms, self._on_rebroadcast_timer
+        )
+
+    def _on_rebroadcast_timer(self) -> None:
+        self._rebroadcast_timer = None
+        if not self._stalled_behind_gap():
+            self._rebroadcast_rounds = 0
+            return
+        if self._next_deliver_seq > self._rebroadcast_marker:
+            # Delivery progressed since the last round; start counting afresh.
+            self._rebroadcast_rounds = 0
+        self._rebroadcast_marker = self._next_deliver_seq
+        if self._rebroadcast_rounds >= _REBROADCAST_ROUND_LIMIT:
+            return  # stand down; view change / state transfer take over
+        self._rebroadcast_rounds += 1
+        message = self._make_rebroadcast()
+        message.signature = self._owner.signer.sign(message.signing_payload())
+        self.certificates_rebroadcast += 1
+        self._owner.broadcast(self._other_members(), message)
+        self._maybe_arm_rebroadcast()
+
+    def _make_rebroadcast(self) -> CertificateRebroadcast:
+        """Build gossip around this replica's highest decided instance."""
+        best_seq = -1
+        proposal = None
+        certificate: Optional[CommitCertificate] = None
+        for seq in self._pending_deliveries:
+            if seq > best_seq:
+                best_seq = seq
+                proposal, certificate = self._pending_deliveries[seq]
+        for seq, instance in self._instances.items():
+            if (
+                seq > best_seq
+                and instance.decided
+                and instance.proposal is not None
+                and instance.commits.reached(self.quorum)
+            ):
+                best_seq = seq
+                proposal = instance.proposal
+                certificate = self._build_certificate(instance)
+        return CertificateRebroadcast(
+            view=self.view,
+            seq=best_seq,
+            digest=certificate.digest if certificate is not None else b"",
+            proposal=proposal,
+            certificate=certificate,
+            last_delivered=self.last_delivered_seq,
+        )
+
+    def _on_certificate_rebroadcast(self, message: CertificateRebroadcast, src: ReplicaId) -> None:
+        if not self._is_member(src):
+            return
+        if not self._verify(message, src):
+            return
+        self._adopt_certificate(message.seq, message.proposal, message.certificate)
+        if message.last_delivered >= self.last_delivered_seq:
+            return
+        # The sender is behind us: answer with the instance it needs next
+        # (if checkpoint GC has not compacted it away yet — past that,
+        # catch-up state transfer is the designed fallback).
+        needed = message.last_delivered + 1
+        instance = self._instances.get(needed)
+        if (
+            instance is None
+            or not instance.decided
+            or instance.proposal is None
+            or not instance.commits.reached(self.quorum)
+        ):
+            return
+        reply = CertificateRebroadcast(
+            view=self.view,
+            seq=needed,
+            digest=instance.digest,
+            proposal=instance.proposal,
+            certificate=self._build_certificate(instance),
+            last_delivered=self.last_delivered_seq,
+        )
+        reply.signature = self._owner.signer.sign(reply.signing_payload())
+        self.certificates_rebroadcast += 1
+        self._owner.send(src, reply)
+
+    def _adopt_certificate(
+        self,
+        seq: int,
+        proposal: object,
+        certificate: Optional[CommitCertificate],
+    ) -> None:
+        """Accept a gossiped decision after full verification."""
+        if certificate is None or proposal is None or seq < 0:
+            return
+        if seq < self._next_deliver_seq or seq in self._pending_deliveries:
+            return
+        if certificate.partition != self._partition or certificate.seq != seq:
+            return
+        if certificate.digest != self._digest_fn(proposal):
+            return
+        if not certificate.verify(self._registry, self._members, self.quorum):
+            return
+        instance = self._instances.get(seq)
+        if instance is not None and instance.decided:
+            return
+        if instance is None:
+            instance = _Instance(seq=seq, view=certificate.view)
+            self._instances[seq] = instance
+        instance.digest = certificate.digest
+        instance.proposal = proposal
+        instance.pre_prepared = True
+        instance.prepare_sent = True
+        instance.commit_sent = True
+        instance.decided = True
+        self.decided_count += 1
+        self._pending_deliveries[seq] = (proposal, certificate)
+        self._deliver_ready()
 
     # -- view change ---------------------------------------------------------------
 

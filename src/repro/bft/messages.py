@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.bft.quorum import checkpoint_payload, view_change_payload
+from repro.bft.quorum import CommitCertificate, checkpoint_payload, view_change_payload
 from repro.crypto.signatures import Signature
 from repro.simnet.messages import Message
 
@@ -86,6 +86,32 @@ class CheckpointVote(BftMessage):
 
     def signing_payload(self) -> object:
         return checkpoint_payload(self.seq, self.digest)
+
+
+@dataclass
+class CertificateRebroadcast(BftMessage):
+    """Periodic catch-up gossip for instances a peer may have missed entirely.
+
+    A replica stalled behind a delivery gap broadcasts its highest decided
+    instance — proposal, digest and transferable
+    :class:`~repro.bft.quorum.CommitCertificate` — together with its own
+    delivery tip (``last_delivered``).  A peer that is *ahead* answers with
+    the same message shaped around the instance the sender needs next, which
+    lets a replica that missed a whole instance (e.g. past the reliable
+    channel's abandonment cap) converge one instance per round without a
+    full state transfer.  The carried certificate is self-certifying:
+    receivers verify the digest against the proposal and the certificate
+    against the cluster's quorum before adopting anything; the outer
+    signature merely authenticates the gossiping sender.
+    """
+
+    digest: bytes = b""
+    proposal: object = None
+    certificate: Optional[CommitCertificate] = None
+    last_delivered: int = -1
+
+    def signing_payload(self) -> object:
+        return ["cert-rebroadcast", self.view, self.seq, self.digest, self.last_delivered]
 
 
 @dataclass

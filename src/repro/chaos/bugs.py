@@ -18,6 +18,11 @@ The bugs are deliberately real ones from this codebase's lineage:
 * ``drop-commit-replies`` — leaders silently drop every second commit
   reply.  State stays perfectly consistent, so only the causal-trace
   completeness oracle (repro.obs) can see the loss.
+* ``ack-without-delivery`` — the reliable channel acknowledges every
+  intra-cluster message but hands none of them to the protocol layer: the
+  worst failure mode a transport can have, because senders believe the
+  network is healthy while consensus is completely dark.  Caught by the
+  quiescent-liveness oracle (no probe commit can succeed).
 """
 
 from __future__ import annotations
@@ -82,6 +87,35 @@ def _drop_commit_replies():
         LeaderRole._send_commit_reply = original
 
 
+@contextlib.contextmanager
+def _ack_without_delivery():
+    """The reliable channel acks envelopes it never delivers.
+
+    The receiver-side bookkeeping (watermarks, dedup state, ack timers) runs
+    exactly as shipped — so cumulative acks flow back and the *sender*
+    retires every message as successfully delivered — but the unwrapped
+    payload is swallowed instead of being handed to the node.  Acks
+    themselves still work, which is what makes the bug vicious: no
+    retransmission cap is ever hit, no timer escalates, and the cluster
+    simply never hears its own consensus traffic.
+    """
+    from repro.simnet.reliable import ReliableEnvelope, ReliableTransport
+
+    original = ReliableTransport.on_receive
+
+    def lying(self, node, src, message):
+        result = original(self, node, src, message)
+        if isinstance(message, ReliableEnvelope):
+            return None  # acked above, never delivered
+        return result
+
+    ReliableTransport.on_receive = lying
+    try:
+        yield
+    finally:
+        ReliableTransport.on_receive = original
+
+
 BUGS: Dict[str, InjectedBug] = {
     bug.name: bug
     for bug in (
@@ -105,6 +139,15 @@ BUGS: Dict[str, InjectedBug] = {
                 "state is consistent; only trace completeness sees the loss)"
             ),
             patch=_drop_commit_replies,
+        ),
+        InjectedBug(
+            name="ack-without-delivery",
+            description=(
+                "the reliable channel acknowledges intra-cluster messages it "
+                "never delivers (senders see a healthy network; consensus "
+                "goes dark and quiescent liveness fails)"
+            ),
+            patch=_ack_without_delivery,
         ),
     )
 }

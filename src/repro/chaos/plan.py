@@ -14,10 +14,17 @@ protocol promises to survive, so every oracle failure is a real bug:
   crash schedules a restart (the oracles judge the *recovered* system);
 * leader kills are only planned when automatic failover is enabled —
   without it, a dead leader is a liveness loss by design, not a bug;
-* drop windows only cover client↔core links (core-to-core loss without a
-  retransmission protocol is outside the model; delays are allowed
-  anywhere);
+* drop windows cover client↔core links and — now that the reliable channel
+  (:mod:`repro.simnet.reliable`) retransmits intra-cluster traffic —
+  core-to-core links inside a partition; core-link drops are only planned
+  when reliability is enabled, since raw core loss without retransmission
+  is a liveness loss by design (delays are allowed anywhere);
 * byzantine proxies are only planned when the edge tier is enabled.
+
+Core-link drop targets are drawn from a *side-stream* generator (seeded from
+the plan seed but distinct from the main stream), so every draw of the main
+stream — and therefore every pre-existing plan fingerprint for seeds without
+drop faults — is unchanged by the planner learning the new fault target.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.common.config import (
     FailoverConfig,
     LatencyConfig,
     PerfConfig,
+    ReliabilityConfig,
     SystemConfig,
 )
 from repro.storage.partitioner import HashPartitioner
@@ -64,6 +72,7 @@ class ConfigPoint:
     edge_max_header_lag: int = 4
     edge_cache_ttl_ms: Optional[float] = None
     failover_enabled: bool = True
+    reliability_enabled: bool = True
     progress_timeout_ms: float = 60.0
     jitter_fraction: float = 0.0
     commit_timeout_ms: float = 800.0
@@ -91,6 +100,7 @@ class ConfigPoint:
                 enabled=self.failover_enabled,
                 progress_timeout_ms=self.progress_timeout_ms,
             ),
+            reliability=ReliabilityConfig(enabled=self.reliability_enabled),
             perf=PerfConfig(
                 archive_enabled=self.archive_enabled,
                 archive_compaction=self.archive_compaction,
@@ -128,8 +138,12 @@ class FaultEvent:
     * ``crash`` — crash member ``replica_index`` of ``partition`` at
       ``at_ms``, restart it ``duration_ms`` later;
     * ``leader-kill`` — crash whoever leads ``partition`` at fire time;
-    * ``drop`` — drop client ``client``'s traffic (``direction`` selects
-      to-core or from-core) with ``probability`` for ``duration_ms``;
+    * ``drop`` with ``target="client"`` — drop client ``client``'s traffic
+      (``direction`` selects to-core or from-core) with ``probability`` for
+      ``duration_ms``;
+    * ``drop`` with ``target="core"`` — drop intra-cluster traffic between
+      the replicas of ``partition`` with ``probability`` for ``duration_ms``
+      (survivable only because the reliable channel retransmits);
     * ``delay`` — delay all traffic matching ``probability`` by ``extra_ms``
       for ``duration_ms``;
     * ``byzantine-proxy`` — install ``behaviour`` on edge proxy ``proxy``.
@@ -142,6 +156,10 @@ class FaultEvent:
     duration_ms: float = 30.0
     client: int = 0
     direction: str = "to-core"
+    #: Drop scope: ``"client"`` (client↔core links) or ``"core"``
+    #: (replica↔replica links of ``partition``).  Defaults to ``"client"``
+    #: so serialised pre-reliability plans replay unchanged.
+    target: str = "client"
     probability: float = 0.25
     extra_ms: float = 4.0
     proxy: int = 0
@@ -221,6 +239,9 @@ def partition_keys(config: ConfigPoint) -> Dict[int, List[str]]:
 def plan_from_seed(seed: int) -> ChaosPlan:
     """Draw a complete scenario from ``random.Random(seed)``."""
     rng = random.Random(seed)
+    # Core-link drop targets come from this side stream (see module
+    # docstring): consuming it never perturbs the main stream's draws.
+    side = random.Random((seed << 4) ^ 0xC0DE)
 
     edge_enabled = rng.random() < 0.4
     failover_enabled = rng.random() < 0.8
@@ -316,16 +337,34 @@ def plan_from_seed(seed: int) -> ChaosPlan:
                 )
             )
         elif kind == "drop":
-            faults.append(
-                FaultEvent(
-                    at_ms=at_ms,
-                    kind="drop",
-                    client=rng.randrange(num_clients),
-                    direction=rng.choice(("to-core", "from-core")),
-                    probability=round(rng.uniform(0.1, 0.35), 3),
-                    duration_ms=round(rng.uniform(10.0, 30.0), 3),
+            # Main-stream draws happen unconditionally (and in the historical
+            # order) so the choice of target cannot shift later draws.
+            client = rng.randrange(num_clients)
+            direction = rng.choice(("to-core", "from-core"))
+            probability = round(rng.uniform(0.1, 0.35), 3)
+            duration_ms = round(rng.uniform(10.0, 30.0), 3)
+            if config.reliability_enabled and side.random() < 0.5:
+                faults.append(
+                    FaultEvent(
+                        at_ms=at_ms,
+                        kind="drop",
+                        target="core",
+                        partition=side.randrange(config.num_partitions),
+                        probability=probability,
+                        duration_ms=duration_ms,
+                    )
                 )
-            )
+            else:
+                faults.append(
+                    FaultEvent(
+                        at_ms=at_ms,
+                        kind="drop",
+                        client=client,
+                        direction=direction,
+                        probability=probability,
+                        duration_ms=duration_ms,
+                    )
+                )
         elif kind == "delay":
             faults.append(
                 FaultEvent(

@@ -19,9 +19,12 @@ Two bookkeeping subtleties keep the oracles sound under faults:
   reads of its values look illegitimate, so after quiescence the runner
   resolves every unknown against the authoritative version chains and the
   replicated decision records, and records it as committed when any
-  evidence of commitment exists.  (The planner additionally confines drop
-  faults to the read path — read-phase timeouts abort *before* submission,
-  so they are never ambiguous.)
+  evidence of commitment exists.  (The planner additionally confines
+  *client*-targeted drop faults to the read path — read-phase timeouts
+  abort *before* submission, so they are never ambiguous.  Core-targeted
+  drops hit replica↔replica links only, where the reliable channel
+  retransmits; a commit made slow by core loss that still times out at the
+  client lands in the same unknown-outcome resolution.)
 """
 
 from __future__ import annotations
@@ -54,7 +57,8 @@ from repro.workload.generator import TxnSpec, WorkloadGenerator, WorkloadProfile
 from repro.chaos.bugs import InjectedBug, get_bug
 from repro.chaos.plan import ChaosPlan, plan_from_seed
 
-#: Read-path message types a drop fault may affect (see module docstring).
+#: Read-path message types a client-targeted drop fault may affect (see
+#: module docstring; core-targeted drops match all intra-cluster traffic).
 _DROPPABLE = (
     ReadRequest,
     ReadReply,
@@ -335,6 +339,28 @@ def _schedule_faults(
 
             plan_crash(event, leader_of)
         elif event.kind == "drop":
+            if event.target == "core":
+                # Lossy intra-cluster links: every ordered replica pair of the
+                # partition drops with the event's probability.  All matching
+                # traffic (envelopes, acks, retransmissions) travels the
+                # reliable channel, which is what makes the window survivable.
+                members = system.topology.members(
+                    event.partition % system.config.num_partitions
+                )
+                for link_src in members:
+                    for link_dst in members:
+                        if link_src == link_dst:
+                            continue
+                        schedule.drop_window(
+                            base + event.at_ms,
+                            FaultRule(
+                                src=link_src,
+                                dst=link_dst,
+                                probability=event.probability,
+                            ),
+                            until_ms=base + event.at_ms + event.duration_ms,
+                        )
+                continue
             client = system.clients[event.client % len(system.clients)]
             for message_type in _DROPPABLE:
                 rule = (
@@ -532,6 +558,13 @@ def _run(
     counters = {
         name: int(value) for name, value in asdict(system.counters()).items()
     }
+    # Transport counters exist only when the reliable channel is on, so
+    # reports from reliability-disabled plans fingerprint exactly as before.
+    transport = system.env.reliability
+    if transport is not None:
+        counters.update(
+            {f"transport_{name}": int(value) for name, value in transport.counters.items()}
+        )
     return ChaosReport(
         plan=plan,
         failures=failures,

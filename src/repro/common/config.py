@@ -310,6 +310,68 @@ class EdgeConfig:
 
 
 @dataclass(frozen=True)
+class ReliabilityConfig:
+    """Reliable delivery over lossy core links (:mod:`repro.simnet.reliable`).
+
+    When ``enabled``, every replica-to-replica message travels through a
+    :class:`~repro.simnet.reliable.ReliableChannel`: per-link sequence
+    numbers, cumulative acks piggybacked on reverse traffic (with a
+    standalone ack after ``ack_delay_ms`` of silence), retransmission on a
+    jittered exponential backoff starting at ``retransmit_base_ms`` and
+    capped at ``retransmit_cap_ms``, and receiver-side dedup so protocol
+    layers never observe a duplicate.  ``max_retransmits`` bounds the
+    consecutive no-progress retransmission rounds per link before the
+    outstanding window is abandoned (the chaos planner only opens *finite*
+    loss windows, so the cap exists to bound simulation work against
+    genuinely dead peers, not for correctness).
+
+    ``rebroadcast_interval_ms`` is the cadence at which a
+    :class:`~repro.bft.engine.PbftEngine` with stalled undelivered instances
+    re-broadcasts its highest decided certificate, so a replica that missed
+    an entire instance converges without a full state transfer.
+
+    ``commit_retry_attempts``/``commit_retry_backoff_ms`` govern the client
+    side: a commit reply timeout is retried against the coordinator (which
+    answers duplicates from its decision log) instead of aborting outright.
+
+    ``enabled=False`` restores the fire-and-forget seed behaviour
+    byte-for-byte: no envelopes, no timers, no extra randomness drawn.
+    """
+
+    enabled: bool = True
+    ack_delay_ms: float = 4.0
+    retransmit_base_ms: float = 12.0
+    retransmit_cap_ms: float = 120.0
+    retransmit_jitter_fraction: float = 0.2
+    max_retransmits: int = 12
+    rebroadcast_interval_ms: float = 50.0
+    commit_retry_attempts: int = 3
+    commit_retry_backoff_ms: float = 30.0
+
+    def validate(self) -> None:
+        if self.ack_delay_ms <= 0:
+            raise ConfigurationError("reliability ack_delay_ms must be > 0")
+        if self.retransmit_base_ms <= 0:
+            raise ConfigurationError("reliability retransmit_base_ms must be > 0")
+        if self.retransmit_cap_ms < self.retransmit_base_ms:
+            raise ConfigurationError(
+                "reliability retransmit_cap_ms must be >= retransmit_base_ms"
+            )
+        if not 0 <= self.retransmit_jitter_fraction < 1:
+            raise ConfigurationError(
+                "reliability retransmit_jitter_fraction must be in [0, 1)"
+            )
+        if self.max_retransmits < 1:
+            raise ConfigurationError("reliability max_retransmits must be >= 1")
+        if self.rebroadcast_interval_ms <= 0:
+            raise ConfigurationError("reliability rebroadcast_interval_ms must be > 0")
+        if self.commit_retry_attempts < 1:
+            raise ConfigurationError("reliability commit_retry_attempts must be >= 1")
+        if self.commit_retry_backoff_ms <= 0:
+            raise ConfigurationError("reliability commit_retry_backoff_ms must be > 0")
+
+
+@dataclass(frozen=True)
 class ObsConfig:
     """Observability knobs (:mod:`repro.obs`).
 
@@ -363,6 +425,7 @@ class SystemConfig:
     failover: FailoverConfig = field(default_factory=FailoverConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
     edge: EdgeConfig = field(default_factory=EdgeConfig)
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
     crypto_backend: str = "hmac"
     seed: int = 7
@@ -407,6 +470,7 @@ class SystemConfig:
         self.failover.validate()
         self.perf.validate()
         self.edge.validate()
+        self.reliability.validate()
         self.obs.validate()
         return self
 

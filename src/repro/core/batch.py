@@ -27,7 +27,7 @@ from repro.bft.quorum import CommitCertificate
 from repro.common.ids import NO_BATCH, BatchNumber, PartitionId
 from repro.common.types import Key, Value
 from repro.crypto.hashing import Digest, digest_of
-from repro.crypto.signatures import KeyRegistry
+from repro.crypto.signatures import KeyRegistry, Signature
 from repro.core.cdvector import CDVector
 from repro.core.transaction import TxnPayload
 from repro.storage.partitioner import HashPartitioner
@@ -52,6 +52,15 @@ class PreparedVote:
     prepared at the voting partition, that batch's CD vector and the commit
     certificate of that batch — the pieces a remote cluster needs to verify
     the vote and to derive its own dependencies (Section 4.3.3c).
+
+    A negative vote has no certified header to prove its provenance, so the
+    voting partition's leader *signs* it (``signature`` over
+    :meth:`abort_signing_payload`): validators of an abort commit record
+    check the signature against the voting cluster's membership, which stops
+    a byzantine coordinator from forging a "participant voted no" and
+    unilaterally aborting a fully-prepared transaction.  Like a positive
+    vote's header, the signature proves itself and stays out of
+    :meth:`payload` (and therefore out of batch and image digests).
     """
 
     txn_id: str
@@ -60,6 +69,7 @@ class PreparedVote:
     prepare_batch: BatchNumber = NO_BATCH
     cd_vector: Optional[CDVector] = None
     header: Optional["CertifiedHeader"] = None
+    signature: Optional["Signature"] = None
 
     def payload(self) -> dict:
         return {
@@ -69,6 +79,10 @@ class PreparedVote:
             "prepare_batch": int(self.prepare_batch),
             "cd_vector": self.cd_vector.payload() if self.cd_vector else None,
         }
+
+    def abort_signing_payload(self) -> list:
+        """Canonical payload a negative vote's signature covers."""
+        return ["abort-vote", self.txn_id, int(self.partition)]
 
 
 @dataclass(frozen=True)

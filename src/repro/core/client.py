@@ -85,6 +85,7 @@ class ClientStats:
     edge_verification_failures: int = 0
     proxies_blacklisted: int = 0
     leader_failovers: int = 0
+    commit_retries: int = 0
 
 
 class TransEdgeClient(ProcessNode):
@@ -272,18 +273,9 @@ class TransEdgeClient(ProcessNode):
 
         txn = TxnPayload(txn_id=txn_id, reads=reads, writes=dict(writes), client=self.name)
         coordinator = self._coordinator_for(txn.partitions(self.partitioner))
-        reply = yield self._leader_call(
-            coordinator, CommitRequest(txn=txn), timeout_ms=self._commit_timeout_ms
-        )
+        reply = yield from self._commit_with_retry(coordinator, txn, complain=True)
         latency = self.now - start
         if reply is None:
-            self.stats.timeouts += 1
-            # The leader went silent on us: tell the whole cluster (classic
-            # PBFT client behaviour).  Followers treat the complaint as
-            # progress-monitor evidence, so a leader that crashed while idle
-            # is still suspected and replaced automatically.
-            for member in self.topology.members(coordinator):
-                self.send(member, LeaderComplaint(partition=coordinator))
             return CommitResult(
                 txn_id=txn_id,
                 status=TxnStatus.ABORTED,
@@ -302,6 +294,48 @@ class TransEdgeClient(ProcessNode):
             latency_ms=latency,
             abort_reason=reply.abort_reason,
         )
+
+    def _commit_with_retry(
+        self,
+        coordinator: PartitionId,
+        txn: TxnPayload,
+        complain: bool,
+    ) -> Generator[object, object, Optional[CommitReply]]:
+        """Submit ``txn`` for commitment, retrying timed-out attempts.
+
+        With the reliable channel enabled the flat commit timeout degrades
+        gracefully: each timed-out attempt backs off and resubmits a fresh
+        :class:`CommitRequest` (request ids are single-use at the process
+        layer).  Resubmission is duplicate-safe — the coordinator's leader
+        answers repeats of an already-decided transaction from its replicated
+        ``decided``/``local_decided`` records instead of re-admitting them.
+        With reliability disabled this is exactly the old single attempt.
+
+        ``complain`` sends a :class:`LeaderComplaint` to the whole coordinator
+        cluster after each timeout (classic PBFT client behaviour): followers
+        treat the complaint as progress-monitor evidence, so a leader that
+        crashed while idle is still suspected and replaced automatically.
+        The complaint carries the unanswered transaction as evidence —
+        followers corroborate it by forwarding the request to the leader and
+        only sustain suspicion while that probe goes unanswered.
+        """
+        reliability = self.config.reliability
+        attempts = max(1, reliability.commit_retry_attempts) if reliability.enabled else 1
+        reply = None
+        for attempt in range(attempts):
+            if attempt:
+                self.stats.commit_retries += 1
+                yield Sleep(reliability.commit_retry_backoff_ms * attempt)
+            reply = yield self._leader_call(
+                coordinator, CommitRequest(txn=txn), timeout_ms=self._commit_timeout_ms
+            )
+            if reply is not None:
+                break
+            if complain:
+                self.stats.timeouts += 1
+                for member in self.topology.members(coordinator):
+                    self.send(member, LeaderComplaint(partition=coordinator, txn=txn))
+        return reply
 
     # ------------------------------------------------------------------
     # TransEdge snapshot read-only transactions (Section 4)
@@ -636,9 +670,7 @@ class TransEdgeClient(ProcessNode):
             client=self.name,
         )
         coordinator = self._coordinator_for(txn.partitions(self.partitioner))
-        reply = yield self._leader_call(
-            coordinator, CommitRequest(txn=txn), timeout_ms=self._commit_timeout_ms
-        )
+        reply = yield from self._commit_with_retry(coordinator, txn, complain=False)
         end = self.now
         committed = reply is not None and reply.status is TxnStatus.COMMITTED
         if committed:

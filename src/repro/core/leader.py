@@ -12,6 +12,7 @@ cannot lie about a step it never persisted (Section 3.3).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
@@ -89,10 +90,12 @@ class LeaderRole:
         self._twopc_timer = None
         self._twopc_attempts: Dict[str, int] = {}
         #: Coordinations this leader had to give up on, txn id → diagnostic.
-        #: Today's only entry point is the known retention gap (ROADMAP):
-        #: resuming a predecessor's 2PC needs the certified header of the
-        #: prepare batch, and headers older than the checkpoint retention
-        #: window are pruned.  Reported here (and counted in
+        #: Resuming a predecessor's 2PC needs the certified header of the
+        #: prepare batch; checkpoint GC pins those headers past the retention
+        #: window and ``SnapshotImage`` carries them across restores, so on
+        #: honest replicas this stays empty.  It remains reachable when the
+        #: header is genuinely absent (e.g. state planted by a byzantine
+        #: image source) and is reported here (and counted in
         #: ``two_pc_unresumable``) so the condition surfaces as a diagnostic
         #: instead of a silent stall.
         self.unresumable: Dict[str, str] = {}
@@ -148,6 +151,17 @@ class LeaderRole:
 
     def _release_write_locks(self, txn_id: str) -> None:
         self._replica.locks.release_all(txn_id)
+
+    def _abort_vote(self, txn_id: str) -> PreparedVote:
+        """Build this partition's negative 2PC vote, signed by this leader.
+
+        The signature is what lets remote validators attribute the abort to
+        a member of the voting cluster (see :class:`PreparedVote`).
+        """
+        vote = PreparedVote(txn_id=txn_id, partition=self._partition, vote=False)
+        return dataclasses.replace(
+            vote, signature=self._replica.signer.sign(vote.abort_signing_payload())
+        )
 
     def _reply_abort(self, txn: TxnPayload, waiting: _WaitingClient, reason: str) -> None:
         if "read-lock" in reason:
@@ -408,11 +422,9 @@ class LeaderRole:
                 self._replica.counters.lock_interference_aborts += 1
             else:
                 self._replica.counters.conflict_aborts += 1
-            vote = PreparedVote(
-                txn_id=txn.txn_id, partition=self._partition, vote=False
-            )
             self._replica.send(
-                self._leader_of(message.coordinator), ParticipantPrepared(vote=vote)
+                self._leader_of(message.coordinator),
+                ParticipantPrepared(vote=self._abort_vote(txn.txn_id)),
             )
             return
 
@@ -440,13 +452,23 @@ class LeaderRole:
             return
         if vote.vote:
             # A positive vote must prove the prepare went through the
-            # participant cluster's consensus; otherwise treat it as negative.
+            # participant cluster's consensus.
             valid = vote.header is not None and vote.header.verify(
                 self._replica.verifier,
                 self._replica.topology.members(vote.partition),
                 self._replica.config.certificate_size,
             )
             if not valid:
+                if self._replica.config.reliability.enabled:
+                    # An unverifiable vote is *no* vote: this coordinator
+                    # cannot sign a negative vote on the participant's
+                    # behalf (abort records now require the voting
+                    # cluster's signature), so it waits and re-solicits
+                    # through the 2PC retry timer instead of fabricating
+                    # an abort it could never justify.
+                    return
+                # Legacy behaviour (pre-signed-abort): downgrade to an
+                # unsigned negative vote.
                 vote = PreparedVote(
                     txn_id=vote.txn_id, partition=vote.partition, vote=False
                 )
@@ -546,19 +568,18 @@ class LeaderRole:
                 return
             header = replica.header_at(group.batch_number)
             if header is None:
-                # The prepare batch's certified header aged past the
-                # checkpoint retention window, so the coordinator-side vote
-                # (whose proof is that header) cannot be rebuilt.  Known gap
-                # (ROADMAP): the fix is carrying the needed headers in the
-                # checkpoint image.  Until then, report it loudly — the
-                # participants' own DecisionQuery path remains their only
-                # way out.
+                # The coordinator-side vote's proof is the prepare batch's
+                # certified header, and it is gone.  Checkpoint GC pins
+                # headers of undecided prepare batches past the retention
+                # window and the checkpoint image carries them across
+                # restores, so an honest replica never lands here; report it
+                # loudly — the participants' own DecisionQuery path remains
+                # their only way out.
                 self._note_unresumable(
                     txn_id,
-                    f"prepare batch {group.batch_number} header pruned past the "
-                    f"retention window; coordination cannot be resumed "
-                    f"(carry prepare-batch headers in the checkpoint image "
-                    f"to close this)",
+                    f"prepare batch {group.batch_number} header not retained "
+                    f"(pruned past the retention window and absent from the "
+                    f"checkpoint image); coordination cannot be resumed",
                 )
                 return
             state = _CoordinatorState(
@@ -809,8 +830,7 @@ class LeaderRole:
                 self._reply_abort(record.txn, waiting, reason)
         else:
             self._participant_states.pop(txn_id, None)
-            vote = PreparedVote(txn_id=txn_id, partition=self._partition, vote=False)
-            prepared = ParticipantPrepared(vote=vote)
+            prepared = ParticipantPrepared(vote=self._abort_vote(txn_id))
             self._obs_stamp(txn_id, prepared)
             self._obs_ctx.pop(txn_id, None)
             self._replica.send(self._leader_of(record.coordinator), prepared)

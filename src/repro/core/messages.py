@@ -142,9 +142,41 @@ class LeaderComplaint(Message):
     evidence (the classic PBFT "client broadcasts after leader silence"
     trigger), so a leader that crashed while idle — leaving no in-flight
     consensus instance to betray it — is still suspected and replaced.
+
+    ``txn`` is the complaint's evidence: the transaction whose commit
+    request went unanswered.  With the reliability layer enabled followers
+    refuse to act on a complaint without it, and corroborate the rest by
+    forwarding the transaction to the leader as a :class:`ComplaintProbe`
+    — the complaint only sustains suspicion while that forwarded request
+    goes unanswered, so a lying client cannot vote out a healthy leader.
     """
 
     partition: PartitionId = 0
+    txn: Optional[TxnPayload] = None
+
+
+@dataclass
+class ComplaintProbe(Message):
+    """Follower → own leader: a client claims this request went unanswered.
+
+    The classic PBFT relay: replicas receiving a client's complaint forward
+    the allegedly-ignored request to the primary rather than taking the
+    client's word for it.  A live leader answers immediately with a
+    :class:`ComplaintProbeAck` (and the client's own retry machinery
+    re-delivers the request proper); a dead one stays silent, leaving the
+    complaint standing as progress-monitor evidence.
+    """
+
+    partition: PartitionId = 0
+    txn: Optional[TxnPayload] = None
+
+
+@dataclass
+class ComplaintProbeAck(Message):
+    """Leader → probing follower: I am alive and saw the forwarded request."""
+
+    partition: PartitionId = 0
+    txn_id: str = ""
 
 
 # ---------------------------------------------------------------------------

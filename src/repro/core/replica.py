@@ -33,6 +33,8 @@ from repro.core.cdvector import CDVector, combine_all
 from repro.core.leader import LeaderRole
 from repro.core.messages import (
     CommitRequest,
+    ComplaintProbe,
+    ComplaintProbeAck,
     CoordinatorPrepare,
     DecisionMessage,
     DecisionQuery,
@@ -134,6 +136,11 @@ class ViewProgressMonitor:
         self._suspect_rounds = 0
         self._gave_up = False
         self._complainants: set = set()
+        #: Transaction ids of forwarded-request probes (``ComplaintProbe``)
+        #: currently outstanding against the leader.  An ack is only honoured
+        #: for a transaction this replica actually probed, so a byzantine
+        #: node cannot pre-emptively "answer" complaints it never saw.
+        self._probes: set = set()
         #: One catch-up recovery per stall: set when a stalled round chose
         #: state transfer over suspicion, cleared by delivery progress.  If
         #: the catch-up was futile (nothing newer to fetch — e.g. the
@@ -142,7 +149,7 @@ class ViewProgressMonitor:
         #: view-change vote instead of withholding it forever.
         self._catchup_attempted = False
 
-    def note_complaint(self, complainant) -> None:
+    def note_complaint(self, complainant, probe_txn_id: Optional[str] = None) -> None:
         """A client reported the leader unresponsive (``LeaderComplaint``).
 
         Complainants are deduplicated (the simulated network stamps the true
@@ -151,17 +158,38 @@ class ViewProgressMonitor:
         stood down during an earlier stall (otherwise a leader crash on an
         idle, previously-stalled cluster would never be detected).  Each
         revival is driven by an actual client message, so a finite workload
-        still yields a finite number of monitoring rounds.  Residual risk,
-        documented in ROADMAP: complaints are not corroborated against a
-        forwarded request, so a byzantine *client* can churn an otherwise
-        idle cluster's leadership (liveness noise only — view changes are
-        safe, and any real traffic resets the stall test).
+        still yields a finite number of monitoring rounds.
+
+        With the reliability layer enabled the caller corroborates first:
+        the complaint must carry the unanswered transaction, which the
+        replica forwards to the leader as a ``ComplaintProbe``
+        (``probe_txn_id`` records the probe).  The leader's ack arrives as
+        :meth:`note_probe_ack` and refutes the complaint, so a byzantine
+        client fabricating complaints against a live leader cannot churn an
+        otherwise idle cluster's leadership; only a leader that leaves the
+        forwarded request unanswered is voted out.
         """
         self._complainants.add(complainant)
+        if probe_txn_id is not None:
+            self._probes.add(probe_txn_id)
         if self._gave_up:
             self._gave_up = False
             self._suspect_rounds = 0
         self.poke()
+
+    def note_probe_ack(self, txn_id: str) -> None:
+        """The leader answered a forwarded-request probe: it is alive.
+
+        Standing complaints allege an unresponsive leader, so one honoured
+        ack refutes them all for this window — exactly like a view change
+        "answers" them.  A client whose request is still genuinely unserved
+        will time out and complain again, re-arming the monitor (and its
+        retry machinery re-delivers the request itself).  Acks for
+        transactions this replica never probed are ignored.
+        """
+        if txn_id not in self._probes:
+            return
+        self._clear_complaints()
 
     def note_view_change(self) -> None:
         """The cluster rotated: pending complaints are considered answered.
@@ -170,7 +198,11 @@ class ViewProgressMonitor:
         healthy leader) buys at most one rotation; if the client still cannot
         commit it will complain again, re-arming the monitor.
         """
+        self._clear_complaints()
+
+    def _clear_complaints(self) -> None:
         self._complainants.clear()
+        self._probes.clear()
 
     def poke(self) -> None:
         """Re-evaluate after any event that could create or resolve evidence."""
@@ -185,7 +217,7 @@ class ViewProgressMonitor:
                 return  # still stalled; stay stood-down until progress
             self._gave_up = False
             self._suspect_rounds = 0
-            self._complainants.clear()
+            self._clear_complaints()
         if not self._has_evidence():
             return
         self._arm()
@@ -218,7 +250,7 @@ class ViewProgressMonitor:
         if self._snapshot() != self._armed_baseline:
             # The cluster delivered something during the window: healthy.
             self._suspect_rounds = 0
-            self._complainants.clear()
+            self._clear_complaints()
             self._catchup_attempted = False
             if self._has_evidence():
                 self._arm()
@@ -342,6 +374,8 @@ class PartitionReplica(SimNode):
         self.register_handler(DecisionQuery, self._on_decision_query)
         self.register_handler(DecisionReply, self._on_decision_reply)
         self.register_handler(LeaderComplaint, self._on_leader_complaint)
+        self.register_handler(ComplaintProbe, self._on_complaint_probe)
+        self.register_handler(ComplaintProbeAck, self._on_complaint_probe_ack)
 
     # ------------------------------------------------------------------
     # convenience
@@ -559,8 +593,31 @@ class PartitionReplica(SimNode):
                 ):
                     return False
         else:
-            if not any(not vote.vote for vote in record.votes.values()):
+            negatives = [vote for vote in record.votes.values() if not vote.vote]
+            if not negatives:
                 return False
+            if self.config.reliability.enabled:
+                # An abort must be justified by an *authentic* negative vote:
+                # each one carries a signature by a member of the cluster it
+                # claims voted no (see PreparedVote.abort_signing_payload),
+                # which stops a byzantine coordinator from fabricating a
+                # participant's refusal and unilaterally aborting a
+                # fully-prepared transaction.
+                for vote in negatives:
+                    if vote.partition not in accessed:
+                        return False
+                    if vote.signature is None:
+                        return False
+                    members = {
+                        str(member)
+                        for member in self.topology.members(vote.partition)
+                    }
+                    if vote.signature.signer not in members:
+                        return False
+                    if not self.verifier.verify(
+                        vote.abort_signing_payload(), vote.signature
+                    ):
+                        return False
         return True
 
     def _derive_read_only_metadata(self, batch: Batch) -> Tuple[CDVector, BatchNumber]:
@@ -759,9 +816,27 @@ class PartitionReplica(SimNode):
                 raise StateTransferError(
                     "image values do not match the certified header's Merkle root"
                 )
-            self.headers = [image.header]
-            self._header_lces = [image.header.lce]
-            self._header_numbers = [image.header.number]
+            # The carried prepare-batch headers are digest-excluded, so a
+            # byzantine image source could have substituted them — each must
+            # prove itself through its own consensus certificate before the
+            # 2PC resumption machinery is allowed to trust it.
+            members = self.topology.members(self.partition)
+            restored = [image.header]
+            for header in image.prepared_headers:
+                if header.number >= image.seq:
+                    continue  # the checkpoint header already covers it
+                if not header.verify(
+                    self.verifier, members, self.config.certificate_size
+                ):
+                    raise StateTransferError(
+                        f"carried prepare-batch header {header.number} fails "
+                        f"certificate verification"
+                    )
+                restored.append(header)
+            restored.sort(key=lambda h: h.number)
+            self.headers = restored
+            self._header_lces = [h.lce for h in restored]
+            self._header_numbers = [h.number for h in restored]
             self.last_header = image.header
         self.engine.install_checkpoint(image.seq)
         if certificate is not None:
@@ -926,8 +1001,18 @@ class PartitionReplica(SimNode):
         return self.headers[index]
 
     def prune_headers_below(self, retain_from: BatchNumber) -> None:
-        """Checkpoint GC: drop certified headers (and their parallel indexes) below the window."""
-        self.headers = [h for h in self.headers if h.number >= retain_from]
+        """Checkpoint GC: drop certified headers (and their parallel indexes) below the window.
+
+        Headers of still-undecided prepare batches are pinned past the
+        window: a coordinator rebuilds its 2PC vote from exactly that header
+        (see ``LeaderRole._redrive_coordinated``), and they are what
+        ``SnapshotImage.capture`` carries so a restored successor can do the
+        same.
+        """
+        pinned = set(self.prepared_batches.group_numbers())
+        self.headers = [
+            h for h in self.headers if h.number >= retain_from or h.number in pinned
+        ]
         self._header_lces = [h.lce for h in self.headers]
         self._header_numbers = [h.number for h in self.headers]
 
@@ -1102,4 +1187,51 @@ class PartitionReplica(SimNode):
         assert isinstance(message, LeaderComplaint)
         if message.partition != self.partition or self.is_leader:
             return
-        self.progress_monitor.note_complaint(src)
+        if not self.config.reliability.enabled:
+            # Legacy behaviour: any complaint counts as evidence.
+            self.progress_monitor.note_complaint(src)
+            return
+        txn = message.txn
+        if txn is None:
+            # Evidence-free complaint: nothing to corroborate, nothing to do.
+            self.env.obs.event(
+                str(self.node_id),
+                "complaint-dismissed",
+                "info",
+                {"partition": int(self.partition), "reason": "no forwarded request"},
+            )
+            return
+        if txn.txn_id in self.decided or txn.txn_id in self.local_decided:
+            # The cluster already answered this transaction; the complaint is
+            # stale (or lying).  The client's retry gets the decided answer.
+            self.env.obs.event(
+                str(self.node_id),
+                "complaint-dismissed",
+                "info",
+                {"partition": int(self.partition), "reason": "already decided"},
+            )
+            return
+        self.progress_monitor.note_complaint(src, probe_txn_id=txn.txn_id)
+        self.send(
+            self.engine.current_leader,
+            ComplaintProbe(partition=self.partition, txn=txn),
+        )
+
+    def _on_complaint_probe(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, ComplaintProbe)
+        if message.partition != self.partition or not self.is_leader:
+            return  # deposed (or never the leader): silence leaves the complaint standing
+        txn = message.txn
+        if txn is None:
+            return
+        self.send(
+            src, ComplaintProbeAck(partition=self.partition, txn_id=txn.txn_id)
+        )
+
+    def _on_complaint_probe_ack(self, message: Message, src: NodeId) -> None:
+        assert isinstance(message, ComplaintProbeAck)
+        if message.partition != self.partition:
+            return
+        if src != self.engine.current_leader:
+            return  # only the leader under suspicion can clear its complaints
+        self.progress_monitor.note_probe_ack(message.txn_id)

@@ -288,10 +288,15 @@ class TransEdgeSystem:
             (str(proxy.node_id), (proxy.counters.cache_hits, proxy.counters.cache_misses))
             for proxy in self.proxies
         )
+        # Reliable-channel counters ride along: not a cache, but the same
+        # "one unified accounting point" contract — the benchmark harness and
+        # chaos reports read retransmit/duplicate-drop totals from here.
+        transport = self.env.reliability
         snapshot: Dict[str, object] = {
             "verify_replicas": verify_replicas,
             "verify_clients": verify_clients,
             "edge": edge,
+            "transport": dict(transport.counters) if transport is not None else {},
             "totals": {
                 "verify_replicas": totals(verify_replicas),
                 "verify_clients": totals(verify_clients),
@@ -299,7 +304,10 @@ class TransEdgeSystem:
             },
         }
         if record_event:
-            self.env.obs.event("system", "cache-snapshot", "info", dict(snapshot["totals"]))
+            detail = dict(snapshot["totals"])
+            if snapshot["transport"]:
+                detail["transport"] = dict(snapshot["transport"])
+            self.env.obs.event("system", "cache-snapshot", "info", detail)
         return snapshot
 
     def verify_cache_stats(self) -> Dict[str, "tuple[int, int]"]:

@@ -226,6 +226,7 @@ class MetricsCollector:
         self._events: Dict[str, int] = {}
         self._verify_caches: Dict[str, "tuple[int, int]"] = {}
         self._edge_caches: Dict[str, "tuple[int, int]"] = {}
+        self._transport: Dict[str, int] = {}
         self._phases: Dict[str, LatencyReservoir] = {}
         self._start_ms: Optional[float] = None
         self._end_ms: Optional[float] = None
@@ -306,6 +307,8 @@ class MetricsCollector:
                 self.record_verify_cache(node, entry["hits"], entry["misses"])
         for proxy, entry in snapshot.get("edge", {}).items():
             self.record_edge_cache(proxy, entry["hits"], entry["misses"])
+        for name, value in snapshot.get("transport", {}).items():
+            self._transport[name] = int(value)
 
     def record_verify_cache(self, node: str, hits: int, misses: int) -> None:
         """Record one node's signature verify-cache counters.
@@ -325,6 +328,15 @@ class MetricsCollector:
         hits = sum(h for h, _ in self._verify_caches.values())
         misses = sum(m for _, m in self._verify_caches.values())
         return hits, misses
+
+    def transport_counters(self) -> Dict[str, int]:
+        """Reliable-channel counters from the last recorded cache snapshot.
+
+        Empty when the reliable channel is disabled (the snapshot's
+        ``transport`` section is empty then), so callers can gate their
+        bench notes on truthiness.
+        """
+        return dict(self._transport)
 
     def record_edge_cache(self, proxy: str, hits: int, misses: int) -> None:
         """Record one edge proxy's cache counters (cumulative; overwrites)."""

@@ -45,7 +45,13 @@ class SnapshotImage:
     leader-volatile; a new leader re-solicits votes instead.)  ``header`` is
     the certified header of batch ``seq`` and is bound to the image through
     its Merkle root rather than the digest, since it carries its own
-    consensus certificate.
+    consensus certificate.  ``prepared_headers`` carries the certified
+    headers of the prepare batches named in ``prepared``: a restored replica
+    that is (or becomes) leader needs them to rebuild its coordinator vote
+    and resume its predecessor's 2PC, and they are not otherwise
+    reconstructible once checkpoint GC truncated the log below them.  Like
+    ``header`` they are digest-excluded — each carries its own consensus
+    certificate and is verified on install.
     """
 
     partition: PartitionId
@@ -54,6 +60,7 @@ class SnapshotImage:
     prepared: Tuple[Tuple[BatchNumber, Tuple[PreparedRecord, ...]], ...] = ()
     header: Optional[CertifiedHeader] = None
     decisions: Tuple[Tuple[BatchNumber, CommitRecord], ...] = ()
+    prepared_headers: Tuple[CertifiedHeader, ...] = ()
 
     @cached_property
     def _digest(self) -> Digest:
@@ -116,6 +123,14 @@ class SnapshotImage:
         header = replica.last_header
         if header is not None and header.number != seq:
             header = next((h for h in replica.headers if h.number == seq), header)
+        # Certified headers of the still-undecided prepare batches: the
+        # retention pin in ``prune_headers_below`` guarantees they are still
+        # held, even when the prepare batch aged past the retention window.
+        prepared_headers = tuple(
+            h
+            for h in (replica.header_at(number) for number, _ in prepared)
+            if h is not None and h.number != seq
+        )
         return cls(
             partition=replica.partition,
             seq=seq,
@@ -123,6 +138,7 @@ class SnapshotImage:
             prepared=tuple(prepared),
             header=header,
             decisions=decisions,
+            prepared_headers=prepared_headers,
         )
 
     @classmethod

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Type
 from repro.common.ids import NodeId
 from repro.simnet.messages import Message
 from repro.simnet.network import Network
+from repro.simnet.reliable import ReliableEnvelope
 
 
 @dataclass
@@ -45,11 +46,25 @@ class FaultRule:
             return False
         if self.dst is not None and dst != self.dst:
             return False
-        if self.message_type is not None and not isinstance(message, self.message_type):
+        if self.message_type is not None and not self._type_matches(message):
             return False
         if self.probability < 1.0 and rng.random() > self.probability:
             return False
         return True
+
+    def _type_matches(self, message: Message) -> bool:
+        """Type check with reliable-envelope look-through.
+
+        A rule targeting a protocol type (say ``Commit``) keeps matching when
+        the reliable channel wraps that traffic in a
+        :class:`~repro.simnet.reliable.ReliableEnvelope` — faults select the
+        protocol message they mean, whatever the transport framing.
+        """
+        if isinstance(message, self.message_type):
+            return True
+        return isinstance(message, ReliableEnvelope) and isinstance(
+            message.payload, self.message_type
+        )
 
 
 @dataclass
@@ -95,10 +110,20 @@ class FaultInjector:
     def tamper(
         self, rule: FaultRule, mutate: Callable[[Message], Message]
     ) -> _InstalledFault:
-        """Replace matching messages with ``mutate(copy)`` of the original."""
+        """Replace matching messages with ``mutate(copy)`` of the original.
+
+        ``mutate`` always receives the *protocol* message: when the traffic
+        travels inside a reliable-channel envelope, the copied payload is
+        mutated and re-wrapped, so byzantine behaviours written against
+        protocol types keep working whatever the transport framing.
+        """
 
         def action(message: Message) -> Optional[Message]:
-            return mutate(copy.deepcopy(message))
+            clone = copy.deepcopy(message)
+            if isinstance(clone, ReliableEnvelope):
+                clone.payload = mutate(clone.payload)
+                return clone
+            return mutate(clone)
 
         return self._install(rule, action)
 
@@ -238,7 +263,12 @@ class FaultInjector:
             if fault.rule.matches(src, dst, current, self._rng):
                 fault.applied += 1
                 if fault.observer is not None:
-                    fault.observer(src, dst, current)
+                    observed = (
+                        current.payload
+                        if isinstance(current, ReliableEnvelope)
+                        else current
+                    )
+                    fault.observer(src, dst, observed)
                 if fault.route_action is not None:
                     current = fault.route_action(src, dst, current)
                 else:

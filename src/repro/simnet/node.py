@@ -22,6 +22,7 @@ from repro.obs.phases import phase_for
 from repro.obs.trace import Span, TraceContext
 from repro.simnet.messages import Message
 from repro.simnet.network import Network
+from repro.simnet.reliable import ReliableAck, ReliableEnvelope, ReliableTransport
 from repro.simnet.simulator import Simulator
 
 
@@ -57,6 +58,19 @@ class SimEnvironment:
         #: The network gets a handle so deliveries can record ``net`` spans.
         self.obs = Observability(self.config.obs, lambda: self.simulator.now)
         self.network.obs = self.obs
+        #: Reliable delivery for core links (repro.simnet.reliable), or
+        #: ``None`` when disabled — the fire-and-forget seed behaviour.
+        #: Its jitter generator is dedicated (``seed + 3``) so enabling the
+        #: channel never perturbs the env/network/fault draw sequences.
+        self.reliability: Optional[ReliableTransport] = None
+        if self.config.reliability.enabled:
+            self.reliability = ReliableTransport(
+                self.config.reliability,
+                self.network,
+                self.simulator,
+                random.Random(config.seed + 3),
+                obs=self.obs,
+            )
 
     @property
     def now(self) -> float:
@@ -108,13 +122,35 @@ class SimNode:
         self._handlers[message_type] = handler
 
     def send(self, dst: NodeId, message: Message) -> None:
-        """Send ``message`` to ``dst`` over the simulated network."""
+        """Send ``message`` to ``dst`` over the simulated network.
+
+        Replica-to-replica traffic goes through the reliable channel when one
+        is configured (ack/retransmit/dedup; :mod:`repro.simnet.reliable`);
+        everything else — and every link when reliability is disabled — is
+        fire-and-forget exactly as before.
+        """
         self._stamp_trace(message)
-        self.env.network.send(self.node_id, dst, message)
+        transport = self.env.reliability
+        if transport is not None and transport.covers(self.node_id, dst):
+            transport.send(self.node_id, dst, message)
+        else:
+            self.env.network.send(self.node_id, dst, message)
 
     def broadcast(self, dsts, message: Message) -> None:
         self._stamp_trace(message)
-        self.env.network.broadcast(self.node_id, dsts, message)
+        transport = self.env.reliability
+        if transport is None:
+            self.env.network.broadcast(self.node_id, dsts, message)
+            return
+        # Per-destination envelopes (each link has its own sequence space)
+        # around the one shared payload object, mirroring Network.broadcast.
+        for dst in dsts:
+            if dst == self.node_id:
+                continue
+            if transport.covers(self.node_id, dst):
+                transport.send(self.node_id, dst, message)
+            else:
+                self.env.network.send(self.node_id, dst, message)
 
     def _stamp_trace(self, message: Message) -> None:
         """Attach the currently executing span's context to ``message``.
@@ -159,6 +195,19 @@ class SimNode:
         self._obs_net_hint = None
         if self.crashed:
             return
+        if isinstance(message, (ReliableEnvelope, ReliableAck)):
+            # Transport layer: acks and dedup are handled at arrival time
+            # (before the busy queue — ack processing models NIC work, not
+            # protocol work), and the protocol layer sees only fresh
+            # payloads, never envelopes or duplicates.
+            transport = self.env.reliability
+            if transport is not None:
+                payload = transport.on_receive(self.node_id, src, message)
+            else:
+                payload = message.payload if isinstance(message, ReliableEnvelope) else None
+            if payload is None:
+                return
+            message = payload
         arrival = self.env.simulator.now
         start = max(arrival, self._busy_until)
         cost = self.processing_cost_ms(message)

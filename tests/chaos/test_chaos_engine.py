@@ -8,12 +8,25 @@ failure in this file and a failure in CI point at the same scenario.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 import pytest
 
 from repro.chaos import plan_from_seed, run_plan, run_seed, shrink_plan
 from repro.chaos.cli import load_artifact, main as chaos_main, write_artifact
 from repro.chaos.plan import ChaosPlan
+
+
+def _without_reliability(plan: ChaosPlan) -> ChaosPlan:
+    """The plan with the reliable channel (and client retries) turned off.
+
+    Some injected bugs — lost replies most notably — are *tolerated* by the
+    reliability layer rather than detected: the client's resubmission gets a
+    duplicate-safe answer and the run passes every oracle, which is exactly
+    the robustness the layer exists to provide.  Tests that verify an oracle
+    catches such a bug pin the pre-reliability configuration.
+    """
+    return replace(plan, config=replace(plan.config, reliability_enabled=False))
 
 #: Seeds exercised by the tier-1 suite (kept small; CI sweeps more).
 SMOKE_SEEDS = (0, 3, 21)
@@ -34,6 +47,15 @@ class TestHonestRuns:
         assert report.probe_submitted > 0
         assert report.probe_committed == report.probe_submitted
         assert report.read_only_recorded > 0
+
+    def test_core_link_drops_are_survived_by_the_reliable_channel(self):
+        # Seed 2's plan opens core-link drop windows — traffic the planner
+        # was historically forbidden from touching because one lost Commit
+        # vote wedged consensus forever.  The run must both pass every
+        # oracle and show the reliable channel actually working for it.
+        report = run_seed(2)
+        assert report.failures == []
+        assert report.counters["transport_messages_retransmitted"] > 0
 
     def test_crash_faults_really_crash_and_restart(self):
         # Seed 21's plan contains a crash; the report must show the crash
@@ -67,12 +89,25 @@ class TestInjectedBugs:
         oracles = {failure.oracle for failure in report.failures}
         assert "quiescent-liveness" in oracles
 
+    def test_ack_without_delivery_bug_is_caught_by_liveness_oracle(self):
+        # The nastiest transport bug: the receiver acks a sequence number it
+        # never delivered to the protocol layer.  The sender stops
+        # retransmitting (the ack looks legitimate), so the loss is
+        # permanent and silent at the transport — only the system-level
+        # liveness oracle sees the wedged run.
+        report = run_seed(BUGGY_SEED, bug="ack-without-delivery")
+        oracles = {failure.oracle for failure in report.failures}
+        assert "quiescent-liveness" in oracles
+
     def test_drop_commit_replies_caught_by_trace_oracle(self):
         # The bug swallows every 2nd commit reply at the leader.  Nothing is
         # torn and nothing deadlocks immediately, so only the causal traces
         # expose it: a CommitRequest span that reached a healthy leader but
-        # never produced a CommitReply span.
-        report = run_seed(1, bug="drop-commit-replies")
+        # never produced a CommitReply span.  With the reliable channel on,
+        # the client's retry would mask the loss (see _without_reliability).
+        report = run_plan(
+            _without_reliability(plan_from_seed(1)), bug="drop-commit-replies"
+        )
         oracles = {failure.oracle for failure in report.failures}
         assert "trace-completeness" in oracles
         # The flight recorder dumped its black box and the failing
@@ -117,7 +152,7 @@ class TestArtifacts:
         json.dumps(document)
 
     def test_artifact_carries_the_flight_recorder(self, tmp_path):
-        plan = plan_from_seed(1)
+        plan = _without_reliability(plan_from_seed(1))
         report = run_plan(plan, bug="drop-commit-replies")
         assert report.failures
         path = write_artifact(

@@ -14,10 +14,12 @@ import pytest
 
 from repro.chaos import plan_from_seed, run_plan, run_seed
 
-#: Seeds chosen to cover the interesting machinery: all three run the edge
-#: tier with a byzantine proxy; 1 and 7 add drop windows, 21 crashes two
-#: replicas (crash + restart + catch-up recovery).
-DETERMINISM_SEEDS = (1, 7, 21)
+#: Seeds chosen to cover the interesting machinery: all run the edge tier
+#: with a byzantine proxy; 1 and 7 add drop windows, 21 crashes two replicas
+#: (crash + restart + catch-up recovery).  2 and 6 open *core-link* drop
+#: windows, so the reliable channel's retransmission/backoff/dedup timers
+#: (and their dedicated jitter stream) are in the replayed surface too.
+DETERMINISM_SEEDS = (1, 2, 6, 7, 21)
 
 
 class TestReplayDeterminism:

@@ -104,10 +104,15 @@ class TestLeaderCrashAutoRecovery:
         system.run_until_idle()
         assert len(results) == 6  # all terminated
         assert system.topology.leader(0) != old_leader
-        # The first attempt(s) timed out against the dead leader; once the
-        # complaint-driven view change landed, the rest committed.
+        # The first attempt(s) timed out against the dead leader — that
+        # timeout is what produced the complaints — and once the
+        # complaint-driven view change landed, everything (re)committed.
+        # With the reliable channel's retry-with-backoff the timed-out
+        # transactions themselves succeed on resubmission, so detection
+        # shows in the timeout/retry counters rather than as aborts.
         assert any(r.committed for r in results)
-        assert sum(not r.committed for r in results) >= 1
+        assert client.stats.timeouts >= 1
+        assert client.stats.commit_retries >= 1
 
     def test_healthy_cluster_never_suspects(self):
         system = make_system()

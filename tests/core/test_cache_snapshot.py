@@ -43,7 +43,7 @@ class TestCacheSnapshot:
         run_some_reads(system)
         snapshot = system.cache_snapshot()
         assert set(snapshot) == {
-            "verify_replicas", "verify_clients", "edge", "totals",
+            "verify_replicas", "verify_clients", "edge", "transport", "totals",
         }
         for section in ("verify_replicas", "verify_clients", "edge"):
             totals = snapshot["totals"][section]
@@ -88,4 +88,7 @@ class TestCacheSnapshot:
         snapshot = system.cache_snapshot(record_event=True)
         events = system.env.obs.recorder.events_of_kind("cache-snapshot")
         assert len(events) == before + 1
-        assert events[-1].detail == snapshot["totals"]
+        expected = dict(snapshot["totals"])
+        if snapshot["transport"]:
+            expected["transport"] = snapshot["transport"]
+        assert events[-1].detail == expected

@@ -134,7 +134,11 @@ class TestProactiveCommitFailover:
         result = run_txn(client, lambda: client.read_write_txn([], {keys[0]: b"x"}))
         assert not result.committed
         assert client.stats.leader_failovers == 0
-        assert client.stats.timeouts == 1
+        # Every commit attempt (the first plus each reliability-layer retry)
+        # times out against the dead leader with failover disabled.
+        attempts = system.config.reliability.commit_retry_attempts
+        assert client.stats.timeouts == attempts
+        assert client.stats.commit_retries == attempts - 1
 
 
 class TestDuplicateCommitRequests:

@@ -1,0 +1,169 @@
+"""Signed abort votes: a byzantine coordinator cannot forge unilateral aborts.
+
+A commit record with ``decision=False`` is justified by its negative votes.
+Positive votes always proved themselves (they carry the certified header of
+the prepare batch); negative votes used to be bare claims, so a byzantine
+coordinator could fabricate "partition P voted no" and abort any
+fully-prepared transaction.  Now the voting partition's leader signs every
+negative vote and validators require, for each negative vote in an abort
+record, a valid signature from a member of the cluster it claims voted no.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.config import (
+    BatchConfig,
+    LatencyConfig,
+    ReliabilityConfig,
+    SystemConfig,
+)
+from repro.core.batch import PreparedVote, CommitRecord
+from repro.core.leader import _CoordinatorState
+from repro.core.messages import ParticipantPrepared
+from repro.core.system import TransEdgeSystem
+from repro.core.transaction import TxnPayload
+from repro.storage.locks import LockMode
+
+
+def make_system(**overrides) -> TransEdgeSystem:
+    defaults = dict(
+        num_partitions=2,
+        fault_tolerance=1,
+        initial_keys=32,
+        batch=BatchConfig(max_size=4, timeout_ms=2.0),
+        latency=LatencyConfig(jitter_fraction=0.0),
+    )
+    defaults.update(overrides)
+    return TransEdgeSystem(SystemConfig(**defaults))
+
+
+def cross_partition_txn(system: TransEdgeSystem, txn_id: str) -> TxnPayload:
+    key0 = system.keys_of_partition(0)[0]
+    key1 = system.keys_of_partition(1)[0]
+    return TxnPayload(
+        txn_id=txn_id, reads={}, writes={key0: b"a", key1: b"b"}, client="test"
+    )
+
+
+class TestOrganicAbortsStillFlow:
+    def test_participant_refusal_produces_a_signed_validated_abort(self):
+        # Interference at the participant makes it vote no; the signed
+        # abort record must clear validation on every replica of both
+        # clusters and reach the client as a normal abort.
+        system = make_system()
+        client = system.create_client("w")
+        key0 = system.keys_of_partition(0)[0]
+        key1 = system.keys_of_partition(1)[0]
+        # Interfere at whichever partition the client will NOT coordinate
+        # through, so the refusal travels as a 2PC vote instead of aborting
+        # at admission.
+        coordinator = client._coordinator_for({0, 1})
+        participant = 1 - coordinator
+        participant_key = key1 if participant == 1 else key0
+        participant_leader = system.leader_replica(participant)
+        participant_leader.locks.try_acquire("reader", [participant_key], LockMode.SHARED)
+
+        results = []
+
+        def body():
+            result = yield from client.read_write_txn([], {key0: b"a", key1: b"b"})
+            results.append(result)
+
+        client.spawn(body())
+        system.run_until_idle()
+
+        assert len(results) == 1
+        assert not results[0].committed
+        assert results[0].abort_reason == "a participant voted to abort"
+        counters = system.counters()
+        # One abort record, mirrored by every replica of the coordinator
+        # cluster (system counters sum across replicas).
+        assert system.leader_replica(coordinator).counters.distributed_aborted == 1
+        # The abort record was accepted everywhere: a validation failure
+        # would have stalled consensus on the coordinator cluster.
+        assert counters.validation_failures == 0
+
+    def test_negative_votes_are_signed_by_the_voting_leader(self):
+        system = make_system()
+        participant_leader = system.leader_replica(1)
+        vote = participant_leader.leader_role._abort_vote("some-txn")
+        assert not vote.vote
+        assert vote.signature is not None
+        assert vote.signature.signer == str(participant_leader.node_id)
+        assert participant_leader.verifier.verify(
+            vote.abort_signing_payload(), vote.signature
+        )
+
+
+class TestForgedAbortsRejected:
+    def _record_with(self, system: TransEdgeSystem, vote: PreparedVote) -> CommitRecord:
+        txn = cross_partition_txn(system, "forged-txn")
+        return CommitRecord(
+            txn=txn, coordinator=0, decision=False, prepare_batch=1, votes={1: vote}
+        )
+
+    def test_unsigned_negative_vote_fails_validation(self):
+        system = make_system()
+        validator = system.leader_replica(0)
+        forged = PreparedVote(txn_id="forged-txn", partition=1, vote=False)
+        assert not validator._validate_commit_record(self._record_with(system, forged))
+
+    def test_negative_vote_signed_by_the_wrong_cluster_fails_validation(self):
+        # A byzantine coordinator CAN sign — but only as itself, and a
+        # partition-0 identity cannot vouch for partition 1's refusal.
+        system = make_system()
+        coordinator_leader = system.leader_replica(0)
+        forged = PreparedVote(txn_id="forged-txn", partition=1, vote=False)
+        forged = dataclasses.replace(
+            forged,
+            signature=coordinator_leader.signer.sign(forged.abort_signing_payload()),
+        )
+        assert not coordinator_leader._validate_commit_record(
+            self._record_with(system, forged)
+        )
+
+    def test_properly_signed_negative_vote_passes_validation(self):
+        system = make_system()
+        validator = system.leader_replica(0)
+        vote = system.leader_replica(1).leader_role._abort_vote("forged-txn")
+        assert validator._validate_commit_record(self._record_with(system, vote))
+
+    def test_legacy_mode_accepts_unsigned_aborts(self):
+        # With the reliability layer off the pre-PR validation applies
+        # byte-for-byte: any negative vote justifies an abort.
+        system = make_system(reliability=ReliabilityConfig(enabled=False))
+        validator = system.leader_replica(0)
+        forged = PreparedVote(txn_id="forged-txn", partition=1, vote=False)
+        assert validator._validate_commit_record(self._record_with(system, forged))
+
+
+class TestUnverifiablePositiveVotes:
+    def _coordinator_with_pending_state(self, system: TransEdgeSystem):
+        leader = system.leader_replica(0)
+        txn = cross_partition_txn(system, "pending-txn")
+        state = _CoordinatorState(txn=txn, participants=frozenset({1}))
+        leader.leader_role._coordinator_states["pending-txn"] = state
+        return leader, state
+
+    def test_unverifiable_positive_vote_is_ignored_not_downgraded(self):
+        # The coordinator cannot sign a negative vote on the participant's
+        # behalf, so a positive vote with a bogus proof is treated as no
+        # vote at all — the retry timer re-solicits a verifiable one.
+        system = make_system()
+        leader, state = self._coordinator_with_pending_state(system)
+        bogus = ParticipantPrepared(
+            vote=PreparedVote(txn_id="pending-txn", partition=1, vote=True)
+        )
+        leader.leader_role.on_participant_prepared(bogus, src=None)
+        assert state.votes == {}
+
+    def test_legacy_mode_still_downgrades_to_negative(self):
+        system = make_system(reliability=ReliabilityConfig(enabled=False))
+        leader, state = self._coordinator_with_pending_state(system)
+        bogus = ParticipantPrepared(
+            vote=PreparedVote(txn_id="pending-txn", partition=1, vote=True)
+        )
+        leader.leader_role.on_participant_prepared(bogus, src=None)
+        assert 1 in state.votes and not state.votes[1].vote
