@@ -1,0 +1,36 @@
+"""Shared bench-JSON loading for the CI gate scripts (``check_*_smoke.py``).
+
+Every smoke gate reads a document written by ``python -m repro.bench.run
+<experiment> --json <path>``, digs out one experiment's result and turns its
+series list into ``{series name: {x: y}}`` lookup tables.  Keeping that in
+one place means a change to the bench JSON shape breaks one helper (and its
+tests) instead of silently desynchronising three copies of the same parsing
+code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+
+class BenchJsonError(Exception):
+    """The bench JSON is unreadable or lacks the requested experiment."""
+
+
+def load_experiment(path: str, name: str) -> dict:
+    """Return ``document["experiments"][name]["result"]`` from ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise BenchJsonError(f"cannot read bench JSON {path}: {error}")
+    try:
+        return document["experiments"][name]["result"]
+    except (KeyError, TypeError):
+        raise BenchJsonError(f"{path}: JSON does not contain a {name} experiment result")
+
+
+def series_points(result: dict) -> Dict[str, dict]:
+    """``{series name: {x: y}}`` for every series of an experiment result."""
+    return {entry["name"]: {x: y for x, y in entry["points"]} for entry in result["series"]}

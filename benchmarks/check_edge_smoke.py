@@ -19,23 +19,22 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import sys
+
+from bench_json import BenchJsonError, load_experiment, series_points
 
 
 def main(argv) -> int:
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(argv[1], "r", encoding="utf-8") as handle:
-        document = json.load(handle)
     try:
-        result = document["experiments"]["fig_edge"]["result"]
-    except KeyError:
-        print("JSON does not contain a fig_edge experiment result", file=sys.stderr)
+        result = load_experiment(argv[1], "fig_edge")
+    except BenchJsonError as error:
+        print(error, file=sys.stderr)
         return 2
 
-    series = {entry["name"]: dict(entry["points"]) for entry in result["series"]}
+    series = series_points(result)
     failures = []
 
     hit_rates = series.get("proxy cache hit rate (%)", {})

@@ -19,18 +19,19 @@ Absolute times are printed for information only.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
+
+from bench_json import BenchJsonError, load_experiment, series_points
 
 FAST_SERIES = "archive prove_at"
 REBUILD_SERIES = "rebuild (pre-archive path)"
 
 
 def load_perf(path: str) -> dict:
-    with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
-    experiment = document["experiments"]["perf"]["result"]
-    series = {s["name"]: {x: y for x, y in s["points"]} for s in experiment["series"]}
+    try:
+        series = series_points(load_experiment(path, "perf"))
+    except BenchJsonError as error:
+        raise SystemExit(str(error))
     for name in (FAST_SERIES, REBUILD_SERIES):
         if name not in series:
             raise SystemExit(f"{path}: no series named {name!r} in the perf experiment")

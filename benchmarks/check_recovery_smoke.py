@@ -17,23 +17,22 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import sys
+
+from bench_json import BenchJsonError, load_experiment, series_points
 
 
 def main(argv) -> int:
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(argv[1], "r", encoding="utf-8") as handle:
-        document = json.load(handle)
     try:
-        result = document["experiments"]["fig16"]["result"]
-    except KeyError:
-        print("JSON does not contain a fig16 experiment result", file=sys.stderr)
+        result = load_experiment(argv[1], "fig16")
+    except BenchJsonError as error:
+        print(error, file=sys.stderr)
         return 2
 
-    series = {entry["name"]: dict(entry["points"]) for entry in result["series"]}
+    series = series_points(result)
     leader = series.get("leader crash: recoveries / view changes / stranded")
     if leader is None:
         print("fig16 result lacks the leader-crash series", file=sys.stderr)

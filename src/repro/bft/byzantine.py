@@ -69,7 +69,7 @@ def make_equivocating_leader(
         message.proposal = corrupt_proposal(copy.deepcopy(message.proposal))
         return message
 
-    for replica in confused:
+    for replica in sorted(confused):
         injector.tamper(FaultRule(src=leader, dst=replica, message_type=PrePrepare), mutate)
     return ByzantineBehaviour(description="equivocating-leader", node=leader, injector=injector)
 

@@ -23,6 +23,10 @@ The bugs are deliberately real ones from this codebase's lineage:
   worst failure mode a transport can have, because senders believe the
   network is healthy while consensus is completely dark.  Caught by the
   quiescent-liveness oracle (no probe commit can succeed).
+* ``leader-dies-after-certify`` — leaders crash the moment their cluster
+  certifies a client-visible outcome, and the f+1 ``ReplicaCommitReply``
+  acceptance path (the fix for exactly this crash window) is disabled;
+  with restarts suppressed, caught by the quiescent-liveness oracle.
 """
 
 from __future__ import annotations
@@ -116,6 +120,53 @@ def _ack_without_delivery():
         ReliableTransport.on_receive = original
 
 
+@contextlib.contextmanager
+def _leader_dies_after_certify():
+    """Leaders crash the instant their cluster certifies a client outcome.
+
+    The historical single point of failure of the reply protocol: the batch
+    is certified and applied by every follower, but the one node that
+    answers clients dies before any :class:`CommitReply` leaves it.  The
+    f+1 ``ReplicaCommitReply`` quorum path is disabled alongside — that fix
+    is exactly what makes this crash survivable — so clients stall until
+    their commit timeout.  Combined with ``skip_restarts`` the cluster
+    bleeds leaders at every client-visible batch; the quiescent-liveness
+    oracle sees still-crashed replicas and failed probe commits.
+    """
+    from repro.core.client import TransEdgeClient
+    from repro.core.replica import PartitionReplica
+
+    original_deliver = PartitionReplica.deliver
+    original_handler = TransEdgeClient._on_replica_commit_reply
+
+    def dying(self, seq, proposal, certificate):
+        batch = proposal
+        outcomes = bool(batch.local_txns) or any(
+            record.coordinator == self.partition for record in batch.committed
+        )
+        if self.is_leader and outcomes and not self.crashed:
+            self.crashed = True
+            self.env.obs.event(
+                str(self.node_id),
+                "replica-crash",
+                "error",
+                {"partition": int(self.partition)},
+            )
+            return  # dies with the batch applied nowhere on this node
+        original_deliver(self, seq, proposal, certificate)
+
+    def deaf(self, message, src):
+        return None  # pre-fix clients: replica outcome reports don't exist
+
+    PartitionReplica.deliver = dying
+    TransEdgeClient._on_replica_commit_reply = deaf
+    try:
+        yield
+    finally:
+        PartitionReplica.deliver = original_deliver
+        TransEdgeClient._on_replica_commit_reply = original_handler
+
+
 BUGS: Dict[str, InjectedBug] = {
     bug.name: bug
     for bug in (
@@ -139,6 +190,17 @@ BUGS: Dict[str, InjectedBug] = {
                 "state is consistent; only trace completeness sees the loss)"
             ),
             patch=_drop_commit_replies,
+        ),
+        InjectedBug(
+            name="leader-dies-after-certify",
+            description=(
+                "leaders crash right after certifying a client-visible batch "
+                "and clients cannot accept f+1 replica outcome reports; with "
+                "restarts suppressed the cluster bleeds leaders and liveness "
+                "fails"
+            ),
+            patch=_leader_dies_after_certify,
+            skip_restarts=True,
         ),
         InjectedBug(
             name="ack-without-delivery",

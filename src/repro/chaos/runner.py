@@ -266,7 +266,7 @@ def _resolve_unknown_outcomes(
     present: Set[Tuple[Key, Value]] = set()
     for partition in system.topology.partitions():
         replica = system.leader_replica(partition)
-        for key in wanted:
+        for key in sorted(wanted):
             if key not in replica.store:
                 continue
             for _, value in replica.store.history(key):

@@ -184,6 +184,14 @@ class FailoverConfig:
     ``enabled=False`` restores the PR-1 behaviour: crashes of a leader need a
     manual ``suspect_leader`` nudge and stranded 2PC participants stay
     stranded.
+
+    ``replica_commit_replies`` makes every replica of the coordinator
+    cluster report each client-visible outcome it applies from a delivered
+    batch (:class:`repro.core.messages.ReplicaCommitReply`); a client
+    accepts a commit once ``f + 1`` replicas agree, so a leader that dies
+    immediately after its cluster certifies the outcome cannot strand the
+    client until timeout.  Classic PBFT client behaviour; independent of
+    ``enabled`` (it needs no failure detector).
     """
 
     enabled: bool = True
@@ -191,6 +199,7 @@ class FailoverConfig:
     max_suspect_rounds: int = 8
     two_pc_retry_ms: float = 40.0
     two_pc_max_retries: int = 10
+    replica_commit_replies: bool = True
 
     def validate(self) -> None:
         if self.progress_timeout_ms <= 0:

@@ -47,6 +47,7 @@ from repro.core.messages import (
     ReadOnlyRequest,
     ReadReply,
     ReadRequest,
+    ReplicaCommitReply,
     SnapshotReply,
     SnapshotRequest,
 )
@@ -86,6 +87,9 @@ class ClientStats:
     proxies_blacklisted: int = 0
     leader_failovers: int = 0
     commit_retries: int = 0
+    #: Commits accepted from f+1 matching ReplicaCommitReply messages
+    #: (instead of, or before, the leader's own CommitReply).
+    replica_quorum_commits: int = 0
 
 
 class TransEdgeClient(ProcessNode):
@@ -134,6 +138,17 @@ class TransEdgeClient(ProcessNode):
         self._pending_leader_requests: Dict[str, Tuple[PartitionId, RequestMessage]] = {}
         if self.config.failover.enabled:
             topology.subscribe_leader_changes(self._on_leader_change)
+        # f+1 replica commit-reply quorum (classic PBFT client acceptance):
+        # per in-flight transaction, the coordinator partition and the
+        # current attempt's request id; per-outcome voter sets; and outcomes
+        # whose quorum completed (kept until the commit loop consumes them).
+        self._commit_quorum_waits: Dict[str, Tuple[PartitionId, str]] = {}
+        self._commit_quorum_votes: Dict[
+            str, Dict[Tuple[TxnStatus, BatchNumber, str], set]
+        ] = {}
+        self._commit_quorum_outcomes: Dict[str, Tuple[TxnStatus, BatchNumber, str]] = {}
+        if self.config.failover.replica_commit_replies:
+            self.register_handler(ReplicaCommitReply, self._on_replica_commit_reply)
 
     # ------------------------------------------------------------------
     # routing helpers
@@ -180,6 +195,49 @@ class TransEdgeClient(ProcessNode):
             if target == partition:
                 self.stats.leader_failovers += 1
                 self.send(leader, request)
+
+    def _on_replica_commit_reply(self, message: ReplicaCommitReply, src: object) -> None:
+        """Tally per-replica outcome reports; accept at f+1 matching votes.
+
+        Votes only count from distinct replicas of the transaction's
+        coordinator cluster (at most ``f`` of which are faulty, so ``f + 1``
+        matching reports contain at least one honest one).  When the quorum
+        completes while the commit workflow is still waiting, a synthesized
+        :class:`CommitReply` resumes it immediately; otherwise the outcome
+        is stashed and ``_commit_with_retry`` consumes it before its next
+        attempt.  Reports for transactions this client is not waiting on
+        (late duplicates, answered retries) are dropped.
+        """
+        entry = self._commit_quorum_waits.get(message.txn_id)
+        if entry is None or message.txn_id in self._commit_quorum_outcomes:
+            return
+        coordinator, request_id = entry
+        if message.partition != coordinator:
+            return
+        if src not in self.topology.members(coordinator):
+            return
+        outcome = (message.status, message.commit_batch, message.abort_reason)
+        voters = self._commit_quorum_votes.setdefault(message.txn_id, {}).setdefault(
+            outcome, set()
+        )
+        voters.add(src)
+        if len(voters) < self.config.certificate_size:
+            return
+        self._commit_quorum_outcomes[message.txn_id] = outcome
+        self.stats.replica_quorum_commits += 1
+        if request_id in self._waits_by_request:
+            self._on_reply(self._quorum_commit_reply(message.txn_id, request_id), src)
+
+    def _quorum_commit_reply(self, txn_id: str, request_id: str) -> CommitReply:
+        """The request-correlated reply a completed f+1 quorum stands for."""
+        status, commit_batch, abort_reason = self._commit_quorum_outcomes[txn_id]
+        return CommitReply(
+            request_id=request_id,
+            txn_id=txn_id,
+            status=status,
+            commit_batch=commit_batch,
+            abort_reason=abort_reason,
+        )
 
     def _coordinator_for(self, partitions: Iterable[PartitionId]) -> PartitionId:
         """Pick the coordinator cluster: the home partition when accessed, else the smallest."""
@@ -318,23 +376,52 @@ class TransEdgeClient(ProcessNode):
         The complaint carries the unanswered transaction as evidence —
         followers corroborate it by forwarding the request to the leader and
         only sustain suspicion while that probe goes unanswered.
+
+        Independently of the leader's reply, ``f + 1`` matching
+        :class:`ReplicaCommitReply` reports from the coordinator cluster
+        decide the attempt (see :meth:`_on_replica_commit_reply`): a leader
+        that dies right after its cluster certifies the outcome cannot
+        strand this client until the timeout.
         """
         reliability = self.config.reliability
         attempts = max(1, reliability.commit_retry_attempts) if reliability.enabled else 1
-        reply = None
-        for attempt in range(attempts):
-            if attempt:
-                self.stats.commit_retries += 1
-                yield Sleep(reliability.commit_retry_backoff_ms * attempt)
-            reply = yield self._leader_call(
-                coordinator, CommitRequest(txn=txn), timeout_ms=self._commit_timeout_ms
-            )
-            if reply is not None:
-                break
-            if complain:
-                self.stats.timeouts += 1
-                for member in self.topology.members(coordinator):
-                    self.send(member, LeaderComplaint(partition=coordinator, txn=txn))
+        quorum = self.config.failover.replica_commit_replies
+        reply: Optional[CommitReply] = None
+        try:
+            for attempt in range(attempts):
+                if attempt:
+                    self.stats.commit_retries += 1
+                    yield Sleep(reliability.commit_retry_backoff_ms * attempt)
+                request = CommitRequest(txn=txn)
+                if quorum:
+                    self._commit_quorum_waits[txn.txn_id] = (
+                        coordinator,
+                        request.request_id,
+                    )
+                    if txn.txn_id in self._commit_quorum_outcomes:
+                        # The quorum completed while no attempt was waiting
+                        # (e.g. during backoff): consume it, skip the send.
+                        reply = self._quorum_commit_reply(
+                            txn.txn_id, request.request_id
+                        )
+                        break
+                reply = yield self._leader_call(
+                    coordinator, request, timeout_ms=self._commit_timeout_ms
+                )
+                if reply is not None:
+                    break
+                if quorum and txn.txn_id in self._commit_quorum_outcomes:
+                    reply = self._quorum_commit_reply(txn.txn_id, request.request_id)
+                    break
+                if complain:
+                    self.stats.timeouts += 1
+                    for member in self.topology.members(coordinator):
+                        self.send(member, LeaderComplaint(partition=coordinator, txn=txn))
+        finally:
+            if quorum:
+                self._commit_quorum_waits.pop(txn.txn_id, None)
+                self._commit_quorum_votes.pop(txn.txn_id, None)
+                self._commit_quorum_outcomes.pop(txn.txn_id, None)
         return reply
 
     # ------------------------------------------------------------------

@@ -601,7 +601,7 @@ class LeaderRole:
         if state.decided or state.own_vote is None:
             return
         header = state.own_vote.header
-        for participant in state.participants - set(state.votes):
+        for participant in sorted(state.participants - set(state.votes)):
             self._replica.send(
                 self._leader_of(participant),
                 CoordinatorPrepare(

@@ -67,6 +67,28 @@ class CommitReply(ReplyMessage):
     abort_reason: str = ""
 
 
+@dataclass
+class ReplicaCommitReply(Message):
+    """Each coordinator replica → client: replicated commit evidence.
+
+    The leader's :class:`CommitReply` is a single point of failure — a
+    leader that crashes after its cluster certifies the outcome but before
+    answering strands the client until timeout/failover.  Every replica
+    therefore reports the outcome it just applied from a delivered batch;
+    the client accepts once ``f + 1`` replicas of the coordinator cluster
+    agree (at most ``f`` are faulty, so at least one of them is honest).
+    Followers do not know the client's request id, so this is a plain
+    :class:`Message` correlated by ``txn_id``; the client synthesizes a
+    request-correlated :class:`CommitReply` once the quorum is reached.
+    """
+
+    txn_id: str = ""
+    partition: PartitionId = 0
+    status: TxnStatus = TxnStatus.ABORTED
+    commit_batch: BatchNumber = NO_BATCH
+    abort_reason: str = ""
+
+
 # ---------------------------------------------------------------------------
 # 2PC over BFT (leader ↔ leader)
 # ---------------------------------------------------------------------------

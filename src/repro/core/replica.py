@@ -23,8 +23,8 @@ from repro.bft.log import LogEntry, ReplicatedLog
 from repro.bft.messages import BftMessage, CheckpointVote
 from repro.bft.quorum import CommitCertificate
 from repro.common.config import SystemConfig
-from repro.common.ids import NO_BATCH, BatchNumber, NodeId, PartitionId, ReplicaId
-from repro.common.types import Key, Value
+from repro.common.ids import NO_BATCH, BatchNumber, ClientId, NodeId, PartitionId, ReplicaId
+from repro.common.types import Key, TxnStatus, Value
 from repro.crypto.archive import MerkleTreeArchive
 from repro.crypto.hashing import Digest
 from repro.crypto.merkle import MerkleStore, MerkleTree
@@ -48,6 +48,7 @@ from repro.core.messages import (
     ReadOnlyRequest,
     ReadReply,
     ReadRequest,
+    ReplicaCommitReply,
     SnapshotReply,
     SnapshotRequest,
 )
@@ -103,6 +104,8 @@ class ReplicaCounters:
     decisions_resolved_remotely: int = 0
     archive_records_compacted: int = 0
     headers_announced: int = 0
+    #: ReplicaCommitReply messages sent to clients (f+1 commit-quorum path).
+    replica_replies_sent: int = 0
 
 
 class ViewProgressMonitor:
@@ -643,11 +646,59 @@ class PartitionReplica(SimNode):
     def deliver(self, seq: int, proposal: object, certificate: CommitCertificate) -> None:
         batch: Batch = proposal  # validated by validate_proposal
         header = self._apply_batch(seq, batch, certificate)
+        self._send_replica_commit_replies(seq, batch)
         self.checkpoints.on_batch_delivered(seq)
         self._serve_deferred_snapshots()
         self.leader_role.on_batch_delivered(seq, batch, header)
         self._announce_header(header)
         self.progress_monitor.poke()
+
+    def _send_replica_commit_replies(self, seq: int, batch: Batch) -> None:
+        """Report this batch's client-visible outcomes directly to clients.
+
+        Classic PBFT client replies: the leader's :class:`CommitReply` alone
+        is a single point of failure (a leader crashing right after delivery
+        strands its clients until timeout/failover), so every replica also
+        reports each outcome it just applied.  Clients accept once ``f + 1``
+        replicas of the coordinator cluster agree — see
+        ``TransEdgeClient._on_replica_commit_reply``.  Live delivery only:
+        state-transfer replay goes through :meth:`_apply_batch` directly and
+        must not re-answer long-finished transactions.
+        """
+        if not self.config.failover.replica_commit_replies:
+            return
+        network = self.env.network
+        for txn in batch.local_txns:
+            # Unit harnesses apply batches whose clients are not simulated
+            # nodes; outcomes for them have nowhere to go.
+            if not network.knows(ClientId(txn.client)):
+                continue
+            self.counters.replica_replies_sent += 1
+            self.send(
+                ClientId(txn.client),
+                ReplicaCommitReply(
+                    txn_id=txn.txn_id,
+                    partition=self.partition,
+                    status=TxnStatus.COMMITTED,
+                    commit_batch=seq,
+                ),
+            )
+        for record in batch.committed:
+            if record.coordinator != self.partition:
+                continue
+            if not network.knows(ClientId(record.txn.client)):
+                continue
+            self.counters.replica_replies_sent += 1
+            self.send(
+                ClientId(record.txn.client),
+                ReplicaCommitReply(
+                    txn_id=record.txn.txn_id,
+                    partition=self.partition,
+                    status=TxnStatus.COMMITTED if record.decision else TxnStatus.ABORTED,
+                    commit_batch=seq if record.decision else NO_BATCH,
+                    abort_reason="" if record.decision else "a participant voted to abort",
+                ),
+            )
 
     def _announce_header(self, header: CertifiedHeader) -> None:
         """Edge tier: the leader pushes fresh certified headers to the proxies.

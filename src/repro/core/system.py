@@ -80,6 +80,7 @@ class SystemCounters:
     verify_cache_misses: int = 0
     archive_records_compacted: int = 0
     headers_announced: int = 0
+    replica_replies_sent: int = 0
     # Edge read-proxy tier (summed over the deployment's proxies).
     edge_reads_served: int = 0
     edge_cache_hits: int = 0
@@ -386,6 +387,7 @@ class TransEdgeSystem:
             total.decisions_resolved_remotely += counters.decisions_resolved_remotely
             total.archive_records_compacted += counters.archive_records_compacted
             total.headers_announced += counters.headers_announced
+            total.replica_replies_sent += counters.replica_replies_sent
         for proxy in self.proxies:
             total.edge_reads_served += proxy.counters.reads_served
             total.edge_core_fetches += proxy.counters.core_fetches

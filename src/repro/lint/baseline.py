@@ -1,0 +1,154 @@
+"""Allowlist of vetted findings (``lint-baseline.toml``).
+
+A baseline entry suppresses every finding of one rule in one file and must
+carry a written justification — an unexplained suppression is a parse error,
+not a warning.  Entries that no longer match anything are reported as *stale*
+so the baseline shrinks as the code improves.
+
+The file format is a small TOML subset (``[[suppress]]`` array tables with
+string values), parsed by hand because the repo supports Python 3.9 and adds
+no dependencies (``tomllib`` is 3.11+)::
+
+    [[suppress]]
+    rule = "D102"
+    path = "src/repro/chaos/cli.py"
+    justification = "operator-facing progress timing; never feeds the simulation"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+
+class BaselineError(Exception):
+    """The baseline file is malformed or missing a justification."""
+
+
+@dataclass
+class BaselineEntry:
+    """One vetted exception: a rule/path pair plus why it is acceptable."""
+
+    rule: str
+    path: str
+    justification: str
+    line: int = 0  # line in the baseline file, for error reporting
+    matches: int = field(default=0, compare=False)
+
+
+_REQUIRED_KEYS = ("rule", "path", "justification")
+
+
+def _parse_value(raw: str, path: str, line_number: int) -> str:
+    raw = raw.strip()
+    if len(raw) >= 2 and raw[0] == '"' and raw[-1] == '"':
+        body = raw[1:-1]
+        out = []
+        index = 0
+        while index < len(body):
+            char = body[index]
+            if char == "\\" and index + 1 < len(body):
+                out.append(body[index + 1])
+                index += 2
+                continue
+            if char == '"':
+                raise BaselineError(
+                    f"{path}:{line_number}: unescaped quote inside string value"
+                )
+            out.append(char)
+            index += 1
+        return "".join(out)
+    raise BaselineError(
+        f"{path}:{line_number}: expected a double-quoted string value, got {raw!r}"
+    )
+
+
+def parse_baseline(path: str) -> List[BaselineEntry]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}")
+
+    entries: List[BaselineEntry] = []
+    current: Dict[str, str] = {}
+    current_line = 0
+    in_table = False
+
+    def flush() -> None:
+        if not in_table:
+            return
+        for key in _REQUIRED_KEYS:
+            if key not in current:
+                raise BaselineError(
+                    f"{path}:{current_line}: suppress entry is missing {key!r}"
+                )
+        if not current["justification"].strip():
+            raise BaselineError(
+                f"{path}:{current_line}: suppress entry for {current['rule']} "
+                f"({current['path']}) has an empty justification — every vetted "
+                f"exception must say why it is acceptable"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=current["rule"],
+                path=current["path"],
+                justification=current["justification"],
+                line=current_line,
+            )
+        )
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[suppress]]":
+            flush()
+            current = {}
+            current_line = line_number
+            in_table = True
+            continue
+        if line.startswith("["):
+            raise BaselineError(
+                f"{path}:{line_number}: unknown table {line!r} "
+                f"(only [[suppress]] is supported)"
+            )
+        key, separator, value = line.partition("=")
+        if not separator:
+            raise BaselineError(f"{path}:{line_number}: expected key = \"value\"")
+        if not in_table:
+            raise BaselineError(
+                f"{path}:{line_number}: key outside a [[suppress]] table"
+            )
+        key = key.strip()
+        if key in current:
+            raise BaselineError(f"{path}:{line_number}: duplicate key {key!r}")
+        current[key] = _parse_value(value, path, line_number)
+    flush()
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings into (unsuppressed, suppressed) and list stale entries."""
+    unsuppressed: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        entry = next(
+            (
+                candidate
+                for candidate in entries
+                if candidate.rule == finding.rule and candidate.path == finding.path
+            ),
+            None,
+        )
+        if entry is None:
+            unsuppressed.append(finding)
+        else:
+            entry.matches += 1
+            suppressed.append(finding)
+    stale = [entry for entry in entries if entry.matches == 0]
+    return unsuppressed, suppressed, stale

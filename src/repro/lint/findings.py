@@ -1,0 +1,44 @@
+"""Structured lint findings.
+
+A finding is one violation at one source location: rule id, severity,
+``path:line``, a human message and the offending source line.  Findings are
+value objects — the engine sorts and deduplicates them, the baseline matches
+them by ``(rule, path)``, and the CLI renders them as text or JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str  # "error" or "warning"
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+    snippet: str = ""
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON shape (covered by the --json schema test)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text

@@ -1,0 +1,127 @@
+"""A-rules: accounting completeness (cross-file).
+
+The chaos fingerprint and every benchmark note are built from counters; a
+counter that is declared but never incremented reads as a permanently-zero
+signal, and a per-replica counter that is never folded into the system-wide
+aggregate silently vanishes from fingerprints, oracle evidence and CI
+gates.  Both defects are invisible at runtime — zero looks like "nothing
+happened" — which is exactly what a static pass can prove absent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.lint.engine import ProjectRule, SourceFile
+from repro.lint.findings import Finding
+
+_COUNTER_CLASSES = ("SystemCounters", "ReplicaCounters")
+
+
+def _counter_fields(
+    files: Sequence[SourceFile], class_name: str
+) -> List[Tuple[SourceFile, str, int]]:
+    """(file, field, line) for every annotated field of ``class_name``."""
+    fields: List[Tuple[SourceFile, str, int]] = []
+    for file in files:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                for statement in node.body:
+                    if isinstance(statement, ast.AnnAssign) and isinstance(
+                        statement.target, ast.Name
+                    ):
+                        fields.append((file, statement.target.id, statement.lineno))
+    return fields
+
+
+class CounterIncrementRule(ProjectRule):
+    """A401: every counter field is incremented or assigned somewhere."""
+
+    id = "A401"
+    name = "counter-incremented"
+    rationale = (
+        "a SystemCounters/ReplicaCounters field nobody increments is a "
+        "permanently-zero metric: dashboards, oracles and fingerprints read "
+        "it as 'nothing happened' forever"
+    )
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        # Attribute names that appear as assignment/aug-assignment targets
+        # anywhere (x.field += 1, total.field = ...), outside class bodies.
+        stored: Set[str] = set()
+        for file in files:
+            for node in ast.walk(file.tree):
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                elif isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                for target in targets:
+                    if isinstance(target, ast.Attribute):
+                        stored.add(target.attr)
+        for class_name in _COUNTER_CLASSES:
+            for file, field, line in _counter_fields(files, class_name):
+                if field not in stored:
+                    yield self.finding(
+                        file,
+                        line,
+                        f"counter field {class_name}.{field} is never "
+                        f"incremented or assigned anywhere in the scanned tree",
+                    )
+
+
+class CounterAggregationRule(ProjectRule):
+    """A402: every ReplicaCounters field is folded into SystemCounters."""
+
+    id = "A402"
+    name = "counter-aggregated"
+    rationale = (
+        "TransEdgeSystem.counters() folds per-replica counters into the "
+        "system aggregate field by field; a field missing from that rollup "
+        "is collected but never surfaced in fingerprints or bench notes"
+    )
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        replica_fields = _counter_fields(files, "ReplicaCounters")
+        if not replica_fields:
+            return
+        # Aggregation functions: any function that constructs SystemCounters.
+        aggregated: Set[str] = set()
+        found_aggregator = False
+        aggregator_sites: List[Tuple[SourceFile, int]] = []
+        for file in files:
+            for node in ast.walk(file.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                constructs = any(
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id == "SystemCounters"
+                    for call in ast.walk(node)
+                )
+                if not constructs:
+                    continue
+                found_aggregator = True
+                aggregator_sites.append((file, node.lineno))
+                for attr in ast.walk(node):
+                    if isinstance(attr, ast.Attribute):
+                        aggregated.add(attr.attr)
+        if not found_aggregator:
+            file, _field, line = replica_fields[0]
+            yield self.finding(
+                file,
+                line,
+                "ReplicaCounters is defined but no function constructs a "
+                "SystemCounters aggregate from it",
+            )
+            return
+        for file, field, line in replica_fields:
+            if field not in aggregated:
+                yield self.finding(
+                    file,
+                    line,
+                    f"ReplicaCounters.{field} is never read by the "
+                    f"SystemCounters aggregation (it will be missing from "
+                    f"chaos fingerprints and bench notes)",
+                )

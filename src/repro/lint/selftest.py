@@ -1,0 +1,94 @@
+"""Corpus self-test: prove every rule still detects its violation corpus.
+
+A linter whose rules silently stopped matching is worse than no linter —
+the tree looks clean because nothing is checked.  Mirroring the chaos
+engine's ``--inject-bug`` self-tests, every rule ships a minimal *bad*
+fixture it must flag and a *good* twin it must not, under
+``tests/lint/corpus/<RULE>/``:
+
+* ``bad.py`` / ``good.py`` — single-file fixtures (file rules), or
+* ``bad/`` / ``good/`` — directory fixtures (cross-file project rules).
+
+``run_selftest`` fails if any rule misses its bad fixture, flags its good
+twin, lacks a corpus, or if a corpus directory names no known rule.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.lint.engine import Rule, collect_files, run_rules
+from repro.lint.rules import all_rules
+
+
+@dataclass
+class SelfTestResult:
+    """Outcome of one rule's corpus check."""
+
+    rule_id: str
+    ok: bool
+    detail: str
+
+
+def _fixture(corpus_dir: str, rule_id: str, kind: str) -> Optional[str]:
+    base = os.path.join(corpus_dir, rule_id, kind)
+    if os.path.isfile(base + ".py"):
+        return base + ".py"
+    if os.path.isdir(base):
+        return base
+    return None
+
+
+def _check_rule(rule: Rule, corpus_dir: str) -> SelfTestResult:
+    bad = _fixture(corpus_dir, rule.id, "bad")
+    good = _fixture(corpus_dir, rule.id, "good")
+    if bad is None or good is None:
+        return SelfTestResult(
+            rule.id, False, f"missing bad/good fixtures under {corpus_dir}/{rule.id}/"
+        )
+    bad_findings = [
+        finding
+        for finding in run_rules(collect_files([bad]), [rule], ignore_scopes=True)
+        if finding.rule == rule.id
+    ]
+    if not bad_findings:
+        return SelfTestResult(
+            rule.id, False, f"bad fixture {bad} produced no {rule.id} finding"
+        )
+    good_findings = [
+        finding
+        for finding in run_rules(collect_files([good]), [rule], ignore_scopes=True)
+        if finding.rule == rule.id
+    ]
+    if good_findings:
+        first = good_findings[0]
+        return SelfTestResult(
+            rule.id,
+            False,
+            f"good fixture flagged: {first.path}:{first.line} {first.message}",
+        )
+    return SelfTestResult(
+        rule.id, True, f"{len(bad_findings)} finding(s) on bad, 0 on good"
+    )
+
+
+def run_selftest(corpus_dir: str) -> List[SelfTestResult]:
+    """Check every registered rule against its corpus pair."""
+    results = [_check_rule(rule, corpus_dir) for rule in all_rules()]
+    known = {rule.id for rule in all_rules()}
+    if os.path.isdir(corpus_dir):
+        for entry in sorted(os.listdir(corpus_dir)):
+            full = os.path.join(corpus_dir, entry)
+            if os.path.isdir(full) and entry not in known:
+                results.append(
+                    SelfTestResult(
+                        entry, False, f"corpus directory {entry}/ names no known rule"
+                    )
+                )
+    else:
+        results.append(
+            SelfTestResult("corpus", False, f"corpus directory {corpus_dir} not found")
+        )
+    return results

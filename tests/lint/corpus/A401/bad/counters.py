@@ -1,0 +1,9 @@
+"""A401 bad: `stalls` is declared but nothing ever increments it."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReplicaCounters:
+    commits: int = 0
+    stalls: int = 0

@@ -1,0 +1,9 @@
+"""A401 good: every declared counter has an increment site."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReplicaCounters:
+    commits: int = 0
+    stalls: int = 0

@@ -1,0 +1,9 @@
+"""Both counters are maintained."""
+
+
+class Replica:
+    def on_commit(self, batch) -> None:
+        self.counters.commits += 1
+
+    def on_stall(self) -> None:
+        self.counters.stalls += 1

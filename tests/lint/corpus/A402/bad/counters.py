@@ -1,0 +1,23 @@
+"""A402 bad: the rollup forgets `stalls`, so it vanishes from reports."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReplicaCounters:
+    commits: int = 0
+    stalls: int = 0
+
+
+@dataclass
+class SystemCounters:
+    commits: int = 0
+    stalls: int = 0
+
+
+class System:
+    def counters(self) -> SystemCounters:
+        total = SystemCounters()
+        for replica in self.replicas:
+            total.commits += replica.counters.commits
+        return total

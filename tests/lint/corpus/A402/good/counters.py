@@ -1,0 +1,24 @@
+"""A402 good: the rollup folds every per-replica field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReplicaCounters:
+    commits: int = 0
+    stalls: int = 0
+
+
+@dataclass
+class SystemCounters:
+    commits: int = 0
+    stalls: int = 0
+
+
+class System:
+    def counters(self) -> SystemCounters:
+        total = SystemCounters()
+        for replica in self.replicas:
+            total.commits += replica.counters.commits
+            total.stalls += replica.counters.stalls
+        return total

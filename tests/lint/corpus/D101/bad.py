@@ -1,0 +1,15 @@
+"""D101 bad: module-level random draws bypass the seeded simulation RNG."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random() * 2.0
+
+
+def pick(options):
+    return random.choice(options)
+
+
+def fresh_rng():
+    return random.Random()

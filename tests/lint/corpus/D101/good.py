@@ -1,0 +1,15 @@
+"""D101 good: every draw comes from an explicitly seeded Random instance."""
+
+import random
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random() * 2.0
+
+
+def pick(rng: random.Random, options):
+    return rng.choice(options)
+
+
+def fresh_rng(seed: int) -> random.Random:
+    return random.Random(seed)

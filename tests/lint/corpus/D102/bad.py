@@ -1,0 +1,22 @@
+"""D102 bad: wall-clock and entropy reads inside deterministic code."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def measure() -> float:
+    return time.perf_counter()
+
+
+def label() -> str:
+    return f"{datetime.now()}-{uuid.uuid4()}"
+
+
+def nonce() -> bytes:
+    return os.urandom(16)

@@ -1,0 +1,14 @@
+"""D102 good: time comes from the simulated clock, ids from counters."""
+
+
+class Scheduler:
+    def __init__(self) -> None:
+        self.now_ms = 0.0
+        self._next_id = 0
+
+    def stamp(self) -> float:
+        return self.now_ms
+
+    def label(self) -> str:
+        self._next_id += 1
+        return f"evt-{self._next_id}"

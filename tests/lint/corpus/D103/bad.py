@@ -1,0 +1,8 @@
+"""D103 bad: iterating bare sets leaks PYTHONHASHSEED into behaviour."""
+
+
+def notify(listeners, extra):
+    pending = set(listeners) | {extra}
+    for listener in pending:
+        listener.poke()
+    return [name.upper() for name in {"a", "b", "c"}]

@@ -1,0 +1,8 @@
+"""D103 good: sets are sorted before any order-observable iteration."""
+
+
+def notify(listeners, extra):
+    pending = set(listeners) | {extra}
+    for listener in sorted(pending):
+        listener.poke()
+    return [name.upper() for name in sorted({"a", "b", "c"})]

@@ -1,0 +1,9 @@
+"""D104 bad: builtin hash() is salted per process — never order or key by it."""
+
+
+def shard(key: str, shards: int) -> int:
+    return hash(key) % shards
+
+
+def stable_order(items):
+    return sorted(items, key=hash)

@@ -1,0 +1,12 @@
+"""D104 good: sharding and ordering use content-stable digests."""
+
+import hashlib
+
+
+def shard(key: str, shards: int) -> int:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def stable_order(items):
+    return sorted(items)

@@ -1,0 +1,16 @@
+"""D105 bad: mutable default arguments are shared across all calls."""
+
+
+def enqueue(item, queue=[]):
+    queue.append(item)
+    return queue
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def register(name, seen=set()):
+    seen.add(name)
+    return seen

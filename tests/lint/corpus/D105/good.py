@@ -1,0 +1,21 @@
+"""D105 good: None sentinel, fresh container per call."""
+
+from typing import Dict, List, Optional, Set
+
+
+def enqueue(item, queue: Optional[List] = None) -> List:
+    queue = [] if queue is None else queue
+    queue.append(item)
+    return queue
+
+
+def tally(key, counts: Optional[Dict] = None) -> Dict:
+    counts = {} if counts is None else counts
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def register(name, seen: Optional[Set] = None) -> Set:
+    seen = set() if seen is None else seen
+    seen.add(name)
+    return seen

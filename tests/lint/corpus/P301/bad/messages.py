@@ -1,0 +1,9 @@
+"""P301 bad: a message class nobody constructs or dispatches."""
+
+from repro.simnet.messages import Message
+
+
+class OrphanPing(Message):
+    """Defined, exported, and then forgotten: dead protocol surface."""
+
+    payload: int = 0

@@ -1,0 +1,7 @@
+"""P301 good: the message class is constructed and handled."""
+
+from repro.simnet.messages import Message
+
+
+class Ping(Message):
+    payload: int = 0

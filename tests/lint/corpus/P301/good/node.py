@@ -1,0 +1,14 @@
+"""Constructs Ping and registers a handler for it."""
+
+from .messages import Ping
+
+
+class PingNode:
+    def __init__(self) -> None:
+        self.register_handler(Ping, self.on_ping)
+
+    def poke(self, dst) -> None:
+        self.send(dst, Ping(payload=1))
+
+    def on_ping(self, message, src) -> None:
+        self.send(src, Ping(payload=message.payload + 1))

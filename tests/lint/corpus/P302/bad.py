@@ -1,0 +1,8 @@
+"""P302 bad: handler believes signed header fields without verifying."""
+
+
+class VoteCollector:
+    def on_vote(self, message, src) -> None:
+        # Reads the certified payload straight off the wire.
+        batch = message.header.prepare_batch
+        self._votes[src] = (batch, message.header.cd_vector)

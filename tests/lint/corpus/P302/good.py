@@ -1,0 +1,9 @@
+"""P302 good: the handler verifies the header before reading its fields."""
+
+
+class VoteCollector:
+    def on_vote(self, message, src) -> None:
+        if not self.verify_header(message.header, src):
+            return
+        batch = message.header.prepare_batch
+        self._votes[src] = (batch, message.header.cd_vector)

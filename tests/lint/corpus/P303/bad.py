@@ -1,0 +1,9 @@
+"""P303 bad: sending straight through the raw network object."""
+
+
+class ChattyNode:
+    def gossip(self, dst, message) -> None:
+        self.network.send(self.node_id, dst, message)
+
+    def shout(self, message) -> None:
+        self.network.broadcast(self.node_id, message)

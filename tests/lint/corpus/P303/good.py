@@ -1,0 +1,9 @@
+"""P303 good: all traffic goes through SimNode.send / broadcast."""
+
+
+class PoliteNode:
+    def gossip(self, dst, message) -> None:
+        self.send(dst, message)
+
+    def shout(self, peers, message) -> None:
+        self.broadcast(peers, message)

@@ -1,0 +1,11 @@
+"""S202 bad: real blocking calls freeze the single-threaded simulator."""
+
+import time
+
+
+def backoff(attempt: int) -> None:
+    time.sleep(0.05 * attempt)
+
+
+def confirm() -> bool:
+    return input("proceed? ") == "y"

@@ -1,0 +1,10 @@
+"""S202 good: waiting is expressed as simulated-time sleep effects."""
+
+
+class Sleep:
+    def __init__(self, delay_ms: float) -> None:
+        self.delay_ms = delay_ms
+
+
+def backoff(attempt: int):
+    yield Sleep(50.0 * attempt)

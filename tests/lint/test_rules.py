@@ -1,0 +1,84 @@
+"""Rule units: every rule against its violation corpus, plus targeted checks.
+
+The corpus under ``tests/lint/corpus/<RULE>/`` is the linter's own
+self-test (``python -m repro.lint --self-test``); these tests run the same
+pairs through pytest so a regressed rule fails CI with a precise message,
+and add finding-content assertions the self-test does not make.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lint.engine import collect_files, run_rules
+from repro.lint.rules import all_rules, select_rules
+from repro.lint.selftest import run_selftest
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def findings_for(rule_id, path, ignore_scopes=True):
+    rules = select_rules([rule_id])
+    return [
+        finding
+        for finding in run_rules(collect_files([path]), rules, ignore_scopes=ignore_scopes)
+        if finding.rule == rule_id
+    ]
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("rule", all_rules(), ids=lambda rule: rule.id)
+    def test_rule_detects_bad_and_passes_good(self, rule):
+        results = {result.rule_id: result for result in run_selftest(CORPUS)}
+        result = results[rule.id]
+        assert result.ok, result.detail
+
+    def test_selftest_covers_every_rule_exactly(self):
+        results = run_selftest(CORPUS)
+        assert [result.ok for result in results] == [True] * len(results)
+        assert {result.rule_id for result in results} == {
+            rule.id for rule in all_rules()
+        }
+
+    def test_unknown_corpus_directory_is_reported(self, tmp_path):
+        (tmp_path / "D999").mkdir()
+        results = run_selftest(str(tmp_path))
+        bogus = [result for result in results if result.rule_id == "D999"]
+        assert len(bogus) == 1 and not bogus[0].ok
+
+    def test_missing_corpus_directory_is_reported(self, tmp_path):
+        results = run_selftest(str(tmp_path / "nope"))
+        assert any(result.rule_id == "corpus" and not result.ok for result in results)
+
+
+class TestFindingContent:
+    def test_d101_names_the_unseeded_call(self):
+        findings = findings_for("D101", os.path.join(CORPUS, "D101", "bad.py"))
+        assert any("random.random" in finding.message for finding in findings)
+        assert all(finding.severity == "error" for finding in findings)
+
+    def test_d103_flags_for_loop_and_comprehension(self):
+        findings = findings_for("D103", os.path.join(CORPUS, "D103", "bad.py"))
+        assert len(findings) == 2
+
+    def test_p301_reports_both_lifecycle_halves(self):
+        findings = findings_for("P301", os.path.join(CORPUS, "P301", "bad"))
+        messages = " | ".join(finding.message for finding in findings)
+        assert "never constructed" in messages
+        assert "never dispatched" in messages
+
+    def test_a402_names_the_missing_field(self):
+        findings = findings_for("A402", os.path.join(CORPUS, "A402", "bad"))
+        assert len(findings) == 1
+        assert "stalls" in findings[0].message
+
+    def test_rule_selection_rejects_unknown_ids(self):
+        with pytest.raises(KeyError):
+            select_rules(["Z999"])
+
+    def test_findings_sort_stably(self):
+        findings = findings_for("D105", os.path.join(CORPUS, "D105", "bad.py"))
+        assert findings == sorted(findings, key=lambda finding: finding.sort_key())
+        assert len(findings) == 3
