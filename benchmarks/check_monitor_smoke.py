@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI gate for the monitoring layer (the `monitor-smoke` job).
+
+Asserts the layer's headline invariants:
+
+* neutrality — a chaos plan run with the monitor armed produces the exact
+  same fingerprint and trace digest as the same plan with monitoring
+  disabled (the monitor observes; it must never perturb the simulation);
+* SLO table schema — the ``slo`` bench experiment emits one row per
+  default objective with the full grading column set, and its notes embed
+  the rendered SLO table and the trace digest;
+* oracle detection — ``python -m repro.chaos --seed 11 --inject-bug
+  verify-cache-wedged`` exits non-zero, fails *only* the
+  phase-latency-anomaly oracle, and writes a v3 repro artifact.
+
+Usage::
+
+    python benchmarks/check_monitor_smoke.py BENCH_slo_ci.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from bench_json import BenchJsonError, load_experiment
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Bounded-fault seed with the strongest wedged-vs-twin separation
+#: (mirrors tests/chaos/test_perf_oracle.py::WEDGED_SEED).
+WEDGED_SEED = "11"
+
+EXPECTED_ROWS = {"commit-p99", "abort-rate", "retransmit-rate"}
+EXPECTED_COLUMNS = ["windows", "violations", "budget %", "burn", "worst", "ok"]
+
+
+def check_slo_schema(path: str, failures: list) -> None:
+    result = load_experiment(path, "slo")
+    if result.get("columns") != EXPECTED_COLUMNS:
+        failures.append(f"slo columns {result.get('columns')} != {EXPECTED_COLUMNS}")
+    rows = result.get("rows", {})
+    if set(rows) != EXPECTED_ROWS:
+        failures.append(f"slo rows {sorted(rows)} != {sorted(EXPECTED_ROWS)}")
+    for name, cells in rows.items():
+        columns = [column for column, _ in cells]
+        if columns != EXPECTED_COLUMNS:
+            failures.append(f"slo row {name} has columns {columns}")
+        values = dict(cells)
+        if values.get("ok") not in ("yes", "NO"):
+            failures.append(f"slo row {name} ok={values.get('ok')!r}")
+    notes = "\n".join(result.get("notes", []))
+    if "trace digest" not in notes:
+        failures.append("slo notes lack the trace digest")
+    if "objective" not in notes:
+        failures.append("slo notes lack the rendered SLO table")
+
+
+def check_neutrality(failures: list) -> None:
+    from repro.chaos import plan_from_seed, run_plan
+
+    plan = plan_from_seed(2)
+    on = run_plan(plan, perf_oracle=False)
+    off = run_plan(plan, monitor=False, perf_oracle=False)
+    if on.fingerprint() != off.fingerprint():
+        failures.append(
+            f"fingerprint differs with monitoring on/off: "
+            f"{on.fingerprint()} vs {off.fingerprint()}"
+        )
+    if on.trace_digest != off.trace_digest:
+        failures.append("trace digest differs with monitoring on/off")
+    if on.monitor is None:
+        failures.append("monitored run produced no monitor")
+
+
+def check_wedged_detection(failures: list) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.chaos",
+                "--seed", WEDGED_SEED,
+                "--inject-bug", "verify-cache-wedged",
+                "--artifact-dir", tmp,
+                "--max-shrink-runs", "20",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        if proc.returncode == 0:
+            failures.append("verify-cache-wedged was not caught (exit 0)")
+            return
+        artifact = os.path.join(tmp, f"chaos-repro-{WEDGED_SEED}.json")
+        if not os.path.exists(artifact):
+            failures.append(f"no repro artifact at {artifact}")
+            return
+        with open(artifact, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        oracles = {entry["oracle"] for entry in document.get("failures", [])}
+        if oracles != {"phase-latency-anomaly"}:
+            failures.append(
+                f"wedged cache failed oracles {sorted(oracles)}, expected "
+                f"only phase-latency-anomaly"
+            )
+        if document.get("version") != 3:
+            failures.append(f"artifact version {document.get('version')} != 3")
+        if "health" not in document:
+            failures.append("artifact lacks the health summary")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} BENCH_slo_ci.json", file=sys.stderr)
+        return 2
+    sys.path.insert(0, os.path.join(REPO, "src"))
+
+    failures: list = []
+    try:
+        check_slo_schema(sys.argv[1], failures)
+    except BenchJsonError as error:
+        failures.append(str(error))
+    check_neutrality(failures)
+    check_wedged_detection(failures)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "monitor smoke ok: neutral fingerprints/digests, SLO schema intact, "
+        f"verify-cache-wedged caught by phase-latency-anomaly on seed {WEDGED_SEED}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

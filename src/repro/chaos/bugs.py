@@ -27,6 +27,13 @@ The bugs are deliberately real ones from this codebase's lineage:
   certifies a client-visible outcome, and the f+1 ``ReplicaCommitReply``
   acceptance path (the fix for exactly this crash window) is disabled;
   with restarts suppressed, caught by the quiescent-liveness oracle.
+* ``verify-cache-wedged`` — every signature-verify cache lookup misses and
+  nothing is ever stored: verification still *succeeds* (the registry
+  re-verifies from scratch), so every correctness oracle stays green, but
+  each miss burns ``CostConfig.verify_cache_miss_penalty_ms`` of replica
+  occupancy.  Only the phase-latency anomaly oracle — comparing commit
+  latency and phase attribution against the fault-free twin outside fault
+  windows — can see it.
 """
 
 from __future__ import annotations
@@ -167,6 +174,41 @@ def _leader_dies_after_certify():
         TransEdgeClient._on_replica_commit_reply = original_handler
 
 
+@contextlib.contextmanager
+def _verify_cache_wedged():
+    """Every verify-cache lookup misses; stores are silently discarded.
+
+    The performance-bug archetype: a cache whose eviction (or key
+    derivation) regressed into pure overhead.  Verification results are
+    still correct — the registry simply recomputes each one — so state,
+    histories and fingerprinted counters other than the hit/miss tallies
+    look healthy.  What gives it away is time: with
+    ``CostConfig.verify_cache_miss_penalty_ms`` armed (chaos plans set it),
+    every re-verification charges occupancy, inflating the verify phase and
+    end-to-end commit latency that the phase-latency anomaly oracle compares
+    against the fault-free twin.
+    """
+    from repro.crypto.signatures import VerifyCache
+
+    original_lookup = VerifyCache.lookup
+    original_store = VerifyCache.store
+
+    def always_miss(self, key):
+        self.misses += 1
+        return None
+
+    def never_store(self, key, value):
+        return None
+
+    VerifyCache.lookup = always_miss
+    VerifyCache.store = never_store
+    try:
+        yield
+    finally:
+        VerifyCache.lookup = original_lookup
+        VerifyCache.store = original_store
+
+
 BUGS: Dict[str, InjectedBug] = {
     bug.name: bug
     for bug in (
@@ -201,6 +243,16 @@ BUGS: Dict[str, InjectedBug] = {
             ),
             patch=_leader_dies_after_certify,
             skip_restarts=True,
+        ),
+        InjectedBug(
+            name="verify-cache-wedged",
+            description=(
+                "every signature-verify cache lookup misses and stores are "
+                "discarded: correctness stays green while re-verification "
+                "burns replica occupancy; only the phase-latency anomaly "
+                "oracle (vs the fault-free twin) sees the slowdown"
+            ),
+            patch=_verify_cache_wedged,
         ),
         InjectedBug(
             name="ack-without-delivery",

@@ -30,7 +30,7 @@ from repro.chaos.plan import ChaosPlan, plan_from_seed
 from repro.chaos.runner import ChaosReport, run_plan
 from repro.chaos.shrink import shrink_plan
 
-ARTIFACT_VERSION = 2  # v2: flight_recorder + failing_traces payloads
+ARTIFACT_VERSION = 3  # v3: health summary + fault windows (v2 added black box)
 
 
 def artifact_path(directory: str, seed: int) -> str:
@@ -64,6 +64,10 @@ def write_artifact(
         # transactions' full causal traces, as captured at failure time.
         "flight_recorder": report.flight_recorder,
         "failing_traces": report.failing_traces,
+        # Monitoring (repro.obs.monitor): terminal per-node health and the
+        # sim-time fault windows the perf oracle excluded.
+        "health": report.health,
+        "fault_windows": [list(window) for window in report.fault_windows],
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -103,6 +107,10 @@ def main(argv: "List[str] | None" = None) -> int:
                         help="where to write chaos-repro-<seed>.json (default: .)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="skip schedule shrinking on failure")
+    parser.add_argument("--no-monitor", action="store_true",
+                        help="disable the monitoring layer and the "
+                             "phase-latency oracle (neutrality check: "
+                             "fingerprints must not change)")
     parser.add_argument("--max-events", type=int, default=4_000_000,
                         help="per-run simulator event budget")
     parser.add_argument("--max-shrink-runs", type=int, default=80,
@@ -124,7 +132,13 @@ def main(argv: "List[str] | None" = None) -> int:
         plan = ChaosPlan.from_dict(document["plan"])
         replay_bug = get_bug(document["bug"]) if document.get("bug") else bug
         started = time.time()
-        report = run_plan(plan, bug=replay_bug, max_events=args.max_events)
+        report = run_plan(
+            plan,
+            bug=replay_bug,
+            max_events=args.max_events,
+            monitor=not args.no_monitor,
+            perf_oracle=not args.no_monitor,
+        )
         elapsed = time.time() - started
         print(report.summary_line() + f"  [{elapsed:.1f}s wall, replay]")
         if report.failures:
@@ -149,7 +163,13 @@ def main(argv: "List[str] | None" = None) -> int:
     for seed in seeds:
         plan = plan_from_seed(seed)
         started = time.time()
-        report = run_plan(plan, bug=bug, max_events=args.max_events)
+        report = run_plan(
+            plan,
+            bug=bug,
+            max_events=args.max_events,
+            monitor=not args.no_monitor,
+            perf_oracle=not args.no_monitor,
+        )
         elapsed = time.time() - started
         print(report.summary_line() + f"  [{elapsed:.1f}s wall]")
         if report.ok:

@@ -36,9 +36,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.common.config import (
     BatchConfig,
     CheckpointConfig,
+    CostConfig,
     EdgeConfig,
     FailoverConfig,
     LatencyConfig,
+    MonitorConfig,
     PerfConfig,
     ReliabilityConfig,
     SystemConfig,
@@ -78,6 +80,19 @@ class ConfigPoint:
     commit_timeout_ms: float = 800.0
     request_timeout_ms: float = 600.0
     system_seed: int = 7
+    #: Extra occupancy per signature-verify cache miss.  Non-zero in chaos
+    #: runs so simulated latency is sensitive to verify-cache health — a
+    #: wedged cache becomes a *measurable* slowdown the phase-latency
+    #: oracle can catch (the benchmark/default cost model keeps 0.0).  The
+    #: magnitude models a real from-scratch verification (think RSA) being
+    #: an order of magnitude dearer than a memo hit; empirically it puts a
+    #: wedged cache 2–4x above the twin while honest fault recovery (cold
+    #: caches after restarts) stays under ~1.5x.
+    verify_cache_miss_penalty_ms: float = 2.0
+    #: Monitoring-timeline window width; the live monitor is always on in
+    #: chaos runs (it is provably neutral) so every report carries health
+    #: states and the performance oracle has timelines to compare.
+    monitor_window_ms: float = 50.0
 
     def to_system_config(self) -> SystemConfig:
         """Expand into the full :class:`SystemConfig` the runner builds."""
@@ -101,6 +116,10 @@ class ConfigPoint:
                 progress_timeout_ms=self.progress_timeout_ms,
             ),
             reliability=ReliabilityConfig(enabled=self.reliability_enabled),
+            costs=CostConfig(
+                verify_cache_miss_penalty_ms=self.verify_cache_miss_penalty_ms
+            ),
+            monitor=MonitorConfig(enabled=True, window_ms=self.monitor_window_ms),
             perf=PerfConfig(
                 archive_enabled=self.archive_enabled,
                 archive_compaction=self.archive_compaction,

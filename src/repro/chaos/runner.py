@@ -30,8 +30,10 @@ Two bookkeeping subtleties keep the oracles sound under faults:
 from __future__ import annotations
 
 import contextlib
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.config import MonitorConfig
 
 from repro.common.errors import SimulationError
 from repro.common.ids import ReplicaId
@@ -51,7 +53,12 @@ from repro.edge.byzantine import install_byzantine
 from repro.simnet.faults import FaultRule, FaultSchedule
 from repro.simnet.proc import Sleep
 from repro.verification.history import ExecutionHistory
-from repro.verification.oracles import OracleFailure, RunObservation, run_suite
+from repro.verification.oracles import (
+    OracleFailure,
+    PhaseLatencyAnomalyOracle,
+    RunObservation,
+    run_suite,
+)
 from repro.workload.generator import TxnSpec, WorkloadGenerator, WorkloadProfile
 
 from repro.chaos.bugs import InjectedBug, get_bug
@@ -99,6 +106,17 @@ class ChaosReport:
     #: only when an oracle failed — the repro artifact's black box.
     flight_recorder: List[Dict[str, object]] = field(default_factory=list)
     failing_traces: List[Dict[str, object]] = field(default_factory=list)
+    #: ``(start_ms, end_ms-or-None)`` intervals the fault plan was active
+    #: (simulator clock); the performance oracle excludes them.
+    fault_windows: List[Tuple[float, Optional[float]]] = field(default_factory=list)
+    #: Node-health summary from the live monitor (states + transitions).
+    #: Like ``trace_digest``, deliberately outside :meth:`fingerprint`.
+    health: Dict[str, object] = field(default_factory=dict)
+    #: Transient handles (not serialised): the run's live monitor and the
+    #: oracle observation, kept so :func:`run_plan` can grade the run
+    #: against its fault-free twin after ``_run`` returns.
+    monitor: object = None
+    observation: object = None
 
     @property
     def ok(self) -> bool:
@@ -296,13 +314,21 @@ def _schedule_faults(
     bug: Optional[InjectedBug],
     crash_log: List[ReplicaId],
     restart_log: List[ReplicaId],
-) -> None:
+) -> List[Tuple[float, Optional[float]]]:
+    """Schedule the fault plan; returns each fault's active interval.
+
+    Intervals are on the simulator clock (plan times are run-relative and
+    anchored at "now").  An end of ``None`` means the fault never lifts
+    within the run — byzantine proxies stay installed, and crashes are
+    never restarted under a ``skip_restarts`` bug.
+    """
     simulator = system.env.simulator
     schedule = FaultSchedule(system.fault_injector, simulator)
     skip_restarts = bug is not None and bug.skip_restarts
     # Fault times are run-relative; the bootstrap (genesis batches) already
     # advanced the simulated clock, so anchor the plan at "now".
     base = simulator.now
+    windows: List[Tuple[float, Optional[float]]] = []
 
     def plan_crash(event, target_of) -> None:
         def fire() -> None:
@@ -324,6 +350,14 @@ def _schedule_faults(
         simulator.schedule_at(base + event.at_ms, fire)
 
     for event in plan.faults:
+        if event.kind == "byzantine-proxy" or (
+            skip_restarts and event.kind in ("crash", "leader-kill")
+        ):
+            windows.append((base + event.at_ms, None))
+        else:
+            windows.append(
+                (base + event.at_ms, base + event.at_ms + event.duration_ms)
+            )
         if event.kind == "crash":
             members = system.topology.members(event.partition % system.config.num_partitions)
 
@@ -400,31 +434,79 @@ def _schedule_faults(
             )
         else:
             raise ValueError(f"unknown fault kind {event.kind!r}")
+    return windows
 
 
 def run_plan(
     plan: ChaosPlan,
     bug: "InjectedBug | str | None" = None,
     max_events: int = 4_000_000,
+    monitor: bool = True,
+    perf_oracle: bool = True,
 ) -> ChaosReport:
-    """Execute ``plan`` and return its report (deterministic in the plan)."""
+    """Execute ``plan`` and return its report (deterministic in the plan).
+
+    With ``perf_oracle`` (and monitoring on), the run is additionally graded
+    by the phase-latency anomaly oracle against its *fault-free twin*: the
+    same plan with the fault schedule stripped, executed **outside** the
+    injected-bug patch.  The twin is skipped when the run is already its own
+    twin (no faults, no bug) or when latency is meaningless (stalled run).
+    ``monitor=False`` disables the live monitor only — the cost model is
+    untouched, which is exactly the configuration the neutrality tests
+    compare against.
+    """
     if isinstance(bug, str):
         bug = get_bug(bug)
     patch = bug.patch() if bug is not None else contextlib.nullcontext()
     with patch:
-        return _run(plan, bug, max_events)
+        report = _run(plan, bug, max_events, monitor=monitor)
+    observation = report.observation
+    needs_twin = (
+        perf_oracle
+        and report.monitor is not None
+        and (plan.faults or bug is not None)
+        and not observation.simulation_stalled
+    )
+    if needs_twin:
+        twin = _run(replace(plan, faults=()), None, max_events, monitor=True)
+        graded = replace(
+            observation,
+            monitor=report.monitor,
+            twin_monitor=twin.monitor,
+            fault_windows=tuple(report.fault_windows),
+        )
+        perf_failures = PhaseLatencyAnomalyOracle().check(graded)
+        if perf_failures:
+            had_failures = bool(report.failures)
+            report.failures.extend(perf_failures)
+            if not had_failures:
+                # Late failure: attach the black box _run skipped.
+                obs = observation.system.env.obs
+                report.flight_recorder = obs.recorder.as_dicts(last_n=200)
+    return report
 
 
 def run_seed(
     seed: int,
     bug: "InjectedBug | str | None" = None,
     max_events: int = 4_000_000,
+    monitor: bool = True,
+    perf_oracle: bool = True,
 ) -> ChaosReport:
-    return run_plan(plan_from_seed(seed), bug=bug, max_events=max_events)
+    return run_plan(
+        plan_from_seed(seed),
+        bug=bug,
+        max_events=max_events,
+        monitor=monitor,
+        perf_oracle=perf_oracle,
+    )
 
 
 def _run(
-    plan: ChaosPlan, bug: Optional[InjectedBug], max_events: int
+    plan: ChaosPlan,
+    bug: Optional[InjectedBug],
+    max_events: int,
+    monitor: bool = True,
 ) -> ChaosReport:
     # Tracing is always on under chaos: spans draw no randomness and add no
     # simulator events, so fingerprints are unchanged, and the traces are
@@ -434,6 +516,11 @@ def _run(
     config = plan.config.to_system_config().with_tracing(
         True, max_traces=20_000, ring_capacity=100_000
     )
+    if not monitor:
+        # Escape hatch (``--no-monitor``): disable only the live monitor,
+        # never the cost model — so this configuration is what the
+        # monitoring-neutrality tests diff fingerprints against.
+        config = replace(config, monitor=MonitorConfig(enabled=False)).validate()
     system = TransEdgeSystem(config)
     history = ExecutionHistory(system.initial_data)
     tracker = _Tracker()
@@ -470,7 +557,7 @@ def _run(
 
     crash_log: List[ReplicaId] = []
     restart_log: List[ReplicaId] = []
-    _schedule_faults(plan, system, bug, crash_log, restart_log)
+    fault_windows = _schedule_faults(plan, system, bug, crash_log, restart_log)
 
     stalled = False
     try:
@@ -526,6 +613,11 @@ def _run(
 
     probe_committed = sum(1 for result in probe_results if result.committed)
     resolved = _resolve_unknown_outcomes(system, history, tracker)
+
+    # Close the monitoring timeline's tail window before anything reads it
+    # (flush only samples counters — it cannot perturb the quiesced system).
+    if system.monitor is not None:
+        system.monitor.flush(system.now)
 
     observation = RunObservation(
         system=system,
@@ -585,4 +677,8 @@ def _run(
         trace_digest=obs.tracer.digest(),
         flight_recorder=flight_recorder,
         failing_traces=failing_traces,
+        fault_windows=list(fault_windows),
+        health=system.monitor.health.summary() if system.monitor is not None else {},
+        monitor=system.monitor,
+        observation=observation,
     )

@@ -64,6 +64,12 @@ class CostConfig:
 
     signature_sign_ms: float = 0.02
     signature_verify_ms: float = 0.02
+    #: Extra occupancy charged per signature-verify *cache miss*, on top of
+    #: the flat ``signature_verify_ms``.  The default 0.0 keeps the seed cost
+    #: model byte-for-byte (hits and misses cost the same); setting it makes
+    #: simulated latency sensitive to verify-cache health, which is what lets
+    #: the chaos performance oracle see a wedged cache.
+    verify_cache_miss_penalty_ms: float = 0.0
     hash_ms: float = 0.001
     read_op_ms: float = 0.002
     write_op_ms: float = 0.003
@@ -414,6 +420,52 @@ class ObsConfig:
 
 
 @dataclass(frozen=True)
+class MonitorConfig:
+    """Live monitoring knobs (:mod:`repro.obs.monitor`).
+
+    When ``enabled``, the deployment samples a :class:`~repro.obs.monitor.
+    MetricsTimeline` of windowed counter deltas every ``window_ms`` of
+    *simulated* time and derives per-node health states.  Sampling
+    piggybacks on existing dispatches (no extra simulator events), draws no
+    randomness and mutates no counters, so enabling it never changes what a
+    run does — chaos fingerprints and trace digests are byte-identical with
+    monitoring on or off.
+
+    * ``window_ms`` — nominal width of one timeline window.
+    * ``max_windows`` — retained window ring; older windows fold into the
+      evicted-totals accumulator (deltas stay exact in aggregate).
+    * ``latency_samples_per_window`` — per-window cap on retained raw
+      end-to-end latency samples (counts stay exact past the cap).
+    * ``healthy_after_quiet_windows`` — degraded/suspected nodes decay back
+      to healthy after this many windows without a new degrading signal.
+    * ``max_health_transitions`` — bounded health transition log.
+    """
+
+    enabled: bool = False
+    window_ms: float = 50.0
+    max_windows: int = 256
+    latency_samples_per_window: int = 512
+    healthy_after_quiet_windows: int = 3
+    max_health_transitions: int = 1024
+
+    def validate(self) -> None:
+        if self.window_ms <= 0:
+            raise ConfigurationError("monitor window_ms must be > 0")
+        if self.max_windows < 1:
+            raise ConfigurationError("monitor max_windows must be >= 1")
+        if self.latency_samples_per_window < 1:
+            raise ConfigurationError(
+                "monitor latency_samples_per_window must be >= 1"
+            )
+        if self.healthy_after_quiet_windows < 1:
+            raise ConfigurationError(
+                "monitor healthy_after_quiet_windows must be >= 1"
+            )
+        if self.max_health_transitions < 1:
+            raise ConfigurationError("monitor max_health_transitions must be >= 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level description of a simulated TransEdge deployment.
 
@@ -421,7 +473,8 @@ class SystemConfig:
     for snapshot reads, signature verify cache); see :class:`PerfConfig`.
     ``edge`` describes the optional untrusted edge read-proxy tier; see
     :class:`EdgeConfig`.  ``obs`` configures tracing and the flight
-    recorder; see :class:`ObsConfig`.
+    recorder; see :class:`ObsConfig`.  ``monitor`` configures the live
+    metrics timeline and health tracking; see :class:`MonitorConfig`.
     """
 
     num_partitions: int = 5
@@ -436,6 +489,7 @@ class SystemConfig:
     edge: EdgeConfig = field(default_factory=EdgeConfig)
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
     crypto_backend: str = "hmac"
     seed: int = 7
     initial_keys: int = 1_000
@@ -481,6 +535,7 @@ class SystemConfig:
         self.edge.validate()
         self.reliability.validate()
         self.obs.validate()
+        self.monitor.validate()
         return self
 
     def with_updates(self, **changes: object) -> "SystemConfig":

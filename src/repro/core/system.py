@@ -11,7 +11,7 @@ over this class.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.common.config import SystemConfig
@@ -21,6 +21,7 @@ from repro.core.client import TransEdgeClient
 from repro.core.replica import PartitionReplica
 from repro.core.topology import ClusterTopology
 from repro.edge.proxy import EdgeProxy
+from repro.obs.monitor import Monitor
 from repro.simnet.faults import FaultInjector
 from repro.simnet.latency import LatencyModel
 from repro.simnet.node import SimEnvironment
@@ -147,6 +148,25 @@ class TransEdgeSystem:
 
         self.clients: List[TransEdgeClient] = []
         self.fault_injector = FaultInjector(self.env.network, seed=self.config.seed + 2)
+
+        #: Live monitor (repro.obs.monitor), or ``None`` when disabled.  It
+        #: is installed *before* the genesis bootstrap so the timeline's
+        #: initial snapshot is the true zero point and even bootstrap
+        #: activity windows correctly.  The monitor only reads counters and
+        #: subscribes to streams that already exist, so enabling it leaves
+        #: fingerprints and trace digests byte-identical.
+        self.monitor: Optional[Monitor] = None
+        if self.config.monitor.enabled:
+            self.monitor = Monitor(
+                self.config.monitor,
+                self.monitor_snapshot,
+                leader_of=lambda partition: str(
+                    self.topology.leader(PartitionId(partition))
+                ),
+            )
+            self.monitor.bind_tracer(self.env.obs.tracer)
+            self.env.monitor = self.monitor
+            self.env.obs.attach_monitor(self.monitor)
 
         # Bootstrap: every cluster writes its genesis batch (number 0), which
         # certifies the Merkle root of the preloaded data so that read-only
@@ -304,12 +324,40 @@ class TransEdgeSystem:
                 "edge": totals(edge),
             },
         }
+        # Live node-health states ride along when a monitor is installed —
+        # same unified-accounting contract as the transport counters, and
+        # what puts "which nodes were degraded" into chaos artifacts.
+        if self.monitor is not None:
+            snapshot["health"] = self.monitor.health.snapshot()
         if record_event:
             detail = dict(snapshot["totals"])
             if snapshot["transport"]:
                 detail["transport"] = dict(snapshot["transport"])
             self.env.obs.event("system", "cache-snapshot", "info", detail)
         return snapshot
+
+    def monitor_snapshot(self) -> Dict[str, object]:
+        """Cumulative deployment counters in the timeline's sampling shape.
+
+        This is the ``snapshot_fn`` behind :class:`repro.obs.monitor.Monitor`:
+        every value is monotonically non-decreasing and purely *read* from
+        the nodes, so windowed deltas telescope exactly (the timeline's sum
+        of window deltas always equals final minus initial).
+        """
+        caches = self.cache_snapshot()
+        node_handled: Dict[str, int] = {}
+        for replica in self.replicas.values():
+            node_handled[str(replica.node_id)] = replica.messages_handled
+        for proxy in self.proxies:
+            node_handled[str(proxy.node_id)] = proxy.messages_handled
+        for client in self.clients:
+            node_handled[str(client.node_id)] = client.messages_handled
+        return {
+            "counters": asdict(self.counters()),
+            "transport": dict(caches["transport"]),
+            "client_verify": dict(caches["totals"]["verify_clients"]),
+            "node_handled": node_handled,
+        }
 
     def verify_cache_stats(self) -> Dict[str, "tuple[int, int]"]:
         """Per-node signature verify-cache ``(hits, misses)``, replicas and clients."""

@@ -24,7 +24,7 @@ import hmac
 import random
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.common.errors import SignatureError
 from repro.crypto import rsa
@@ -351,6 +351,12 @@ class NodeVerifier:
     def __init__(self, registry: KeyRegistry, cache_size: int) -> None:
         self._registry = registry
         self.cache = VerifyCache(cache_size)
+        #: Optional miss hook: called with the number of cache misses a
+        #: ``verify``/``verify_quorum`` call incurred.  The simulation layer
+        #: uses it to charge per-miss occupancy
+        #: (``CostConfig.verify_cache_miss_penalty_ms``); ``None`` (default)
+        #: keeps verification side-effect free.
+        self.on_miss: "Optional[Callable[[int], None]]" = None
         registry.attach_cache(self.cache)
 
     @property
@@ -373,7 +379,12 @@ class NodeVerifier:
         signature: Signature,
         payload_digest: Optional[Digest] = None,
     ) -> bool:
-        return self._registry.verify(payload, signature, payload_digest, cache=self.cache)
+        before = self.cache.misses
+        result = self._registry.verify(
+            payload, signature, payload_digest, cache=self.cache
+        )
+        self._charge_misses(before)
+        return result
 
     def verify_quorum(
         self,
@@ -382,13 +393,23 @@ class NodeVerifier:
         required: int,
         allowed_signers: Optional[Iterable[str]] = None,
     ) -> bool:
-        return self._registry.verify_quorum(
+        before = self.cache.misses
+        result = self._registry.verify_quorum(
             payload,
             signatures,
             required,
             allowed_signers=allowed_signers,
             cache=self.cache,
         )
+        self._charge_misses(before)
+        return result
+
+    def _charge_misses(self, misses_before: int) -> None:
+        if self.on_miss is None:
+            return
+        delta = self.cache.misses - misses_before
+        if delta > 0:
+            self.on_miss(delta)
 
     def require_valid(self, payload: Encodable, signature: Signature) -> None:
         if not self.verify(payload, signature):

@@ -13,6 +13,7 @@ from repro.lint.rules.determinism import (
     WallClockRule,
 )
 from repro.lint.rules.protocol import (
+    HandlerTargetRule,
     MessageLifecycleRule,
     TransportBypassRule,
     VerifyBeforeReadRule,
@@ -34,6 +35,7 @@ def all_rules() -> List[Rule]:
         MessageLifecycleRule(),
         VerifyBeforeReadRule(),
         TransportBypassRule(),
+        HandlerTargetRule(),
         CounterIncrementRule(),
         CounterAggregationRule(),
     ]

@@ -118,6 +118,98 @@ class MessageLifecycleRule(ProjectRule):
                 )
 
 
+class HandlerTargetRule(ProjectRule):
+    """P304: every register_handler target must exist on the class."""
+
+    id = "P304"
+    name = "handler-target-defined"
+    rationale = (
+        "register_handler(Type, self._on_x) captures the bound method at "
+        "registration time; if _on_x is not defined on the class (or an "
+        "ancestor) the node crashes with AttributeError during __init__ — "
+        "or worse, a typo'd name silently registers the wrong handler "
+        "after a rename"
+    )
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        # Per-class view over the whole file set: methods defined via def,
+        # attributes assigned to self.<name> anywhere in the body, and base
+        # class simple names for MRO-style lookup across files.
+        methods_by_class: Dict[str, Set[str]] = {}
+        bases_by_class: Dict[str, List[str]] = {}
+        registrations: List[Tuple[SourceFile, str, ast.Call, str]] = []
+
+        for file in files:
+            for klass in ast.walk(file.tree):
+                if not isinstance(klass, ast.ClassDef):
+                    continue
+                # Same-named classes across files (common in test corpora)
+                # merge: membership and bases are unioned, which errs toward
+                # leniency instead of false positives.
+                bases_by_class.setdefault(klass.name, []).extend(
+                    dotted_name(base).split(".")[-1] for base in klass.bases
+                )
+                members = methods_by_class.setdefault(klass.name, set())
+                for node in ast.walk(klass):
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        members.add(node.name)
+                    elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                        targets = (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                        for target in targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                members.add(target.attr)
+                            elif isinstance(target, ast.Name):
+                                members.add(target.id)  # class attribute
+                    elif (
+                        isinstance(node, ast.Call)
+                        and call_name(node).split(".")[-1] == "register_handler"
+                        and len(node.args) >= 2
+                    ):
+                        handler = node.args[1]
+                        if (
+                            isinstance(handler, ast.Attribute)
+                            and isinstance(handler.value, ast.Name)
+                            and handler.value.id == "self"
+                        ):
+                            registrations.append(
+                                (file, klass.name, node, handler.attr)
+                            )
+
+        def resolves(klass: str, attr: str) -> bool:
+            stack, seen = [klass], set()
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                if attr in methods_by_class.get(current, set()):
+                    return True
+                if current not in bases_by_class:
+                    # Base outside the scanned tree: give it the benefit of
+                    # the doubt rather than flag unknowable inheritance.
+                    return True
+                stack.extend(bases_by_class[current])
+            return False
+
+        for file, klass, node, attr in registrations:
+            if not resolves(klass, attr):
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    f"register_handler target self.{attr} is not defined on "
+                    f"{klass} or any scanned ancestor (AttributeError at "
+                    f"node construction)",
+                )
+
+
 class VerifyBeforeReadRule(FileRule):
     """P302: handlers reading signed-payload fields must verify first."""
 

@@ -3,14 +3,19 @@
 See :mod:`repro.obs.trace` (spans + deterministic digests),
 :mod:`repro.obs.recorder` (bounded per-node event rings),
 :mod:`repro.obs.attribution` (phase-level latency breakdown that always
-reconciles with end-to-end latency) and :mod:`repro.obs.export`
-(trace trees, Chrome-trace JSON, run dumps).  ``python -m repro.obs`` runs
-a small traced workload and renders/exports its traces.
+reconciles with end-to-end latency), :mod:`repro.obs.export`
+(trace trees, Chrome-trace JSON, run dumps), :mod:`repro.obs.monitor`
+(live sim-time metrics timelines + per-node health tracking) and
+:mod:`repro.obs.slo` (declarative objectives graded per timeline window).
+``python -m repro.obs`` runs a small traced workload and renders/exports
+its traces; ``--timeline`` adds the monitoring view.
 """
 
 from repro.obs.hub import Observability
+from repro.obs.monitor import HEALTH_STATES, HealthTracker, MetricsTimeline, Monitor, WindowSample
 from repro.obs.phases import MESSAGE_PHASES, PHASES, phase_for
 from repro.obs.recorder import FlightRecorder, ObsEvent
+from repro.obs.slo import SloResult, SloSpec, default_slos, evaluate_slos, render_slo_table
 from repro.obs.trace import Span, TraceContext, TraceData, Tracer
 
 __all__ = [
@@ -24,4 +29,14 @@ __all__ = [
     "PHASES",
     "MESSAGE_PHASES",
     "phase_for",
+    "Monitor",
+    "MetricsTimeline",
+    "HealthTracker",
+    "WindowSample",
+    "HEALTH_STATES",
+    "SloSpec",
+    "SloResult",
+    "default_slos",
+    "evaluate_slos",
+    "render_slo_table",
 ]

@@ -9,6 +9,7 @@ observability layer captured::
     python -m repro.obs --chrome trace.json   # Chrome/Perfetto export
     python -m repro.obs --export run.json     # full run dump (CI artifact)
     python -m repro.obs --digest              # print only the trace digest
+    python -m repro.obs --timeline            # monitor windows + health + SLOs
 
 The run is deterministic: the same ``--txns``/``--seed`` always produce the
 same spans and therefore the same digest — which is exactly what the CI
@@ -21,7 +22,7 @@ import argparse
 import sys
 from typing import List
 
-from repro.common.config import BatchConfig, SystemConfig
+from repro.common.config import BatchConfig, MonitorConfig, SystemConfig
 from repro.obs.attribution import PhaseAggregate, reconciliation_error
 from repro.obs.export import (
     chrome_trace_document,
@@ -30,10 +31,20 @@ from repro.obs.export import (
     write_json,
 )
 from repro.obs.hub import Observability
+from repro.obs.slo import default_slos, evaluate_slos, render_slo_table
 
 
 def traced_workload(txns: int, seed: int) -> Observability:
     """Run a small traced deployment and return its observability hub."""
+    return _run_workload(txns, seed, monitor=False).env.obs
+
+
+def monitored_workload(txns: int, seed: int, window_ms: float = 25.0):
+    """Run the traced deployment with the monitor armed; return the system."""
+    return _run_workload(txns, seed, monitor=True, window_ms=window_ms)
+
+
+def _run_workload(txns: int, seed: int, monitor: bool, window_ms: float = 25.0):
     from repro.bench.drivers import execute_workload
     from repro.core.system import TransEdgeSystem
     from repro.workload.generator import WorkloadGenerator, WorkloadProfile
@@ -45,6 +56,7 @@ def traced_workload(txns: int, seed: int) -> Observability:
         initial_keys=120,
         value_size=64,
         seed=seed,
+        monitor=MonitorConfig(enabled=monitor, window_ms=window_ms),
     ).with_tracing(True, max_traces=max(4 * txns, 64))
     system = TransEdgeSystem(config)
     generator = WorkloadGenerator(
@@ -55,7 +67,9 @@ def traced_workload(txns: int, seed: int) -> Observability:
     )
     specs = list(generator.mixed_stream(txns))
     execute_workload(system, specs, concurrency=8, num_clients=2)
-    return system.env.obs
+    if system.monitor is not None:
+        system.monitor.flush(system.now)
+    return system
 
 
 def render_phase_table(obs: Observability) -> str:
@@ -83,6 +97,30 @@ def render_phase_table(obs: Observability) -> str:
     return "\n".join(lines)
 
 
+def render_timeline_table(samples) -> str:
+    """One row per closed monitor window: throughput, latency, health fuel."""
+    if not samples:
+        return "no closed monitor windows"
+    header = (
+        f"{'window':>7}{'start ms':>10}{'commits':>9}{'aborts':>8}"
+        f"{'p50 ms':>9}{'p95 ms':>9}{'retx':>6}{'handled':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    from repro.metrics.collector import percentile
+
+    for sample in samples:
+        latencies = sorted(sample.latencies)
+        p50 = percentile(latencies, 0.50) if latencies else 0.0
+        p95 = percentile(latencies, 0.95) if latencies else 0.0
+        retx = int(sample.transport.get("messages_retransmitted", 0))
+        handled = sum(sample.node_handled.values())
+        lines.append(
+            f"{sample.index:>7}{sample.start_ms:>10.1f}{sample.commits:>9}"
+            f"{sample.aborts:>8}{p50:>9.2f}{p95:>9.2f}{retx:>6}{handled:>9}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.obs",
@@ -100,9 +138,38 @@ def main(argv: "List[str] | None" = None) -> int:
                         help="write the full run dump (traces + flight recorder)")
     parser.add_argument("--digest", action="store_true",
                         help="print only the trace digest and exit")
+    parser.add_argument("--timeline", action="store_true",
+                        help="run with the monitor armed and print the window "
+                             "timeline, node health and SLO tables")
+    parser.add_argument("--window-ms", type=float, default=25.0,
+                        help="monitor sampling window in sim-ms (default 25)")
     args = parser.parse_args(argv)
     if args.txns < 1:
         parser.error("--txns must be >= 1")
+    if args.window_ms <= 0:
+        parser.error("--window-ms must be > 0")
+
+    if args.timeline:
+        system = monitored_workload(args.txns, args.seed, window_ms=args.window_ms)
+        monitor = system.monitor
+        samples = monitor.timeline.samples()
+        print(
+            f"{args.txns} txns monitored: {len(samples)} closed windows of "
+            f"{args.window_ms:g}ms (sim time {system.now:.1f}ms), "
+            f"digest {system.env.obs.tracer.digest()}"
+        )
+        print()
+        print(render_timeline_table(samples))
+        health = monitor.health.summary()
+        print(f"\nnode health ({len(health['transitions'])} transitions):")
+        if health["states"]:
+            for node, state in sorted(health["states"].items()):
+                print(f"  {node:<14}{state}")
+        else:
+            print("  all nodes healthy (no node ever left the healthy state)")
+        print()
+        print(render_slo_table(evaluate_slos(samples, default_slos())))
+        return 0
 
     obs = traced_workload(args.txns, args.seed)
 

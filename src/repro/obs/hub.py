@@ -32,8 +32,22 @@ class Observability:
         self.events = config.events_enabled
         self.tracer = Tracer(clock, max_traces=config.max_traces)
         self.recorder = FlightRecorder(clock, capacity=config.ring_capacity)
+        #: Live monitor (repro.obs.monitor) when one is attached: receives
+        #: every flight-recorder event and every closed span.  ``None`` —
+        #: the default — keeps the hub byte-for-byte the passive recorder.
+        self.monitor = None
         if self.tracing:
             runtime.note_observability(self)
+
+    def attach_monitor(self, monitor) -> None:
+        """Wire ``monitor`` into the event and span-close streams.
+
+        The monitor only *reads* (it folds events into health states and
+        spans into timeline windows); it draws no randomness and schedules
+        nothing, so attaching one never changes digests or fingerprints.
+        """
+        self.monitor = monitor
+        self.tracer.on_close = monitor.on_span_closed
 
     def event(
         self,
@@ -44,7 +58,9 @@ class Observability:
     ) -> None:
         """Record a flight-recorder event (no-op when events are disabled)."""
         if self.events:
-            self.recorder.record(node, kind, severity, detail)
+            recorded = self.recorder.record(node, kind, severity, detail)
+            if self.monitor is not None:
+                self.monitor.on_obs_event(recorded)
 
     def phase_aggregate(self) -> PhaseAggregate:
         """Phase attribution over every completed trace still retained."""

@@ -144,6 +144,11 @@ class Tracer:
         self._digest = _SEED_DIGEST
         self.spans_recorded = 0
         self.traces_evicted = 0
+        #: Optional close hook: called with each span right after it folds
+        #: into the digest.  The live monitor (repro.obs.monitor) uses it to
+        #: bucket span durations into timeline windows; the hook runs after
+        #: all tracer bookkeeping, so observers cannot perturb the digest.
+        self.on_close: Optional[Callable[[Span], None]] = None
 
     # -- recording ---------------------------------------------------------
 
@@ -191,6 +196,8 @@ class Tracer:
             if trace is not None:
                 trace.complete = True
             self._evict()
+        if self.on_close is not None:
+            self.on_close(span)
 
     # -- queries -----------------------------------------------------------
 

@@ -58,6 +58,11 @@ class SimEnvironment:
         #: The network gets a handle so deliveries can record ``net`` spans.
         self.obs = Observability(self.config.obs, lambda: self.simulator.now)
         self.network.obs = self.obs
+        #: Live monitor (repro.obs.monitor), installed by the system when
+        #: ``MonitorConfig.enabled``; ``None`` otherwise.  Nodes poke it on
+        #: every dispatch so timeline windows close on sim-time without any
+        #: extra simulator events.
+        self.monitor = None
         #: Reliable delivery for core links (repro.simnet.reliable), or
         #: ``None`` when disabled — the fire-and-forget seed behaviour.
         #: Its jitter generator is dedicated (``seed + 3``) so enabling the
@@ -100,6 +105,8 @@ class SimNode:
         self.verifier = NodeVerifier(
             env.registry, env.config.perf.verify_cache_size
         )
+        if env.config.costs.verify_cache_miss_penalty_ms > 0.0:
+            self.verifier.on_miss = self._on_verify_cache_miss
         self._handlers: Dict[Type[Message], MessageHandler] = {}
         self._busy_until = 0.0
         self.messages_handled = 0
@@ -257,6 +264,17 @@ class SimNode:
         now = self.env.simulator.now
         self._busy_until = max(now, self._busy_until) + cost_ms
 
+    def _on_verify_cache_miss(self, misses: int) -> None:
+        """Charge the configured per-miss verify penalty as occupancy.
+
+        Wired only when ``CostConfig.verify_cache_miss_penalty_ms`` is
+        positive, so the default cost model (hits and misses both cost the
+        flat ``signature_verify_ms``) is untouched.  The charge lands after
+        the current handle span, so a cold or wedged cache shows up as queue
+        time on subsequent messages — exactly how a busier CPU would.
+        """
+        self.occupy(misses * self.env.config.costs.verify_cache_miss_penalty_ms)
+
     @property
     def busy_until(self) -> float:
         return self._busy_until
@@ -264,6 +282,12 @@ class SimNode:
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch(self, message: Message, src: NodeId) -> None:
+        monitor = self.env.monitor
+        if monitor is not None:
+            # Lazy window sampling (repro.obs.monitor): dispatches are the
+            # densest existing event stream, so boundary crossings are
+            # noticed here without scheduling anything of our own.
+            monitor.on_activity(self.env.simulator.now)
         if self.crashed:
             return
         self.messages_handled += 1

@@ -166,6 +166,7 @@ class ReliableTransport:
             "duplicates_dropped": 0,
             "acks_sent": 0,
             "retransmits_abandoned": 0,
+            "links_abandoned": 0,
         }
 
     # -- coverage -----------------------------------------------------------
@@ -250,6 +251,24 @@ class ReliableTransport:
             for payload in link.unacked.values():
                 self.counters["retransmits_abandoned"] += 1
                 self._obs_event("retransmit-abandoned", src, dst, payload)
+            # One typed per-link summary on top of the per-message events:
+            # the health tracker keys off it (link-abandoned marks ``dst``
+            # degraded), and it gives operators the "gave up on this peer"
+            # headline without counting payload events.
+            abandoned = len(link.unacked)
+            self.counters["links_abandoned"] += 1
+            if self._obs is not None:
+                self._obs.event(
+                    "network",
+                    "link-abandoned",
+                    "warn",
+                    {
+                        "src": str(src),
+                        "dst": str(dst),
+                        "messages_abandoned": abandoned,
+                        "stall_count": link.stall_count,
+                    },
+                )
             link.base = link.next_seq
             link.unacked.clear()
             link.stall_count = 0

@@ -25,7 +25,12 @@ The standard suite covers the reproduction's end-to-end promises:
 * **checkpoint/archive coherence** — for every batch a round-2 snapshot
   request can still name, archive-served Merkle proofs are byte-identical to
   proofs from a from-scratch rebuild of that batch's tree (the PR-2
-  fast-path contract, re-checked after arbitrary churn).
+  fast-path contract, re-checked after arbitrary churn);
+* **phase-latency anomaly** — a *performance* oracle: outside the injected
+  fault windows, per-window commit latency and per-phase attribution
+  (:mod:`repro.obs.monitor`) must track the same seed's fault-free twin.
+  Catches bugs that stay correctness-green but make the system slow — a
+  wedged verify cache commits every transaction and still lights this up.
 
 Oracles never raise on a violation; they *describe* it, so a single run can
 report every broken invariant and the shrinker can match failures by oracle
@@ -35,7 +40,7 @@ name.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import VerificationError
 from repro.common.types import Key
@@ -73,6 +78,15 @@ class RunObservation:
     simulation_stalled: bool = False
     probe_submitted: int = 0
     probe_committed: int = 0
+    #: Live monitor of this run (:class:`repro.obs.monitor.Monitor`), when
+    #: one was installed; performance oracles read its timeline.
+    monitor: object = None
+    #: Monitor of the same seed's *fault-free twin* run (same plan with the
+    #: fault schedule stripped), when the driver produced one.
+    twin_monitor: object = None
+    #: ``(start_ms, end_ms)`` intervals during which faults were active;
+    #: ``end_ms`` of ``None`` means active until the end of the run.
+    fault_windows: Sequence[Tuple[float, Optional[float]]] = ()
 
 
 class Oracle:
@@ -372,6 +386,137 @@ class TraceCompletenessOracle(Oracle):
             except ValueError:
                 return -1
         return -1
+
+
+class PhaseLatencyAnomalyOracle(Oracle):
+    """Commit latency outside fault windows must track the fault-free twin.
+
+    Correctness oracles cannot see a run that commits everything *slowly*.
+    This oracle can: the chaos driver replays the same plan with the fault
+    schedule stripped (and without any injected bug), and both runs carry a
+    monitoring timeline (:mod:`repro.obs.monitor`).  Windows overlapping an
+    injected fault interval — padded by one window of lead (a fault can
+    straddle the boundary it starts in) and ``grace_ms`` of tail (queues
+    drain, views settle) — are excluded from the run; the twin had no faults
+    at all, so its *entire* timeline is the baseline.  The surviving
+    windows' commit latencies and per-phase attribution are pooled and
+    compared.  A mean or p95 beyond ``ratio`` × twin (and ``floor_ms`` above
+    it, so microsecond noise on tiny baselines never trips) is an anomaly;
+    the failure names the worst-regressed phase so the report reads as a
+    diagnosis ("verify went 6x") rather than a stopwatch.
+
+    Deliberately conservative: it stays silent when either run yields fewer
+    than ``min_commits`` commits outside fault windows, when monitors are
+    missing, or when the run already failed liveness (stalls make latency
+    meaningless).  Thresholds are loose enough that scheduling drift between
+    a faulted run and its twin — retries landing in different batches —
+    stays well below them; the CI chaos sweep runs 25 seeds with this oracle
+    armed to keep that true.
+    """
+
+    name = "phase-latency-anomaly"
+
+    def __init__(
+        self,
+        ratio: float = 2.0,
+        floor_ms: float = 3.0,
+        grace_ms: float = 150.0,
+        min_commits: int = 8,
+    ) -> None:
+        self._ratio = ratio
+        self._floor_ms = floor_ms
+        self._grace_ms = grace_ms
+        self._min_commits = min_commits
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        monitor = observation.monitor
+        twin = observation.twin_monitor
+        if monitor is None or twin is None or observation.simulation_stalled:
+            return []
+        lead_ms = monitor.config.window_ms
+        excluded = [
+            (start - lead_ms, (float("inf") if end is None else end + self._grace_ms))
+            for start, end in observation.fault_windows
+        ]
+        run_pool = self._pool(monitor, excluded)
+        twin_pool = self._pool(twin, [])
+        if (
+            run_pool["commits"] < self._min_commits
+            or twin_pool["commits"] < self._min_commits
+        ):
+            return []
+
+        failures: List[OracleFailure] = []
+        anomalies: List[str] = []
+        for stat in ("mean", "p95"):
+            run_value = run_pool[stat]
+            twin_value = twin_pool[stat]
+            if run_value > max(twin_value * self._ratio, twin_value + self._floor_ms):
+                anomalies.append(
+                    f"commit {stat} {run_value:.2f}ms vs twin {twin_value:.2f}ms"
+                )
+        if anomalies:
+            failures.append(
+                self._failure(
+                    "latency regression outside fault windows: "
+                    + ", ".join(anomalies)
+                    + self._worst_phase_note(run_pool, twin_pool)
+                )
+            )
+        return failures
+
+    def _pool(self, monitor, excluded) -> Dict[str, object]:
+        """Pooled latency/phase stats over a monitor's non-excluded windows.
+
+        A window's reach extends back to the *start* of the earliest
+        transaction that finished in it: a commit stuck behind a crashed
+        leader ends long after the fault lifted but its latency was caused
+        inside the fault window, so a window holding such a straggler is
+        excluded wholesale (latencies and phase sums both carry its cost).
+        """
+        latencies: List[float] = []
+        commits = 0
+        phase_ms: Dict[str, float] = {}
+        for window in monitor.timeline.samples():
+            reach = window.start_ms
+            if window.earliest_root_start_ms is not None:
+                reach = min(reach, window.earliest_root_start_ms)
+            if any(reach < hi and window.end_ms > lo for lo, hi in excluded):
+                continue
+            latencies.extend(window.latencies)
+            commits += window.commits
+            for phase in sorted(window.phase_ms):
+                phase_ms[phase] = phase_ms.get(phase, 0.0) + window.phase_ms[phase]
+        ordered = sorted(latencies)
+        mean = sum(ordered) / len(ordered) if ordered else 0.0
+        p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))] if ordered else 0.0
+        return {
+            "commits": commits,
+            "mean": mean,
+            "p95": p95,
+            "phase_per_commit": {
+                phase: total / commits for phase, total in phase_ms.items()
+            }
+            if commits
+            else {},
+        }
+
+    def _worst_phase_note(self, run_pool, twin_pool) -> str:
+        """Name the phase whose per-commit cost regressed the most."""
+        worst: "Optional[Tuple[float, str, float, float]]" = None
+        twin_phases = twin_pool["phase_per_commit"]
+        for phase, run_cost in sorted(run_pool["phase_per_commit"].items()):
+            twin_cost = twin_phases.get(phase, 0.0)
+            excess = run_cost - twin_cost
+            if worst is None or excess > worst[0]:
+                worst = (excess, phase, run_cost, twin_cost)
+        if worst is None or worst[0] <= 0:
+            return ""
+        _, phase, run_cost, twin_cost = worst
+        return (
+            f"; worst phase: {phase} {run_cost:.2f}ms/commit "
+            f"vs twin {twin_cost:.2f}ms/commit"
+        )
 
 
 def standard_suite() -> List[Oracle]:

@@ -1,0 +1,121 @@
+"""Phase-latency oracle + monitoring under chaos.
+
+Three properties anchor the performance-oracle design:
+
+* **Detection** — ``verify-cache-wedged`` keeps every correctness oracle
+  green (state is right, merely recomputed) and is caught *only* by the
+  phase-latency-anomaly oracle comparing the run against its fault-free
+  twin outside fault windows.
+* **Neutrality** — the monitor and the twin run are pure observers: the
+  fingerprint and trace digest of a monitored run are byte-identical to
+  the same plan run with monitoring disabled.
+* **Exactness under faults** — the timeline's telescoping-delta invariant
+  (sum of windows == final − initial) survives crashes, drops and
+  partitions, not just clean runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import plan_from_seed, run_plan, run_seed
+from repro.chaos.bugs import get_bug
+
+#: Bounded-fault seed with the strongest wedged-vs-clean separation
+#: (~3x mean latency inflation); also the CI demonstration seed.
+WEDGED_SEED = 11
+
+
+class TestWedgedCacheDetection:
+    def test_wedged_cache_fails_only_the_perf_oracle(self):
+        report = run_seed(WEDGED_SEED, bug=get_bug("verify-cache-wedged"))
+        assert not report.ok
+        assert {f.oracle for f in report.failures} == {"phase-latency-anomaly"}
+        description = report.failures[0].description
+        assert "twin" in description
+        assert "worst phase" in description
+
+    def test_clean_seed_passes_with_perf_oracle_armed(self):
+        report = run_seed(WEDGED_SEED)
+        assert report.ok, [f.description for f in report.failures]
+
+    def test_perf_oracle_can_be_disabled(self):
+        report = run_seed(
+            WEDGED_SEED, bug=get_bug("verify-cache-wedged"), perf_oracle=False
+        )
+        assert report.ok  # correctness oracles alone cannot see the wedge
+
+
+class TestMonitorNeutrality:
+    @pytest.mark.parametrize("seed", [2, 21])
+    def test_fingerprint_and_digest_identical_monitor_on_off(self, seed):
+        plan = plan_from_seed(seed)
+        on = run_plan(plan, perf_oracle=False)
+        off = run_plan(plan, monitor=False, perf_oracle=False)
+        assert on.fingerprint() == off.fingerprint()
+        assert on.trace_digest == off.trace_digest
+        assert on.counters == off.counters
+        assert on.monitor is not None and off.monitor is None
+
+    def test_twin_does_not_perturb_the_graded_run(self):
+        # perf_oracle=True runs a second (twin) simulation; the report of
+        # the primary run must not change because of it.
+        plan = plan_from_seed(2)
+        with_twin = run_plan(plan, perf_oracle=True)
+        without = run_plan(plan, perf_oracle=False)
+        assert with_twin.fingerprint() == without.fingerprint()
+
+
+class TestTimelineUnderChaos:
+    @pytest.mark.parametrize("seed", [2, 6, 21])
+    def test_window_deltas_reconcile_exactly(self, seed):
+        report = run_seed(seed, perf_oracle=False)
+        timeline = report.monitor.timeline
+        totals = timeline.totals()
+        final = report.observation.system.monitor_snapshot()
+        initial = timeline.initial
+        for section in ("counters", "transport", "client_verify", "node_handled"):
+            expected = {
+                key: final[section][key] - initial[section].get(key, 0)
+                for key in final[section]
+                if final[section][key] != initial[section].get(key, 0)
+            }
+            assert totals[section] == expected, section
+
+    def test_fault_windows_recorded_per_fault_event(self):
+        report = run_seed(21, perf_oracle=False)
+        plan = plan_from_seed(21)
+        assert len(report.fault_windows) == len(plan.faults)
+        for window in report.fault_windows:
+            start, end = window
+            assert end is None or end > start
+
+
+class TestHealthUnderChaos:
+    def test_crash_restart_failover_transitions_are_pinned(self):
+        # Seed 21 crashes two replicas (restart + recovery) and rotates
+        # leaders late in the run; the tracker must see the whole story.
+        report = run_seed(21, perf_oracle=False)
+        transitions = report.health["transitions"]
+        crashed = [t["node"] for t in transitions if t["to"] == "crashed"]
+        assert len(crashed) == 2
+        for node in crashed:
+            trail = [t["to"] for t in transitions if t["node"] == node]
+            recovering = trail.index("recovering")
+            assert trail.index("crashed") < recovering < trail.index("healthy")
+        assert any(
+            t["to"] == "suspected" and t["reason"] == "leader-suspected"
+            for t in transitions
+        )
+        assert any(t["reason"] == "quiet" for t in transitions)
+
+    def test_health_reaches_the_cache_snapshot(self):
+        report = run_seed(21, perf_oracle=False)
+        snapshot = report.observation.system.cache_snapshot()
+        assert snapshot["health"] == report.monitor.health.snapshot()
+
+    def test_fault_free_run_has_no_transitions(self):
+        from dataclasses import replace
+
+        report = run_plan(replace(plan_from_seed(2), faults=()), perf_oracle=False)
+        assert report.health["transitions"] == []

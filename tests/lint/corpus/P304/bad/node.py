@@ -1,0 +1,15 @@
+"""P304 bad: registers a handler method that is never defined.
+
+The classic post-rename wreck: ``_on_pong`` was renamed to
+``_on_pong_reply`` but one registration kept the old name, so constructing
+the node raises AttributeError (or, with a stale same-named method left
+behind, silently dispatches to dead code).
+"""
+
+
+class PongNode:
+    def __init__(self) -> None:
+        self.register_handler(int, self._on_pong)
+
+    def _on_pong_reply(self, message, src) -> None:
+        pass

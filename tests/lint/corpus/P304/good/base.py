@@ -1,0 +1,6 @@
+"""P304 good: a base class that provides a handler to its subclasses."""
+
+
+class BaseNode:
+    def on_shared(self, message, src) -> None:
+        pass

@@ -1,0 +1,19 @@
+"""P304 good: every registered handler resolves on the class or a base.
+
+Covers the three legitimate shapes: a ``def`` on the class itself, a
+handler inherited from a scanned base class (cross-file lookup), and a
+handler bound as an instance attribute before registration.
+"""
+
+from .base import BaseNode
+
+
+class HandlerfulNode(BaseNode):
+    def __init__(self, fallback) -> None:
+        self.register_handler(int, self.on_ping)
+        self.register_handler(str, self.on_shared)
+        self._on_dynamic = fallback
+        self.register_handler(float, self._on_dynamic)
+
+    def on_ping(self, message, src) -> None:
+        pass

@@ -69,6 +69,16 @@ class TestFindingContent:
         assert "never constructed" in messages
         assert "never dispatched" in messages
 
+    def test_p304_names_the_missing_handler(self):
+        findings = findings_for("P304", os.path.join(CORPUS, "P304", "bad"))
+        assert len(findings) == 1
+        assert "self._on_pong" in findings[0].message
+        assert "PongNode" in findings[0].message
+
+    def test_p304_resolves_inherited_and_bound_handlers(self):
+        findings = findings_for("P304", os.path.join(CORPUS, "P304", "good"))
+        assert findings == []
+
     def test_a402_names_the_missing_field(self):
         findings = findings_for("A402", os.path.join(CORPUS, "A402", "bad"))
         assert len(findings) == 1
