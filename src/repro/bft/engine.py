@@ -389,15 +389,25 @@ class PbftEngine:
 
         Evidence: a pre-prepare buffered behind a delivery gap (the live
         leader proposed an instance whose predecessor this replica never
-        delivered), or a commit quorum collected for an instance whose
-        proposal this replica never saw.  Both mean the quorum moved on
-        without us — typically because instances were decided while this
-        replica was crashed or mid-recovery — and no amount of suspecting
-        the (healthy, progressing) leader will close the gap; only state
-        transfer will.  The progress monitor uses this to pick catch-up
-        recovery over a futile view-change vote.
+        delivered), a commit quorum collected for an instance whose
+        proposal this replica never saw, or a decided certificate parked
+        in ``_pending_deliveries`` waiting for an earlier instance this
+        replica missed (anything still parked is strictly beyond
+        ``_next_deliver_seq`` — consecutive entries deliver immediately —
+        and its certificate was quorum-verified on arrival, so it is
+        unforgeable proof the cluster decided past us).  All of these
+        mean the quorum moved on without us — typically because instances
+        were decided while this replica was crashed or mid-recovery — and
+        no amount of suspecting the (healthy, progressing) leader will
+        close the gap; only state transfer will.  The progress monitor
+        uses this to pick catch-up recovery over a futile view-change
+        vote.  The pending-deliveries clause matters most when the
+        stalled replica is itself the leader (elected by a view change
+        while it was crashed): peers that delivered the missing instance
+        may have no commit certificate left to re-serve, so certificate
+        rebroadcast cannot close the gap and catch-up is the only exit.
         """
-        if self._buffered_pre_prepares:
+        if self._buffered_pre_prepares or self._pending_deliveries:
             return True
         for seq, instance in self._instances.items():
             if seq < self._next_deliver_seq or instance.decided:

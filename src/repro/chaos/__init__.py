@@ -17,9 +17,32 @@ minimal reproduction and is written as a replayable JSON artifact::
 Everything is derived from the seed and the plan alone — no wall clock, no
 unseeded randomness — so two runs of the same seed are bit-identical, and a
 ``chaos-repro-<seed>.json`` artifact reproduces on any machine.
+
+On top of the serial runner sits the *fleet* (:mod:`repro.chaos.fleet`):
+worker-pool parallel sweeps whose merged results are byte-identical to the
+serial ones, and coverage-guided mutation sessions that grow a persisted
+corpus (:mod:`repro.chaos.corpus`) of rare-path plans, each entry doubling
+as a standing determinism oracle.
 """
 
 from repro.chaos.bugs import BUGS, InjectedBug
+from repro.chaos.corpus import Corpus, CorpusEntry, plan_id
+from repro.chaos.coverage import (
+    CoverageMap,
+    coverage_signature,
+    mutate_plan,
+    signature_weight,
+)
+from repro.chaos.fleet import (
+    FleetResult,
+    FleetSettings,
+    SessionOutcome,
+    coverage_session,
+    replay_corpus,
+    run_fleet,
+    run_seed_fleet,
+    seed_corpus,
+)
 from repro.chaos.plan import (
     ChaosPlan,
     ConfigPoint,
@@ -35,11 +58,26 @@ __all__ = [
     "ChaosPlan",
     "ChaosReport",
     "ConfigPoint",
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
     "FaultEvent",
+    "FleetResult",
+    "FleetSettings",
     "InjectedBug",
+    "SessionOutcome",
     "WorkloadSegment",
+    "coverage_session",
+    "coverage_signature",
+    "mutate_plan",
     "plan_from_seed",
+    "plan_id",
+    "replay_corpus",
+    "run_fleet",
     "run_plan",
     "run_seed",
+    "run_seed_fleet",
+    "seed_corpus",
     "shrink_plan",
+    "signature_weight",
 ]

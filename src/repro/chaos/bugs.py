@@ -27,6 +27,11 @@ The bugs are deliberately real ones from this codebase's lineage:
   certifies a client-visible outcome, and the f+1 ``ReplicaCommitReply``
   acceptance path (the fix for exactly this crash window) is disabled;
   with restarts suppressed, caught by the quiescent-liveness oracle.
+* ``stale-edge-reads`` — the edge cache's lag/TTL refresh wedges and the
+  client's freshness clause regresses to a no-op while the config declares
+  a 25ms staleness bound: every read stays authentic and consistent (all
+  correctness oracles green) but arbitrarily old; only the
+  ``edge-freshness-bound`` oracle sees the unenforced SLO.
 * ``verify-cache-wedged`` — every signature-verify cache lookup misses and
   nothing is ever stored: verification still *succeeds* (the registry
   re-verifies from scratch), so every correctness oracle stays green, but
@@ -39,6 +44,7 @@ The bugs are deliberately real ones from this codebase's lineage:
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, ContextManager, Dict
 
@@ -175,6 +181,58 @@ def _leader_dies_after_certify():
 
 
 @contextlib.contextmanager
+def _stale_edge_reads():
+    """Edge refresh wedges and the client freshness clause regresses away.
+
+    Three coordinated regressions that together unenforce a declared
+    staleness SLO while staying correctness-green:
+
+    * the scenario config *declares* a 25ms client staleness bound on every
+      edge-enabled plan (the SLO the run is supposed to enforce);
+    * the client's :func:`~repro.core.readonly.verify_snapshot` binding
+      drops its clock argument, so the freshness clause never fires and
+      arbitrarily old (but authentic) sections are accepted;
+    * the edge cache's usability gate stops dropping contexts for header
+      lag or TTL, so a proxy serves its first admitted context forever —
+      header age grows with simulated time on every cache hit.
+
+    Values, proofs and CD-vector repair are all untouched: stale snapshots
+    are still *consistent* snapshots, so serializability, read-values and
+    atomic visibility stay green.  Only the ``edge-freshness-bound`` oracle
+    — re-checking each accepted section's recorded header age against the
+    configured bound — can see the violation.
+    """
+    import repro.core.client as client_module
+    from repro.chaos.plan import ConfigPoint
+    from repro.edge.cache import EdgeCache
+
+    original_verify = client_module.verify_snapshot
+    original_usable = EdgeCache._usable_context
+    original_expand = ConfigPoint.to_system_config
+
+    def unbounded_verify(snapshot, registry, topology, config, now_ms=None):
+        return original_verify(snapshot, registry, topology, config)
+
+    def pinned_usable(self, partition, now_ms):
+        return self._contexts.get(partition)
+
+    def declaring_expand(self):
+        if self.edge_enabled and self.client_staleness_bound_ms is None:
+            self = dataclasses.replace(self, client_staleness_bound_ms=25.0)
+        return original_expand(self)
+
+    client_module.verify_snapshot = unbounded_verify
+    EdgeCache._usable_context = pinned_usable
+    ConfigPoint.to_system_config = declaring_expand
+    try:
+        yield
+    finally:
+        client_module.verify_snapshot = original_verify
+        EdgeCache._usable_context = original_usable
+        ConfigPoint.to_system_config = original_expand
+
+
+@contextlib.contextmanager
 def _verify_cache_wedged():
     """Every verify-cache lookup misses; stores are silently discarded.
 
@@ -253,6 +311,17 @@ BUGS: Dict[str, InjectedBug] = {
                 "oracle (vs the fault-free twin) sees the slowdown"
             ),
             patch=_verify_cache_wedged,
+        ),
+        InjectedBug(
+            name="stale-edge-reads",
+            description=(
+                "the edge cache stops refreshing for header lag or TTL and "
+                "the client freshness clause goes dead while the config "
+                "declares a 25ms staleness bound: stale-but-consistent edge "
+                "reads keep every correctness oracle green; only the "
+                "edge-freshness-bound oracle sees the unenforced SLO"
+            ),
+            patch=_stale_edge_reads,
         ),
         InjectedBug(
             name="ack-without-delivery",

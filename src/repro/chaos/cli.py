@@ -2,11 +2,23 @@
 
 Fuzzing loop, bug self-tests and artifact replay::
 
-    python -m repro.chaos --seeds 25                   # seeds 0..24
+    python -m repro.chaos --seeds 25                   # seeds 0..24, serial
+    python -m repro.chaos --fleet --workers 4 --seeds 25   # same sweep, pooled
     python -m repro.chaos --seed 7                     # one seed
     python -m repro.chaos --seeds 10 --inject-bug no-dependency-repair
     python -m repro.chaos --replay chaos-repro-7.json  # re-run an artifact
     python -m repro.chaos --list-bugs
+
+Corpus modes (:mod:`repro.chaos.fleet`)::
+
+    python -m repro.chaos --corpus-replay --workers 4      # determinism gate
+    python -m repro.chaos --coverage-runs 16 --workers 4   # grow the corpus
+
+``--corpus-replay`` re-runs every ``.chaos-corpus/`` entry and fails on any
+fingerprint/trace-digest drift; ``--coverage-runs N`` runs a coverage-guided
+mutation session (seeding the corpus from the uniform sweep first when it is
+empty) and records the session — plus an optional ``--lint-metadata`` JSON
+summary from ``python -m repro.lint --json`` — in the corpus metadata.
 
 Exit code 0 when every requested run passed all oracles, 1 otherwise.  On a
 failure the schedule is shrunk (disable with ``--no-shrink``) and written as
@@ -26,6 +38,15 @@ import time
 from typing import List, Optional
 
 from repro.chaos.bugs import BUGS, get_bug
+from repro.chaos.corpus import Corpus
+from repro.chaos.fleet import (
+    FleetResult,
+    FleetSettings,
+    coverage_session,
+    replay_corpus,
+    run_seed_fleet,
+    seed_corpus,
+)
 from repro.chaos.plan import ChaosPlan, plan_from_seed
 from repro.chaos.runner import ChaosReport, run_plan
 from repro.chaos.shrink import shrink_plan
@@ -88,6 +109,129 @@ def _print_failures(report: ChaosReport) -> None:
         print(f"  [{failure.oracle}] {failure.description}")
 
 
+def _print_fleet_failures(result: FleetResult) -> None:
+    for oracle, description in result.failures:
+        print(f"  [{oracle}] {description}")
+    if result.shrunk_faults is not None:
+        print(
+            f"  shrunk to {result.shrunk_faults} fault event(s), "
+            f"{result.shrunk_segments} segment(s) in {result.shrink_runs} runs"
+        )
+    if result.artifact:
+        print(f"  wrote {result.artifact}")
+        print(f"  replay: python -m repro.chaos --replay {result.artifact}")
+
+
+def _fleet_settings(args: argparse.Namespace) -> FleetSettings:
+    return FleetSettings(
+        bug_name=args.inject_bug,
+        max_events=args.max_events,
+        monitor=not args.no_monitor,
+        perf_oracle=not args.no_monitor,
+        shrink=not args.no_shrink,
+        max_shrink_runs=args.max_shrink_runs,
+        artifact_dir=args.artifact_dir,
+    )
+
+
+def _run_corpus_replay(args: argparse.Namespace) -> int:
+    corpus = Corpus(args.corpus)
+    if not corpus.entries:
+        print(f"corpus {args.corpus} is empty: nothing to replay")
+        return 0
+    results, drift = replay_corpus(corpus, _fleet_settings(args), args.workers)
+    failing = [result for result in results if not result.ok]
+    for result in results:
+        status = "ok  " if result.ok else "FAIL"
+        print(f"{status} {result.summary}")
+    for entry in drift:
+        print(
+            f"DRIFT {entry.entry_id}: {entry.field_name} "
+            f"{entry.recorded[:16]}… -> {entry.observed[:16]}…"
+        )
+    print(
+        f"corpus replay: {len(results)} entr"
+        + ("y" if len(results) == 1 else "ies")
+        + f", {len(failing)} failing, {len(drift)} digest drift(s)"
+    )
+    return 1 if failing or drift else 0
+
+
+def _run_coverage(args: argparse.Namespace, seeds: List[int]) -> int:
+    corpus = Corpus(args.corpus)
+    settings = _fleet_settings(args)
+    sweep_failures = 0
+    if not corpus.entries:
+        print(f"corpus {args.corpus} is empty: seeding from {len(seeds)} uniform seeds")
+        results = run_seed_fleet(seeds, settings, args.workers)
+        for result in results:
+            if not result.ok:
+                sweep_failures += 1
+                print(f"FAIL {result.summary}")
+                _print_fleet_failures(result)
+        admitted = seed_corpus(corpus, results)
+        print(f"  admitted {len(admitted)} of {len(results)} sweep runs")
+    outcome = coverage_session(
+        corpus,
+        args.session_seed,
+        args.coverage_runs,
+        settings,
+        workers=args.workers,
+        log=print,
+    )
+    for result in outcome.failing:
+        _print_fleet_failures(result)
+    print(
+        f"coverage session {args.session_seed}: {outcome.runs} mutant runs, "
+        f"{len(outcome.admitted)} admitted, "
+        f"{len(sorted(set(outcome.novel_features)))} novel feature(s), "
+        f"{len(outcome.failing)} failing"
+    )
+    for feature in sorted(set(outcome.novel_features)):
+        print(f"  novel: {feature}")
+    metadata = corpus.read_metadata()
+    coverage_counts: dict = {}
+    for entry in corpus.ordered():
+        for feature in entry.signature:
+            coverage_counts[feature] = coverage_counts.get(feature, 0) + 1
+    metadata["coverage"] = coverage_counts
+    metadata.setdefault("sessions", []).append(outcome.to_dict())
+    if args.lint_metadata:
+        with open(args.lint_metadata, "r", encoding="utf-8") as handle:
+            lint_document = json.load(handle)
+        metadata["lint"] = {
+            "version": lint_document.get("version"),
+            "counts": lint_document.get("counts", {}),
+        }
+    corpus.write_metadata(metadata)
+    return 1 if outcome.failing or sweep_failures else 0
+
+
+def _run_fleet_sweep(args: argparse.Namespace, seeds: List[int]) -> int:
+    settings = _fleet_settings(args)
+    started = time.time()
+    results = run_seed_fleet(seeds, settings, args.workers)
+    elapsed = time.time() - started
+    failures = 0
+    for result in results:
+        print(
+            f"{result.summary}  "
+            f"[fp {result.fingerprint[:16]} digest {result.trace_digest[:16]}]"
+        )
+        if not result.ok:
+            failures += 1
+            _print_fleet_failures(result)
+    print(
+        f"fleet: {len(results)} seed(s) on {args.workers} worker(s) "
+        f"in {elapsed:.1f}s wall"
+    )
+    if failures:
+        print(f"{failures}/{len(results)} seed(s) failed")
+        return 1
+    print(f"all {len(results)} seed(s) passed every oracle")
+    return 0
+
+
 def main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.chaos",
@@ -117,6 +261,25 @@ def main(argv: "List[str] | None" = None) -> int:
                         help="re-run budget for the shrinker")
     parser.add_argument("--verbose", action="store_true",
                         help="print shrink progress")
+    parser.add_argument("--fleet", action="store_true",
+                        help="run the sweep through the worker-pool fleet "
+                             "(fingerprints identical to the serial sweep)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="fleet worker processes (default: 1)")
+    parser.add_argument("--corpus", metavar="DIR", default=".chaos-corpus",
+                        help="coverage corpus directory (default: .chaos-corpus)")
+    parser.add_argument("--corpus-replay", action="store_true",
+                        help="re-run every corpus entry and fail on "
+                             "fingerprint/trace-digest drift")
+    parser.add_argument("--coverage-runs", type=int, default=None, metavar="N",
+                        help="run a coverage-guided session of N mutant runs "
+                             "(seeds the corpus from the uniform sweep first "
+                             "when it is empty)")
+    parser.add_argument("--session-seed", type=int, default=0, metavar="S",
+                        help="RNG seed of the coverage session (default: 0)")
+    parser.add_argument("--lint-metadata", metavar="PATH", default=None,
+                        help="repro.lint --json output to fold into the "
+                             "corpus metadata after a coverage session")
     args = parser.parse_args(argv)
 
     if args.list_bugs:
@@ -130,7 +293,15 @@ def main(argv: "List[str] | None" = None) -> int:
     if args.replay:
         document = load_artifact(args.replay)
         plan = ChaosPlan.from_dict(document["plan"])
-        replay_bug = get_bug(document["bug"]) if document.get("bug") else bug
+        recorded_bug = document.get("bug")
+        if args.inject_bug and recorded_bug and args.inject_bug != recorded_bug:
+            parser.error(
+                f"--inject-bug {args.inject_bug} conflicts with the bug recorded "
+                f"in {args.replay} ({recorded_bug}); drop the flag to replay the "
+                f"artifact as captured"
+            )
+        active_bug = recorded_bug or args.inject_bug
+        replay_bug = get_bug(active_bug) if active_bug else None
         started = time.time()
         report = run_plan(
             plan,
@@ -140,7 +311,10 @@ def main(argv: "List[str] | None" = None) -> int:
             perf_oracle=not args.no_monitor,
         )
         elapsed = time.time() - started
-        print(report.summary_line() + f"  [{elapsed:.1f}s wall, replay]")
+        print(
+            report.summary_line()
+            + f"  [{elapsed:.1f}s wall, replay, bug: {active_bug or 'none'}]"
+        )
         if report.failures:
             _print_failures(report)
             recorded = {entry["oracle"] for entry in document.get("failures", [])}
@@ -151,13 +325,25 @@ def main(argv: "List[str] | None" = None) -> int:
         print("replay passed all oracles (the recorded failure no longer reproduces)")
         return 0
 
+    if args.corpus_replay:
+        return _run_corpus_replay(args)
+
     seeds: List[int] = []
     if args.seed:
         seeds.extend(args.seed)
     if args.seeds is not None:
         seeds.extend(range(args.seeds))
+
+    if args.coverage_runs is not None:
+        # The seed list only matters when the corpus must be seeded first;
+        # the uniform 25-seed sweep is the documented default base.
+        return _run_coverage(args, seeds or list(range(25)))
+
     if not seeds:
         parser.error("nothing to do: pass --seeds N, --seed S or --replay PATH")
+
+    if args.fleet or args.workers > 1:
+        return _run_fleet_sweep(args, seeds)
 
     failures = 0
     for seed in seeds:
@@ -185,6 +371,8 @@ def main(argv: "List[str] | None" = None) -> int:
                 bug=bug,
                 max_runs=args.max_shrink_runs,
                 max_events=args.max_events,
+                monitor=not args.no_monitor,
+                perf_oracle=not args.no_monitor,
                 log=log,
             )
             plan, report, shrink_runs = result.plan, result.report, result.runs

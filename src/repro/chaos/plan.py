@@ -39,6 +39,7 @@ from repro.common.config import (
     CostConfig,
     EdgeConfig,
     FailoverConfig,
+    FreshnessConfig,
     LatencyConfig,
     MonitorConfig,
     PerfConfig,
@@ -93,6 +94,23 @@ class ConfigPoint:
     #: chaos runs (it is provably neutral) so every report carries health
     #: states and the performance oracle has timelines to compare.
     monitor_window_ms: float = 50.0
+    #: The remaining fields are *mutation-only* dimensions: the uniform
+    #: planner (:func:`plan_from_seed`) always leaves them at these defaults
+    #: — which reproduce the historical behaviour byte-for-byte — and only
+    #: the coverage-guided mutator (:mod:`repro.chaos.coverage`) moves them,
+    #: opening config regions uniform seeds can never reach (e.g. a tiny
+    #: refusing archive is the only road to ``snapshot_refused``).
+    #: Client staleness bound on verified reads (None = unbounded, the
+    #: pre-fleet behaviour); arming it also arms the edge-freshness oracle.
+    client_staleness_bound_ms: Optional[float] = None
+    #: Merkle-archive retention and what happens past it: rebuild (True,
+    #: default) or refuse the round-2 snapshot (``snapshot_refused``).
+    archive_max_batches: int = 512
+    snapshot_rebuild_fallback: bool = True
+    #: Retransmission-round cap per core link (None = library default);
+    #: lowering it makes ``transport_retransmits_abandoned`` reachable
+    #: within a survivable drop window.
+    max_retransmits: Optional[int] = None
 
     def to_system_config(self) -> SystemConfig:
         """Expand into the full :class:`SystemConfig` the runner builds."""
@@ -115,14 +133,26 @@ class ConfigPoint:
                 enabled=self.failover_enabled,
                 progress_timeout_ms=self.progress_timeout_ms,
             ),
-            reliability=ReliabilityConfig(enabled=self.reliability_enabled),
+            reliability=(
+                ReliabilityConfig(enabled=self.reliability_enabled)
+                if self.max_retransmits is None
+                else ReliabilityConfig(
+                    enabled=self.reliability_enabled,
+                    max_retransmits=self.max_retransmits,
+                )
+            ),
             costs=CostConfig(
                 verify_cache_miss_penalty_ms=self.verify_cache_miss_penalty_ms
             ),
             monitor=MonitorConfig(enabled=True, window_ms=self.monitor_window_ms),
+            freshness=FreshnessConfig(
+                client_staleness_bound_ms=self.client_staleness_bound_ms
+            ),
             perf=PerfConfig(
                 archive_enabled=self.archive_enabled,
                 archive_compaction=self.archive_compaction,
+                archive_max_batches=self.archive_max_batches,
+                snapshot_rebuild_fallback=self.snapshot_rebuild_fallback,
             ),
             edge=EdgeConfig(
                 enabled=self.edge_enabled,

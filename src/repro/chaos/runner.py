@@ -112,6 +112,11 @@ class ChaosReport:
     #: Node-health summary from the live monitor (states + transitions).
     #: Like ``trace_digest``, deliberately outside :meth:`fingerprint`.
     health: Dict[str, object] = field(default_factory=dict)
+    #: Worst commit-latency ratio vs the fault-free twin outside fault
+    #: windows (``PhaseLatencyAnomalyOracle.measure``), when a twin ran.
+    #: A coverage signal (near-misses in [1.2, 2.0) are rare-path evidence
+    #: for the fleet), deliberately outside :meth:`fingerprint`.
+    perf_ratio: Optional[float] = None
     #: Transient handles (not serialised): the run's live monitor and the
     #: oracle observation, kept so :func:`run_plan` can grade the run
     #: against its fault-free twin after ``_run`` returns.
@@ -475,7 +480,9 @@ def run_plan(
             twin_monitor=twin.monitor,
             fault_windows=tuple(report.fault_windows),
         )
-        perf_failures = PhaseLatencyAnomalyOracle().check(graded)
+        oracle = PhaseLatencyAnomalyOracle()
+        report.perf_ratio = oracle.measure(graded)
+        perf_failures = oracle.check(graded)
         if perf_failures:
             had_failures = bool(report.failures)
             report.failures.extend(perf_failures)

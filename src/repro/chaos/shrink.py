@@ -39,10 +39,21 @@ def shrink_plan(
     bug=None,
     max_runs: int = 80,
     max_events: int = 4_000_000,
+    monitor: bool = True,
+    perf_oracle: bool = True,
     log: Optional[Callable[[str], None]] = None,
 ) -> ShrinkResult:
-    """Minimise ``plan`` while ``failing_report``'s failure keeps reproducing."""
+    """Minimise ``plan`` while ``failing_report``'s failure keeps reproducing.
+
+    ``monitor``/``perf_oracle`` mirror :func:`run_plan`'s flags and must be
+    the settings the failing run used: re-running candidates with monitoring
+    re-enabled would judge them under a different oracle set than the one
+    being minimised.  The fault-free twin is only replayed when the
+    phase-latency oracle is actually among the target oracles — every other
+    failure shrinks on single runs.
+    """
     target_oracles: Set[str] = {failure.oracle for failure in failing_report.failures}
+    perf = perf_oracle and "phase-latency-anomaly" in target_oracles
     state = ShrinkResult(plan=plan, report=failing_report)
 
     def say(message: str) -> None:
@@ -51,7 +62,13 @@ def shrink_plan(
 
     def reproduces(candidate: ChaosPlan) -> Optional[ChaosReport]:
         state.runs += 1
-        report = run_plan(candidate, bug=bug, max_events=max_events)
+        report = run_plan(
+            candidate,
+            bug=bug,
+            max_events=max_events,
+            monitor=monitor,
+            perf_oracle=perf,
+        )
         failed = {failure.oracle for failure in report.failures}
         return report if failed & target_oracles else None
 

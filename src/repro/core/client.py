@@ -67,6 +67,19 @@ from repro.simnet.node import SimEnvironment
 from repro.simnet.proc import Call, Gather, ProcessNode, Sleep
 from repro.storage.partitioner import HashPartitioner
 
+#: Abort reasons that *place* a commit request (wrong node, node
+#: mid-recovery) rather than decide the transaction.  They carry no
+#: information about the outcome: an earlier attempt — or the failover
+#: re-send of this very request — may already sit admitted at the real
+#: leader, so treating one as a final abort can contradict a commit the
+#: cluster goes on to certify.
+POSITIONAL_REFUSALS = frozenset(
+    {
+        "not the current leader of this partition",
+        "replica is recovering, retry later",
+    }
+)
+
 
 @dataclass
 class ClientStats:
@@ -87,6 +100,9 @@ class ClientStats:
     proxies_blacklisted: int = 0
     leader_failovers: int = 0
     commit_retries: int = 0
+    #: Positional refusals (not-leader / mid-recovery) retried instead of
+    #: being surfaced as authoritative aborts.
+    commit_leader_refusals: int = 0
     #: Commits accepted from f+1 matching ReplicaCommitReply messages
     #: (instead of, or before, the leader's own CommitReply).
     replica_quorum_commits: int = 0
@@ -369,6 +385,15 @@ class TransEdgeClient(ProcessNode):
         ``decided``/``local_decided`` records instead of re-admitting them.
         With reliability disabled this is exactly the old single attempt.
 
+        Positional refusals (``POSITIONAL_REFUSALS``: not-leader,
+        mid-recovery) are retried like timeouts rather than surfaced as
+        aborts — the refusing node never admitted the transaction, but a
+        failover re-send or an earlier unanswered attempt may have, so the
+        refusal is not an outcome.  When no retry can settle it, the
+        attempt ends *unanswered* ("commit reply timed out"), landing in
+        the chaos runner's unknown-outcome resolution instead of being
+        recorded as an abort that a later read could contradict.
+
         ``complain`` sends a :class:`LeaderComplaint` to the whole coordinator
         cluster after each timeout (classic PBFT client behaviour): followers
         treat the complaint as progress-monitor evidence, so a leader that
@@ -387,6 +412,7 @@ class TransEdgeClient(ProcessNode):
         attempts = max(1, reliability.commit_retry_attempts) if reliability.enabled else 1
         quorum = self.config.failover.replica_commit_replies
         reply: Optional[CommitReply] = None
+        unanswered = False  # a timed-out attempt may sit admitted somewhere
         try:
             for attempt in range(attempts):
                 if attempt:
@@ -408,8 +434,29 @@ class TransEdgeClient(ProcessNode):
                 reply = yield self._leader_call(
                     coordinator, request, timeout_ms=self._commit_timeout_ms
                 )
+                if (
+                    reply is not None
+                    and reply.status is not TxnStatus.COMMITTED
+                    and reply.abort_reason in POSITIONAL_REFUSALS
+                ):
+                    # A positional refusal decides nothing (see
+                    # POSITIONAL_REFUSALS): only surface it as the final
+                    # abort when nothing could have been admitted — no
+                    # failover re-sends, no unanswered earlier attempt, no
+                    # retries left to learn the real outcome.
+                    self.stats.commit_leader_refusals += 1
+                    if (
+                        self.config.failover.enabled
+                        or unanswered
+                        or attempt + 1 < attempts
+                    ):
+                        # Retry without complaining: a live replica answered,
+                        # so this is routing staleness, not a silent leader.
+                        reply = None
+                        continue
                 if reply is not None:
                     break
+                unanswered = True
                 if quorum and txn.txn_id in self._commit_quorum_outcomes:
                     reply = self._quorum_commit_reply(txn.txn_id, request.request_id)
                     break
@@ -474,6 +521,24 @@ class TransEdgeClient(ProcessNode):
                         self.stats.edge_reads_served += 1
                     else:
                         self.stats.edge_relays += 1
+                    # Flight-recorder evidence for the edge-freshness oracle:
+                    # header age of every accepted section, measured at the
+                    # moment of acceptance (events never alter fingerprints).
+                    self.env.obs.event(
+                        str(self.node_id),
+                        "edge-read-accepted",
+                        "info",
+                        {
+                            "txn_id": txn_id,
+                            "proxy": str(proxy),
+                            "cache_served": bool(served_by_edge),
+                            "staleness_ms": {
+                                int(partition): self.now - snapshot.header.timestamp_ms
+                                for partition, snapshot in sorted(snapshots.items())
+                                if snapshot.header is not None
+                            },
+                        },
+                    )
         if snapshots is None:
             snapshots, verified = yield from self._direct_round1(grouped)
             if stale_suspicion is not None:

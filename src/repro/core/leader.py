@@ -840,6 +840,27 @@ class LeaderRole:
     # post-delivery actions
     # ------------------------------------------------------------------
 
+    def on_recovery_complete(self) -> None:
+        """Unwedge a proposal that catch-up state transfer superseded.
+
+        A leader elected by a view change while it was behind can propose
+        its in-flight batch at a sequence the cluster already decided with
+        a *different* batch.  Catch-up state transfer fast-forwards the
+        engine past that sequence and compacts the proposal's instance
+        record, so :meth:`on_batch_delivered` never fires for it — without
+        this reset the leader would never seal again (every later commit,
+        including post-quiescence probes, would starve behind the phantom
+        in-flight batch).  The dropped batch's clients time out and settle
+        through unknown-outcome resolution, exactly as for a deposed
+        leader's in-progress batch.
+        """
+        if not self._consensus_in_flight:
+            return
+        if self._replica.engine.has_pending_work():
+            return  # the proposal is still live in the current view
+        self._consensus_in_flight = False
+        self._ensure_seal_scheduled()
+
     def on_batch_delivered(self, seq: BatchNumber, batch: Batch, header: CertifiedHeader) -> None:
         self._consensus_in_flight = False
         if not self._replica.is_leader:

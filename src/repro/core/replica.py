@@ -265,9 +265,9 @@ class ViewProgressMonitor:
             self._gave_up = True
             return
         # A replica mid-recovery cannot judge the leader (it is the one
-        # behind); the current leader cannot vote against itself — its
-        # pending 2PC work is re-driven by the leader role's retry timer.
-        if not replica.recovery.in_progress and not replica.is_leader:
+        # behind).  The current leader never votes against itself either —
+        # but it MAY take the catch-up branch below.
+        if not replica.recovery.in_progress:
             if replica.engine.is_behind() and not self._catchup_attempted:
                 # The quorum apparently moved past us (instances were
                 # decided while we were crashed or mid-recovery, and with
@@ -277,10 +277,16 @@ class ViewProgressMonitor:
                 # once per stall: if the fetch brings nothing (the evidence
                 # was fake — a byzantine leader's future pre-prepare), the
                 # next round votes normally rather than abstaining forever.
+                # This branch deliberately includes the *leader*: a leader
+                # whose quorum moved past it while it was crashed cannot
+                # vote against itself, so without the catch-up path it
+                # would stand here forever while every follower's probe
+                # keeps refuting their complaints — the "quorum ahead of
+                # its leader" stall the coverage fleet surfaced.
                 self._catchup_attempted = True
                 replica.counters.catchup_recoveries += 1
                 replica.begin_recovery()
-            else:
+            elif not replica.is_leader:
                 replica.counters.leader_suspicions += 1
                 replica.env.obs.event(
                     str(replica.node_id),
@@ -292,6 +298,25 @@ class ViewProgressMonitor:
                     },
                 )
                 replica.engine.suspect_leader()
+            elif (
+                self._suspect_rounds >= 2
+                and not self._catchup_attempted
+                and replica.engine.has_pending_work()
+            ):
+                # Leader last resort.  A leader whose own proposal has made
+                # zero progress for two full windows — while the followers
+                # keep acking its probes — is almost certainly the one
+                # behind, with no local evidence to show for it: a view
+                # change can elect a replica that missed decisions while it
+                # was crashed or partitioned, and its re-proposal of an
+                # already-delivered sequence is silently ignored by peers
+                # as stale.  A follower votes every round; the leader's
+                # only move is one catch-up recovery, which either closes
+                # the gap (progress resets the monitor) or installs
+                # nothing, harmlessly (state transfer only ever extends).
+                self._catchup_attempted = True
+                replica.counters.catchup_recoveries += 1
+                replica.begin_recovery()
         self._arm()
 
 

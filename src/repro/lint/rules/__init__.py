@@ -20,6 +20,7 @@ from repro.lint.rules.protocol import (
 )
 from repro.lint.rules.purity import SimBlockingRule, SimFilesystemRule
 from repro.lint.rules.accounting import CounterAggregationRule, CounterIncrementRule
+from repro.lint.rules.coverage import BugSelfTestCoverageRule
 
 
 def all_rules() -> List[Rule]:
@@ -38,6 +39,7 @@ def all_rules() -> List[Rule]:
         HandlerTargetRule(),
         CounterIncrementRule(),
         CounterAggregationRule(),
+        BugSelfTestCoverageRule(),
     ]
 
 

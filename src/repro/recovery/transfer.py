@@ -95,6 +95,13 @@ class RecoveryCoordinator:
                 "info",
                 {"partition": int(replica.partition), "log_tip": replica.log.last_seq},
             )
+        if replica.log.last_seq > held_before:
+            # An install that advanced the log may have fast-forwarded the
+            # engine past a recovering *leader's* in-flight proposal; let it
+            # re-arm sealing.  This runs for late extending replies too — a
+            # peer that was itself behind can complete the session early, and
+            # only a later reply brings the superseding decision.
+            replica.leader_role.on_recovery_complete()
 
     def _completes(self, reply: StateTransferReply, held_before) -> bool:
         """Did this reply genuinely finish the recovery session?

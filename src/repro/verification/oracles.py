@@ -26,6 +26,10 @@ The standard suite covers the reproduction's end-to-end promises:
   request can still name, archive-served Merkle proofs are byte-identical to
   proofs from a from-scratch rebuild of that batch's tree (the PR-2
   fast-path contract, re-checked after arbitrary churn);
+* **edge freshness bound** — when ``client_staleness_bound_ms`` is armed,
+  every edge-served read's certified header was within the bound at
+  acceptance time (checked against the flight recorder's
+  ``edge-read-accepted`` evidence);
 * **phase-latency anomaly** — a *performance* oracle: outside the injected
   fault windows, per-window commit latency and per-phase attribution
   (:mod:`repro.obs.monitor`) must track the same seed's fault-free twin.
@@ -388,6 +392,65 @@ class TraceCompletenessOracle(Oracle):
         return -1
 
 
+class EdgeFreshnessBoundOracle(Oracle):
+    """Edge-served reads must honour the client staleness bound.
+
+    When ``FreshnessConfig.client_staleness_bound_ms`` is armed, an honest
+    client rejects any verified section whose certified header is older than
+    the bound at acceptance time (the freshness clause of
+    :func:`repro.core.readonly.verify_snapshot`) — so the flight-recorder
+    ``edge-read-accepted`` events, which record each accepted section's
+    header age at that exact moment, must all sit within the bound.  One
+    outside it means the declared staleness SLO is silently unenforced:
+    the check regressed, or the edge tier pinned an aged context past the
+    refresh machinery.  No-op when the bound is unset or events are off,
+    and zero false positives by construction: the oracle re-applies the
+    same strict-``>`` comparison the client's own acceptance path uses.
+    """
+
+    name = "edge-freshness-bound"
+
+    #: At most this many individual violations are itemised; the rest fold
+    #: into one aggregate line so a long run cannot flood the report.
+    _MAX_ITEMISED = 5
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        system = observation.system
+        bound = system.config.freshness.client_staleness_bound_ms
+        obs = getattr(getattr(system, "env", None), "obs", None)
+        if bound is None or obs is None or not obs.events:
+            return []
+        failures: List[OracleFailure] = []
+        overflow = 0
+        for event in obs.recorder.timeline():
+            if event.kind != "edge-read-accepted":
+                continue
+            detail = event.detail or {}
+            staleness_ms = detail.get("staleness_ms") or {}
+            for partition, staleness in sorted(staleness_ms.items()):
+                if staleness <= bound:
+                    continue
+                if len(failures) >= self._MAX_ITEMISED:
+                    overflow += 1
+                    continue
+                failures.append(
+                    self._failure(
+                        f"transaction {detail.get('txn_id')}: edge-served read "
+                        f"of partition {partition} accepted against a header "
+                        f"{staleness:.2f}ms old, beyond the {bound:.0f}ms "
+                        f"client staleness bound (proxy {detail.get('proxy')})"
+                    )
+                )
+        if overflow:
+            failures.append(
+                self._failure(
+                    f"{overflow} further edge-served read(s) exceeded the "
+                    f"{bound:.0f}ms staleness bound"
+                )
+            )
+        return failures
+
+
 class PhaseLatencyAnomalyOracle(Oracle):
     """Commit latency outside fault windows must track the fault-free twin.
 
@@ -428,11 +491,14 @@ class PhaseLatencyAnomalyOracle(Oracle):
         self._grace_ms = grace_ms
         self._min_commits = min_commits
 
-    def check(self, observation: RunObservation) -> List[OracleFailure]:
+    def _pools(
+        self, observation: RunObservation
+    ) -> "Optional[Tuple[Dict[str, object], Dict[str, object]]]":
+        """(run pool, twin pool) outside fault windows, or None if unjudgeable."""
         monitor = observation.monitor
         twin = observation.twin_monitor
         if monitor is None or twin is None or observation.simulation_stalled:
-            return []
+            return None
         lead_ms = monitor.config.window_ms
         excluded = [
             (start - lead_ms, (float("inf") if end is None else end + self._grace_ms))
@@ -444,7 +510,32 @@ class PhaseLatencyAnomalyOracle(Oracle):
             run_pool["commits"] < self._min_commits
             or twin_pool["commits"] < self._min_commits
         ):
+            return None
+        return run_pool, twin_pool
+
+    def measure(self, observation: RunObservation) -> Optional[float]:
+        """Worst run/twin ratio over pooled commit mean and p95, or None.
+
+        The chaos fleet records this on every report: a ratio below the
+        failure threshold but above ~1.2 is an oracle *near-miss* — a
+        coverage signal worth mutating toward even though nothing failed.
+        """
+        pools = self._pools(observation)
+        if pools is None:
+            return None
+        run_pool, twin_pool = pools
+        ratios = [
+            run_pool[stat] / twin_pool[stat]
+            for stat in ("mean", "p95")
+            if twin_pool[stat] > 0
+        ]
+        return max(ratios) if ratios else None
+
+    def check(self, observation: RunObservation) -> List[OracleFailure]:
+        pools = self._pools(observation)
+        if pools is None:
             return []
+        run_pool, twin_pool = pools
 
         failures: List[OracleFailure] = []
         anomalies: List[str] = []
@@ -524,6 +615,7 @@ def standard_suite() -> List[Oracle]:
     return [
         QuiescentLivenessOracle(),
         TraceCompletenessOracle(),
+        EdgeFreshnessBoundOracle(),
         RecoveryConvergenceOracle(),
         ReadValueLegitimacyOracle(),
         AtomicVisibilityOracle(),

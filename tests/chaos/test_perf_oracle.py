@@ -103,10 +103,14 @@ class TestHealthUnderChaos:
             trail = [t["to"] for t in transitions if t["node"] == node]
             recovering = trail.index("recovering")
             assert trail.index("crashed") < recovering < trail.index("healthy")
-        assert any(
-            t["to"] == "suspected" and t["reason"] == "leader-suspected"
-            for t in transitions
-        )
+        # The replicas that missed decisions while crashed resolve the gap
+        # with catch-up state transfer instead of suspecting the (healthy)
+        # leader: the monitor records the late recovering->healthy dip and
+        # no replica ever reaches "suspected".
+        assert report.counters["catchup_recoveries"] > 0
+        assert report.counters["leader_suspicions"] == 0
+        assert any(t["reason"] == "recovery-begin" for t in transitions)
+        assert not any(t["to"] == "suspected" for t in transitions)
         assert any(t["reason"] == "quiet" for t in transitions)
 
     def test_health_reaches_the_cache_snapshot(self):

@@ -1,0 +1,26 @@
+"""Bad: a registered injectable bug that nothing ever replays.
+
+``phantom-quorum-echo`` appears in no ``--inject-bug`` workflow step and in
+no pinned test — the self-test it represents can rot without anyone
+noticing.  (The registration literal itself is not evidence: the rule
+excludes the scanned files from the pinned-test sweep.)
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    name: str
+    description: str = ""
+
+
+BUGS = {
+    bug.name: bug
+    for bug in (
+        InjectedBug(
+            name="phantom-quorum-echo",
+            description="replicas echo quorum certificates they never verified",
+        ),
+    )
+}

